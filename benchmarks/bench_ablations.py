@@ -1,0 +1,118 @@
+"""Ablations — measuring this implementation's own design choices.
+
+Not paper artifacts, but the knobs DESIGN.md calls out; each group
+isolates one choice:
+
+* **build side** — hash joins build on the right operand.  Using the
+  π-repaired commutativity equivalence (the paper omits plain
+  commutativity because it permutes columns), the same join runs with
+  the small and the large relation as build side.
+* **optimizer on/off** — the end-to-end worth of the Section 3.3 rewrite
+  pipeline on a naive σ-over-product query, physical engine both times.
+* **pipelining** — the physical engine streams (tuple, count) pairs and
+  consolidates once at the end; the reference evaluator materialises
+  every intermediate multiset.  Same σ∘π chain, both engines.
+  Measured outcome worth knowing: on *short selection/projection chains
+  over heavily duplicated bags* the materialising evaluator can win —
+  it does dict work per distinct tuple while the stream pays generator
+  overhead per pair.  The streaming engine's big wins are joins and
+  large intermediates (bench E5: ~200×), not trivial pipelines; that is
+  why the reference evaluator stays the default for the language layer's
+  small statements while sessions default to the physical engine.
+"""
+
+import pytest
+
+from repro.algebra import Join, LiteralRelation, Product, RelationRef, Select
+from repro.engine import evaluate, execute
+from repro.optimizer import join_commutative_with_projection, optimize
+from repro.workloads import BeerWorkload, random_int_relation, zipf_relation
+
+
+@pytest.fixture(scope="module")
+def asymmetric_pair():
+    big = random_int_relation(30_000, degree=2, value_space=500, seed=1, name="big")
+    small = random_int_relation(300, degree=2, value_space=500, seed=2, name="small")
+    return big, small
+
+
+@pytest.mark.benchmark(group="ablation-build-side")
+def test_build_on_small_side(benchmark, asymmetric_pair):
+    big, small = asymmetric_pair
+    # big ⋈ small: the right (build) side is the small relation.
+    expr = Join(LiteralRelation(big), LiteralRelation(small), "%1 = %3")
+    result = benchmark(lambda: execute(expr, {}))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="ablation-build-side")
+def test_build_on_large_side(benchmark, asymmetric_pair):
+    big, small = asymmetric_pair
+    # The commuted (and π-repaired) form: small ⋈ big builds on big.
+    _original, commuted = join_commutative_with_projection(
+        LiteralRelation(big), LiteralRelation(small), "%1 = %3"
+    )
+    result = benchmark(lambda: execute(commuted, {}))
+    original = Join(LiteralRelation(big), LiteralRelation(small), "%1 = %3")
+    assert result == execute(original, {})
+
+
+@pytest.fixture(scope="module")
+def naive_query_env():
+    workload = BeerWorkload(beers=3_000, breweries=150, seed=5)
+    beer, brewery = workload.relations()
+    env = {"beer": beer, "brewery": brewery}
+    expr = Select(
+        "%2 = %4 and %6 = 'Netherlands' and %3 > 6.0",
+        Product(
+            RelationRef("beer", beer.schema), RelationRef("brewery", brewery.schema)
+        ),
+    ).project(["%1"])
+    return env, expr
+
+
+@pytest.mark.benchmark(group="ablation-optimizer")
+def test_optimizer_off(benchmark, naive_query_env):
+    env, expr = naive_query_env
+    result = benchmark(lambda: execute(expr, env))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="ablation-optimizer")
+def test_optimizer_on(benchmark, naive_query_env):
+    env, expr = naive_query_env
+
+    def optimize_and_run():
+        return execute(optimize(expr), env)
+
+    result = benchmark(optimize_and_run)
+    assert result == execute(expr, env)
+
+
+@pytest.fixture(scope="module")
+def pipeline_input():
+    return zipf_relation(40_000, degree=2, distinct=3_000, skew=1.0, seed=6)
+
+
+@pytest.mark.benchmark(group="ablation-pipelining")
+def test_pipelined_physical_engine(benchmark, pipeline_input):
+    expr = (
+        LiteralRelation(pipeline_input)
+        .select("%1 > 100")
+        .project(["%2"])
+        .select("%1 < 20000")
+    )
+    result = benchmark(lambda: execute(expr, {}))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="ablation-pipelining")
+def test_materialising_reference_evaluator(benchmark, pipeline_input):
+    expr = (
+        LiteralRelation(pipeline_input)
+        .select("%1 > 100")
+        .project(["%2"])
+        .select("%1 < 20000")
+    )
+    result = benchmark(lambda: evaluate(expr, {}))
+    assert result == execute(expr, {})

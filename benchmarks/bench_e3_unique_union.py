@@ -1,0 +1,67 @@
+"""E3 — the δ/⊎ relation (Section 3.3): what fails and what holds.
+
+Paper artifact: "the distribution property does not hold for the unique
+operator δ over the union ⊎" — the one classic rewrite the bag algebra
+forbids.  The bench
+
+* exhibits the failure systematically (any support overlap breaks it,
+  and the benchmark inputs overlap massively);
+* verifies the two *valid* replacements — ``δ(E1 ⊎ E2) = δ(δE1 ⊎ δE2)``
+  and the container-level ``δ(E1 ⊎ E2) = δE1 ∪max δE2`` — and measures
+  their cost, since an optimizer tempted to "push δ" must use one of
+  these instead.
+
+Expected shape: invalid rewrite produces a strictly larger bag; the
+max-union form is the cheapest valid alternative.
+"""
+
+import pytest
+
+from repro.algebra import LiteralRelation, Union, Unique
+from repro.engine import evaluate
+
+
+def lit(relation):
+    return LiteralRelation(relation)
+
+
+@pytest.mark.benchmark(group="e3-unique-union")
+def test_delta_after_union(benchmark, skewed_bags):
+    left, right = skewed_bags
+    expr = Unique(Union(lit(left), lit(right)))
+    result = benchmark(lambda: evaluate(expr, {}))
+    assert all(count == 1 for _row, count in result.pairs())
+
+
+@pytest.mark.benchmark(group="e3-unique-union")
+def test_invalid_distribution_is_wrong(benchmark, skewed_bags):
+    left, right = skewed_bags
+    invalid = Union(Unique(lit(left)), Unique(lit(right)))
+    correct = Unique(Union(lit(left), lit(right)))
+    result = benchmark(lambda: evaluate(invalid, {}))
+    correct_result = evaluate(correct, {})
+    # The paper's point: these differ (the inputs share support).
+    assert result != correct_result
+    # And the failure is one-sided: the invalid form only over-counts.
+    assert correct_result.tuples.issubmultiset(result.tuples)
+    assert len(result) > len(correct_result)
+
+
+@pytest.mark.benchmark(group="e3-unique-union")
+def test_valid_double_delta_form(benchmark, skewed_bags):
+    left, right = skewed_bags
+    valid = Unique(Union(Unique(lit(left)), Unique(lit(right))))
+    correct = Unique(Union(lit(left), lit(right)))
+    result = benchmark(lambda: evaluate(valid, {}))
+    assert result == evaluate(correct, {})
+
+
+@pytest.mark.benchmark(group="e3-unique-union")
+def test_valid_max_union_form(benchmark, skewed_bags):
+    left, right = skewed_bags
+
+    def max_union_of_deltas():
+        return left.tuples.distinct().max_union(right.tuples.distinct())
+
+    result = benchmark(max_union_of_deltas)
+    assert result == left.tuples.union(right.tuples).distinct()

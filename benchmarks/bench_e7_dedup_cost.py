@@ -1,0 +1,78 @@
+"""E7 — the introduction's cost claim: duplicate removal is expensive.
+
+Paper artifact (Section 1): "the high costs of duplicate removal in
+database operations is often prohibitive for the use of a data model
+that does not [allow] duplicates."
+
+The bench runs an identical query pipeline under the bag model (no δ
+anywhere) and under the strict set model (δ forced after every
+duplicate-producing operator, as :func:`repro.engine.evaluate_set`
+implements) across three duplication regimes.  It also measures δ alone
+as a function of duplication factor.
+
+Expected (and measured) shape: at low and moderate duplication — the
+common case — the set model pays the per-operator δ tax and is clearly
+slower.  At *extreme* duplication the set model can break even or win on
+raw time, but only because δ throws the multiplicities away and shrinks
+every downstream intermediate; E6 shows the answers it then produces are
+wrong.  So the full cost statement is: either you pay δ after every
+operator (slow in the common case), or you keep the duplicates and give
+up set semantics — which is the paper's argument for making bags the
+model rather than an encoding.
+"""
+
+import pytest
+
+from repro.algebra import LiteralRelation, Union
+from repro.engine import evaluate, evaluate_set
+from repro.workloads import zipf_relation
+
+#: (label, skew) — higher skew = heavier duplication.
+REGIMES = [("low-dup", 0.3), ("mid-dup", 1.0), ("high-dup", 1.6)]
+
+SIZE = 25_000
+DISTINCT = 1_500
+
+
+def make_relation(skew, seed):
+    return zipf_relation(SIZE, degree=2, distinct=DISTINCT, skew=skew, seed=seed)
+
+
+def pipeline(left, right):
+    """σ ∘ π ∘ ⊎ — every stage produces duplicates for the set model."""
+    return (
+        Union(LiteralRelation(left), LiteralRelation(right))
+        .project(["%1"])
+        .select("%1 > 100")
+    )
+
+
+@pytest.mark.parametrize("label,skew", REGIMES, ids=[r[0] for r in REGIMES])
+@pytest.mark.benchmark(group="e7-pipeline")
+def test_bag_model_pipeline(benchmark, label, skew):
+    left = make_relation(skew, seed=71)
+    right = make_relation(skew, seed=72)
+    expr = pipeline(left, right)
+    result = benchmark(lambda: evaluate(expr, {}))
+    assert len(result) <= 2 * SIZE
+
+
+@pytest.mark.parametrize("label,skew", REGIMES, ids=[r[0] for r in REGIMES])
+@pytest.mark.benchmark(group="e7-pipeline")
+def test_set_model_pipeline(benchmark, label, skew):
+    left = make_relation(skew, seed=71)
+    right = make_relation(skew, seed=72)
+    expr = pipeline(left, right)
+    result = benchmark(lambda: evaluate_set(expr, {}))
+    bag_result = evaluate(expr, {})
+    # The set model is a lossy projection of the bag model.
+    assert result == bag_result.distinct()
+    assert len(result) <= len(bag_result)
+
+
+@pytest.mark.parametrize("label,skew", REGIMES, ids=[r[0] for r in REGIMES])
+@pytest.mark.benchmark(group="e7-delta-alone")
+def test_duplicate_elimination_cost(benchmark, label, skew):
+    relation = make_relation(skew, seed=73)
+    result = benchmark(lambda: relation.distinct())
+    assert result.distinct_count == relation.distinct_count

@@ -1,0 +1,100 @@
+"""E9 — PRISMA/DB usage: XRA programs and parallel operators.
+
+Paper artifacts: Section 1/5 — XRA "has been used as the primary
+database language" of PRISMA/DB, and the language was "extended with
+special operators to support parallel data processing".
+
+The bench measures (a) the full XRA path — parse + type + plan + run —
+for a representative script, against executing the same work through the
+Python API (the front-end overhead), and (b) the fragmented parallel
+operators: serial operator vs the *largest single fragment* (the
+parallel makespan proxy on one interpreter) at 4 and 8 fragments.
+Expected shape: XRA overhead is a small constant; per-fragment makespan
+scales down near-linearly in the fragment count while the recombined
+result stays exactly equal.
+"""
+
+import pytest
+
+from repro.aggregates import AVG
+from repro.database import Database
+from repro.extensions import hash_partition, parallel_group_by
+from repro.language import Session
+from repro.workloads import BeerWorkload
+from repro.xra import XRAInterpreter
+
+SCRIPT = """
+? groupby[(country), AVG, alcperc](join[%2 = %4](beer, brewery));
+? proj[%1](sel[%6 = 'Netherlands'](join[%2 = %4](beer, brewery)));
+update(beer, sel[brewery = 'Brouwerij-0001'](beer), (%1, %2, %3 * 1.1));
+"""
+
+
+def fresh_database():
+    return BeerWorkload(beers=8_000, breweries=150, seed=91).database()
+
+
+@pytest.mark.benchmark(group="e9-xra")
+def test_xra_script_end_to_end(benchmark):
+    def run_script():
+        database = fresh_database()
+        interpreter = XRAInterpreter(database)
+        return interpreter.run(SCRIPT)
+
+    result = benchmark(run_script)
+    assert result.committed
+    assert len(result.outputs) == 2
+
+
+@pytest.mark.benchmark(group="e9-xra")
+def test_equivalent_python_api(benchmark):
+    def run_api():
+        database = fresh_database()
+        session = Session(database)
+        beer = session.relation("beer")
+        brewery = session.relation("brewery")
+        first = session.query(
+            beer.join(brewery, "%2 = %4").group_by(["%6"], "AVG", "%3")
+        )
+        second = session.query(
+            beer.join(brewery, "%2 = %4")
+            .select("%6 = 'Netherlands'")
+            .project(["%1"])
+        )
+        session.update(
+            "beer",
+            beer.select("brewery = 'Brouwerij-0001'"),
+            ["%1", "%2", "%3 * 1.1"],
+        )
+        return first, second
+
+    first, second = benchmark(run_api)
+    assert first and second
+
+
+@pytest.fixture(scope="module")
+def big_beer():
+    return BeerWorkload(beers=40_000, breweries=500, seed=92).relations()[0]
+
+
+@pytest.mark.benchmark(group="e9-parallel-groupby")
+def test_serial_group_by(benchmark, big_beer):
+    result = benchmark(lambda: big_beer.group_by(["brewery"], AVG, "alcperc"))
+    assert result
+
+
+@pytest.mark.parametrize("fragments", [4, 8])
+@pytest.mark.benchmark(group="e9-parallel-groupby")
+def test_parallel_makespan_fragment(benchmark, big_beer, fragments):
+    """Time of the LARGEST fragment's Γ — the per-node makespan proxy."""
+    parts = hash_partition(big_beer, ["brewery"], fragments)
+    largest = max(parts, key=len)
+
+    result = benchmark(
+        lambda: largest.group_by(["brewery"], AVG, "alcperc")
+    )
+    assert result
+    # Recombined fragments equal the serial result exactly.
+    assert parallel_group_by(
+        big_beer, ["brewery"], AVG, "alcperc", fragments
+    ) == big_beer.group_by(["brewery"], AVG, "alcperc")

@@ -1,0 +1,58 @@
+"""Shared fixtures for the experiment benches (see DESIGN.md §4).
+
+Each ``bench_eN_*.py`` module regenerates one experiment row/series; the
+pytest-benchmark table is the measured series, and shape assertions
+inside the bench bodies pin the qualitative outcome (who wins, what is
+equal, what diverges).  EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import RelationRef
+from repro.workloads import BeerWorkload, join_chain_relations, zipf_relation
+
+
+@pytest.fixture(scope="module")
+def beer_env():
+    """A mid-sized beer database (3k beers, 150 breweries).
+
+    Size is chosen so the *worst* formulation each bench compares against
+    — reference evaluation of a full Cartesian product (450k combined
+    tuples) — still completes in about a second per round.
+    """
+    workload = BeerWorkload(beers=3_000, breweries=150, seed=1994)
+    beer, brewery = workload.relations()
+    return {"beer": beer, "brewery": brewery}
+
+
+@pytest.fixture(scope="module")
+def beer_refs(beer_env):
+    return (
+        RelationRef("beer", beer_env["beer"].schema),
+        RelationRef("brewery", beer_env["brewery"].schema),
+    )
+
+
+@pytest.fixture(scope="module")
+def skewed_bags():
+    """Two overlapping Zipf-duplicated relations (for E1/E3/E7).
+
+    Same seed + same distinct-pool parameters give both relations the
+    same candidate tuple pool (so their supports overlap heavily, which
+    E3's δ/⊎ counterexample requires), while the different sample sizes
+    keep them from being identical.
+    """
+    left = zipf_relation(20_000, degree=2, distinct=2_000, skew=1.2, seed=11)
+    right = zipf_relation(14_000, degree=2, distinct=2_000, skew=1.2, seed=11)
+    return left, right
+
+
+@pytest.fixture(scope="module")
+def chain_env():
+    """A skewed three-relation join chain where association order matters."""
+    relations = join_chain_relations(
+        3, [4_000, 2_000, 40], [60, 50, 900, 12], seed=42
+    )
+    return {relation.schema.name: relation for relation in relations}

@@ -1,0 +1,113 @@
+"""Transactions with money: atomicity and integrity under failure.
+
+A small double-entry ledger on the paper's transaction model
+(Definition 4.3) with the money domain and integrity constraints:
+
+* transfers are multi-statement transactions (debit; credit);
+* a mid-transfer failure rolls both legs back — no money is created or
+  destroyed (checked by a conservation constraint);
+* every committed transfer is one single-step transition with logical
+  time, so the full history is auditable.
+
+Run with::
+
+    python examples/bank_transactions.py
+"""
+
+from decimal import Decimal
+
+from repro import SUM, Database, Relation, RelationSchema, Session, format_relation
+from repro.algebra import LiteralRelation
+from repro.domains import MONEY, STRING
+from repro.errors import TransactionAbort
+from repro.extensions import DomainConstraint, KeyConstraint
+
+ACCOUNT = RelationSchema.of("account", owner=STRING, balance=MONEY)
+
+
+def make_bank() -> Database:
+    db = Database()
+    db.create_relation(
+        ACCOUNT,
+        Relation(
+            ACCOUNT,
+            [
+                ("alice", Decimal("100.00")),
+                ("bob", Decimal("25.50")),
+                ("carol", Decimal("0.00")),
+            ],
+        ),
+    )
+    return db
+
+
+def transfer(session: Session, source: str, target: str, amount: Decimal) -> None:
+    """Move ``amount`` between accounts in one atomic transaction."""
+    with session.transaction() as txn:
+        account = txn.relation("account")
+        balance_relation = txn.query(
+            account.select(f"owner = '{source}'").project(["balance"])
+        )
+        (balance,) = next(iter(balance_relation.pairs()))[0]
+        if balance < amount:
+            txn.abort(f"{source} has insufficient funds")
+        txn.update(
+            "account",
+            account.select(f"owner = '{source}'"),
+            ["%1", f"%2 - {amount}"],
+        )
+        txn.update(
+            "account",
+            account.select(f"owner = '{target}'"),
+            ["%1", f"%2 + {amount}"],
+        )
+
+
+def main() -> None:
+    db = make_bank()
+    session = Session(
+        db,
+        constraints=[
+            KeyConstraint("account_pk", "account", ["owner"]),
+            DomainConstraint("no_overdraft", "account", "balance >= 0.00"),
+        ],
+    )
+
+    print("Opening balances:")
+    print(format_relation(db["account"]))
+
+    print("\nTransfer 40.00 alice -> bob ...")
+    transfer(session, "alice", "bob", Decimal("40.00"))
+    print(format_relation(db["account"]))
+
+    print("\nTransfer 1000.00 bob -> carol (insufficient funds) ...")
+    transfer(session, "bob", "carol", Decimal("1000.00"))
+    print("Aborted cleanly; balances unchanged:")
+    print(format_relation(db["account"]))
+
+    print("\nSimulated crash between debit and credit ...")
+    try:
+        with session.transaction() as txn:
+            account = txn.relation("account")
+            txn.update(
+                "account",
+                account.select("owner = 'alice'"),
+                ["%1", "%2 - 10.00"],
+            )
+            raise RuntimeError("power failure!")
+    except RuntimeError:
+        pass
+    print("Rolled back; alice keeps her money:")
+    print(format_relation(db["account"]))
+
+    total = db["account"].aggregate(SUM, "balance")
+    print(f"\nConservation check: total = {total} (started at 125.50)")
+    assert total == Decimal("125.50")
+
+    print(f"\nHistory: {len(db.transitions)} committed transition(s):")
+    for transition in db.transitions:
+        print(f"  {transition!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: build a database, query it, change it — in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Database,
+    Relation,
+    RelationSchema,
+    Session,
+    format_relation,
+)
+from repro.domains import REAL, STRING
+
+
+def main() -> None:
+    # 1. Declare a schema and a database (Definitions 2.2 / 2.5).
+    beer_schema = RelationSchema.of(
+        "beer", name=STRING, brewery=STRING, alcperc=REAL
+    )
+    db = Database()
+    db.create_relation(
+        beer_schema,
+        Relation(
+            beer_schema,
+            [
+                ("Pils", "Guineken", 4.5),
+                ("Pils", "Grolsch", 4.5),  # duplicates after projection!
+                ("Bock", "Grolsch", 6.5),
+            ],
+        ),
+    )
+
+    session = Session(db)
+    beer = session.relation("beer")
+
+    # 2. Query with the multi-set algebra.  Projection does NOT remove
+    #    duplicates — multiplicities add (Definition 3.1).
+    names = session.query(beer.project(["name"]))
+    print("All beer names (note Pils × 2):")
+    print(format_relation(names, show_multiplicity=True))
+    print()
+
+    # 3. Selection conditions are parsed scalar expressions.
+    strong = session.query(beer.select("alcperc > 5.0"))
+    print("Strong beers:")
+    print(format_relation(strong))
+    print()
+
+    # 4. Aggregate with group-by (Definition 3.4).
+    per_brewery = session.query(beer.group_by(["brewery"], "AVG", "alcperc"))
+    print("Average alcohol per brewery:")
+    print(format_relation(per_brewery))
+    print()
+
+    # 5. Change the database through statements (Definition 4.1); each
+    #    auto-commits as a transaction and advances logical time.
+    session.update(
+        "beer",
+        beer.select("brewery = 'Guineken'"),
+        ["%1", "%2", "%3 * 1.1"],  # structure-preserving expression list
+    )
+    print(f"After the +10% Guineken update (logical time {db.logical_time}):")
+    print(format_relation(db["beer"]))
+    print()
+
+    # 6. Multi-statement transactions are atomic (Definition 4.3).
+    with session.transaction() as txn:
+        txn.assign("strong", txn.relation("beer").select("alcperc > 5.0"))
+        txn.delete("beer", txn.relation("strong"))
+        print("Inside the transaction, beer is already smaller:")
+        print(format_relation(txn.query(txn.relation("beer"))))
+    print(f"\nCommitted; logical time is now {db.logical_time}.")
+
+
+if __name__ == "__main__":
+    main()

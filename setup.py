@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation``
+take the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""The multi-set extended relational algebra AST (Section 3 of the paper).
+
+Layers, mirroring the paper's incremental definitions:
+
+* **basic** (Def 3.1): ``Union`` ⊎, ``Difference`` −, ``Product`` ×,
+  ``Select`` σ, ``Project`` π;
+* **standard** (Def 3.2): ``Intersect`` ∩ and ``Join`` ⋈ — derived
+  operators per Theorem 3.1, each exposing its ``derived_form()``;
+* **extended** (Def 3.4): ``ExtendedProject`` π̂ (arithmetic),
+  ``Unique`` δ (duplicate removal), ``GroupBy`` Γ (aggregation with the
+  functions of Def 3.3).
+
+Expressions are built fluently from leaves::
+
+    from repro.algebra import RelationRef
+    beers = RelationRef("beer", beer_schema)
+    query = beers.select("alcperc > 5.0").project("name")
+"""
+
+from repro.algebra.base import (
+    AlgebraExpr,
+    AttrListLike,
+    ConditionLike,
+    as_attr_list,
+    as_condition,
+)
+from repro.algebra.basic import Difference, Product, Project, Select, Union
+from repro.algebra.extended import ExtendedProject, GroupBy, Unique
+from repro.algebra.leaves import LiteralRelation, RelationRef
+from repro.algebra.pretty import render, render_tree
+from repro.algebra.standard import Intersect, Join
+
+__all__ = [
+    "AlgebraExpr",
+    "ConditionLike",
+    "AttrListLike",
+    "as_condition",
+    "as_attr_list",
+    "Union",
+    "Difference",
+    "Product",
+    "Select",
+    "Project",
+    "Intersect",
+    "Join",
+    "ExtendedProject",
+    "Unique",
+    "GroupBy",
+    "RelationRef",
+    "LiteralRelation",
+    "render",
+    "render_tree",
+]

@@ -1,0 +1,215 @@
+"""Base machinery of the logical algebra AST (Section 3).
+
+An :class:`AlgebraExpr` is an immutable tree describing a multi-set
+relational expression.  Construction performs full static checking:
+schemas are inferred bottom-up, operands of union/difference/intersection
+must be schema-compatible, selection conditions must be boolean, and so
+on — an ill-formed expression cannot be built.
+
+Nodes expose :meth:`children` / :meth:`with_children` so the optimizer
+can rewrite trees generically, and structural equality / hashing so
+rewrites can be compared and memoised.
+
+Fluent construction methods (``.select(...)``, ``.project(...)``,
+``.join(...)`` ...) live here so every node supports them; string
+arguments are parsed through :mod:`repro.expressions` and
+:mod:`repro.schema.attrlist`, which makes queries read close to the
+paper's notation::
+
+    beer.join(brewery, "%2 = %4").select("country = 'Netherlands'").project("%1")
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
+
+from repro.expressions import ScalarExpr, parse_expression
+from repro.schema import AttrList, RelationSchema, parse_attr_list
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aggregates import AggregateFunction
+    from repro.schema import AttrRefLike
+
+__all__ = ["AlgebraExpr", "ConditionLike", "AttrListLike", "as_condition", "as_attr_list"]
+
+#: A condition may be given as an AST or as parseable text.
+ConditionLike = Union[ScalarExpr, str]
+
+#: An attribute list may be an AttrList, parseable text, or a sequence of refs.
+AttrListLike = Union[AttrList, str, Sequence["AttrRefLike"]]
+
+
+def as_condition(condition: ConditionLike) -> ScalarExpr:
+    """Coerce text to a parsed scalar expression."""
+    if isinstance(condition, ScalarExpr):
+        return condition
+    return parse_expression(condition)
+
+
+def as_attr_list(attrs: AttrListLike) -> AttrList:
+    """Coerce text or a sequence of references to an :class:`AttrList`."""
+    if isinstance(attrs, AttrList):
+        return attrs
+    if isinstance(attrs, str):
+        return parse_attr_list(attrs)
+    return AttrList(list(attrs))
+
+
+class AlgebraExpr:
+    """Base class of all logical algebra expression nodes."""
+
+    __slots__ = ("_schema",)
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The (statically inferred) schema of the expression's result."""
+        return self._schema
+
+    # -- tree protocol -------------------------------------------------------
+
+    def children(self) -> Tuple["AlgebraExpr", ...]:
+        """Sub-expressions, left to right."""
+        return ()
+
+    def with_children(self, children: Sequence["AlgebraExpr"]) -> "AlgebraExpr":
+        """A copy of this node over new children (same operator parameters)."""
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def operator_name(self) -> str:
+        """Short operator label for plans and pretty printing."""
+        return type(self).__name__
+
+    # -- size metrics (used by the optimizer and tests) -----------------------
+
+    def node_count(self) -> int:
+        """Number of nodes in the expression tree."""
+        return 1 + sum(child.node_count() for child in self.children())
+
+    def depth(self) -> int:
+        """Height of the expression tree."""
+        children = self.children()
+        if not children:
+            return 1
+        return 1 + max(child.depth() for child in children)
+
+    # -- structural identity ----------------------------------------------------
+
+    def _signature(self) -> tuple:
+        """Operator parameters (excluding children) for equality/hash."""
+        return ()
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        assert isinstance(other, AlgebraExpr)
+        return (
+            self._signature() == other._signature()
+            and self.children() == other.children()
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self._signature(), self.children()))
+
+    # -- fluent construction -------------------------------------------------------
+
+    def select(self, condition: ConditionLike) -> "AlgebraExpr":
+        """``σ_φ(self)``"""
+        from repro.algebra.basic import Select
+
+        return Select(as_condition(condition), self)
+
+    def where(self, condition: ConditionLike) -> "AlgebraExpr":
+        """Alias of :meth:`select` (SQL habit)."""
+        return self.select(condition)
+
+    def project(self, attrs: AttrListLike) -> "AlgebraExpr":
+        """``π_α(self)`` — basic projection on an attribute list."""
+        from repro.algebra.basic import Project
+
+        return Project(as_attr_list(attrs), self)
+
+    def extended_project(
+        self,
+        expressions: Sequence[ConditionLike],
+        names: Optional[Sequence[Optional[str]]] = None,
+    ) -> "AlgebraExpr":
+        """``π̂_α(self)`` — projection through arithmetic expressions."""
+        from repro.algebra.extended import ExtendedProject
+
+        parsed = tuple(as_condition(expression) for expression in expressions)
+        return ExtendedProject(parsed, self, names=names)
+
+    def union(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        """``self ⊎ other``"""
+        from repro.algebra.basic import Union as UnionOp
+
+        return UnionOp(self, other)
+
+    def difference(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        """``self − other``"""
+        from repro.algebra.basic import Difference
+
+        return Difference(self, other)
+
+    def product(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        """``self × other``"""
+        from repro.algebra.basic import Product
+
+        return Product(self, other)
+
+    def intersection(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        """``self ∩ other``"""
+        from repro.algebra.standard import Intersect
+
+        return Intersect(self, other)
+
+    def join(self, other: "AlgebraExpr", condition: ConditionLike) -> "AlgebraExpr":
+        """``self ⋈_φ other`` — φ is evaluated on the concatenated schema."""
+        from repro.algebra.standard import Join
+
+        return Join(self, other, condition)
+
+    def distinct(self) -> "AlgebraExpr":
+        """``δ(self)`` — duplicate elimination."""
+        from repro.algebra.extended import Unique
+
+        return Unique(self)
+
+    def group_by(
+        self,
+        attrs: Optional[AttrListLike],
+        aggregate: "AggregateFunction | str",
+        param: Optional["AttrRefLike"],
+    ) -> "AlgebraExpr":
+        """``Γ_{α,f,p}(self)`` — grouped aggregation.
+
+        ``attrs`` may be None / empty for the whole-relation aggregate
+        form (the result is then a single one-attribute tuple).
+        """
+        from repro.algebra.extended import GroupBy
+
+        return GroupBy(attrs, aggregate, param, self)
+
+    # Operator sugar mirroring the paper's binary symbols.
+
+    def __add__(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        return self.union(other)
+
+    def __sub__(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        return self.difference(other)
+
+    def __mul__(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        return self.product(other)
+
+    def __and__(self, other: "AlgebraExpr") -> "AlgebraExpr":
+        return self.intersection(other)
+
+    def __repr__(self) -> str:
+        from repro.algebra.pretty import render
+
+        return render(self)

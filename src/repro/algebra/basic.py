@@ -1,0 +1,153 @@
+"""The basic relational algebra operators (Definition 3.1).
+
+Five constructs: union ``⊎``, difference ``−``, product ``×``, selection
+``σ_φ``, and projection ``π_α``.  Their multiplicity semantics (checked
+literally by the reference evaluator):
+
+* ``(E1 ⊎ E2)(x) = E1(x) + E2(x)``
+* ``(E1 − E2)(x) = max(0, E1(x) − E2(x))``
+* ``(E1 × E3)(x ⊕ y) = E1(x) · E3(y)``
+* ``(σ_φ E)(x) = E(x)`` when ``φ(x)``, else 0
+* ``(π_α E)(y) = Σ_{α(x) = y} E(x)`` — *no* duplicate elimination
+
+Static checks at construction: union and difference require
+schema-compatible operands; σ requires a boolean condition over the
+operand schema; π resolves its attribute list against the operand schema.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.algebra.base import AlgebraExpr, ConditionLike, as_condition
+from repro.errors import ExpressionTypeError, SchemaMismatchError
+from repro.expressions import ScalarExpr
+from repro.schema import AttrList
+
+__all__ = ["Union", "Difference", "Product", "Select", "Project"]
+
+
+class _Binary(AlgebraExpr):
+    """Shared plumbing for binary operators."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr, schema) -> None:
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.left, self.right)
+
+
+class Union(_Binary):
+    """``E1 ⊎ E2`` — the additive multi-set union.
+
+    The paper uses a distinct symbol (⊎) precisely to distinguish this
+    from the set union: multiplicities *add*.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr) -> None:
+        if not left.schema.compatible_with(right.schema):
+            raise SchemaMismatchError(left.schema, right.schema, "union")
+        super().__init__(left, right, left.schema)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Union":
+        left, right = children
+        return Union(left, right)
+
+    def operator_name(self) -> str:
+        return "union"
+
+
+class Difference(_Binary):
+    """``E1 − E2`` — multiplicities subtract, floored at zero (monus)."""
+
+    __slots__ = ()
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr) -> None:
+        if not left.schema.compatible_with(right.schema):
+            raise SchemaMismatchError(left.schema, right.schema, "difference")
+        super().__init__(left, right, left.schema)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Difference":
+        left, right = children
+        return Difference(left, right)
+
+    def operator_name(self) -> str:
+        return "difference"
+
+
+class Product(_Binary):
+    """``E1 × E3`` — Cartesian product; result schema ``E ⊕ E'``."""
+
+    __slots__ = ()
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr) -> None:
+        super().__init__(left, right, left.schema.concat(right.schema))
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Product":
+        left, right = children
+        return Product(left, right)
+
+    def operator_name(self) -> str:
+        return "product"
+
+
+class Select(AlgebraExpr):
+    """``σ_φ E`` — keep the tuples satisfying φ, multiplicities intact."""
+
+    __slots__ = ("condition", "operand")
+
+    def __init__(self, condition: ConditionLike, operand: AlgebraExpr) -> None:
+        parsed = as_condition(condition)
+        if not parsed.is_boolean(operand.schema):
+            raise ExpressionTypeError(
+                f"selection condition {parsed!r} is not boolean over "
+                f"{operand.schema}"
+            )
+        super().__init__(operand.schema)
+        self.condition: ScalarExpr = parsed
+        self.operand = operand
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Select":
+        (operand,) = children
+        return Select(self.condition, operand)
+
+    def operator_name(self) -> str:
+        return "select"
+
+    def _signature(self) -> tuple:
+        return (self.condition,)
+
+
+class Project(AlgebraExpr):
+    """``π_α E`` — basic projection; merged tuples' multiplicities add."""
+
+    __slots__ = ("attrs", "positions", "operand")
+
+    def __init__(self, attrs: AttrList, operand: AlgebraExpr) -> None:
+        positions = attrs.resolve(operand.schema)
+        super().__init__(operand.schema.project(positions))
+        self.attrs = attrs
+        self.positions: Tuple[int, ...] = positions
+        self.operand = operand
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Project":
+        (operand,) = children
+        return Project(self.attrs, operand)
+
+    def operator_name(self) -> str:
+        return "project"
+
+    def _signature(self) -> tuple:
+        return (self.positions,)

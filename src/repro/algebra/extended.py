@@ -1,0 +1,192 @@
+"""The extended-algebra additions (Definition 3.4).
+
+Three constructs close the expressiveness gaps the paper identifies in
+the standard algebra:
+
+* :class:`ExtendedProject` — ``π̂_α`` with arithmetic expressions in the
+  projection list ("arithmetic expressions on attributes are not
+  possible" otherwise);
+* :class:`Unique` — ``δ``, duplicate removal ("duplicates cannot be
+  removed" otherwise);
+* :class:`GroupBy` — ``Γ_{α,f,p}``, grouped aggregation ("aggregates
+  over multi-sets are not included" otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.aggregates import AggregateFunction, resolve_aggregate
+from repro.algebra.base import (
+    AlgebraExpr,
+    AttrListLike,
+    ConditionLike,
+    as_attr_list,
+    as_condition,
+)
+from repro.errors import ArityError
+from repro.expressions import AttrRef, ScalarExpr
+from repro.schema import AttrList, AttrRefLike, RelationSchema
+
+__all__ = ["ExtendedProject", "Unique", "GroupBy"]
+
+
+class ExtendedProject(AlgebraExpr):
+    """``π̂_α E`` — projection whose list entries are scalar expressions.
+
+    Each entry is a function from ``dom(E)`` into a basic domain; the
+    result tuple is built by tuple construction ``[e1(x), ..., en(x)]``
+    and multiplicities of colliding results add, exactly as in the basic
+    projection (of which this is a generalisation: a list of plain
+    attribute references behaves identically).
+
+    Result attribute names: an explicit ``names`` sequence wins; a plain
+    attribute reference keeps its source attribute's name; computed
+    entries are anonymous (positional addressing still reaches them).
+    """
+
+    __slots__ = ("expressions", "names", "operand")
+
+    def __init__(
+        self,
+        expressions: Sequence[ConditionLike],
+        operand: AlgebraExpr,
+        names: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        parsed = tuple(as_condition(expression) for expression in expressions)
+        if not parsed:
+            raise ArityError("extended projection needs at least one expression")
+        if names is not None and len(names) != len(parsed):
+            raise ArityError(
+                f"{len(names)} names for {len(parsed)} projection expressions"
+            )
+        attributes = []
+        for index, expression in enumerate(parsed):
+            domain = expression.infer_domain(operand.schema)
+            if names is not None:
+                attr_name = names[index]
+            elif isinstance(expression, AttrRef):
+                position = operand.schema.resolve(expression.ref)
+                attr_name = operand.schema.attribute(position).name
+            else:
+                attr_name = None
+            attributes.append((attr_name, domain))
+        super().__init__(RelationSchema(None, attributes))
+        self.expressions: Tuple[ScalarExpr, ...] = parsed
+        self.names = tuple(names) if names is not None else None
+        self.operand = operand
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "ExtendedProject":
+        (operand,) = children
+        return ExtendedProject(self.expressions, operand, names=self.names)
+
+    def operator_name(self) -> str:
+        return "xproject"
+
+    def _signature(self) -> tuple:
+        return (self.expressions, self.names)
+
+    def is_structure_preserving(self) -> bool:
+        """True when the result schema equals the operand schema domain-wise.
+
+        The update statement requires its attribute-expression list to be
+        structure preserving (Definition 4.1).
+        """
+        return self.schema.compatible_with(self.operand.schema)
+
+
+class Unique(AlgebraExpr):
+    """``δE`` — duplicate removal: every present tuple keeps multiplicity 1.
+
+    Note (Section 3.3): δ does *not* distribute over ⊎ — this is the one
+    place bag algebra departs from set algebra's rewrite rules, and the
+    optimizer knows it.
+    """
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: AlgebraExpr) -> None:
+        super().__init__(operand.schema)
+        self.operand = operand
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Unique":
+        (operand,) = children
+        return Unique(operand)
+
+    def operator_name(self) -> str:
+        return "unique"
+
+
+class GroupBy(AlgebraExpr):
+    """``Γ_{α,f,p} E`` — grouped aggregation (Definition 3.4).
+
+    Groups tuples on equality of the (duplicate-free) attribute list α,
+    applies aggregate ``f`` to attribute ``p`` within each group, and
+    emits one tuple per group: the grouping attributes extended with the
+    aggregate value (schema ``π_α ℰ ⊕ ran(f)``).
+
+    With an empty α, the aggregate runs over the whole multi-set and the
+    result is a single one-attribute tuple — this form makes scalar
+    aggregation a first-class expression.
+    """
+
+    __slots__ = ("attrs", "positions", "aggregate", "param", "param_position", "operand")
+
+    def __init__(
+        self,
+        attrs: Optional[AttrListLike],
+        aggregate: "AggregateFunction | str",
+        param: Optional[AttrRefLike],
+        operand: AlgebraExpr,
+    ) -> None:
+        if isinstance(aggregate, str):
+            aggregate = resolve_aggregate(aggregate)
+        attr_list: Optional[AttrList]
+        if attrs is None or (isinstance(attrs, (list, tuple)) and not attrs):
+            attr_list = None
+            positions: Tuple[int, ...] = ()
+        else:
+            attr_list = as_attr_list(attrs)
+            positions = attr_list.require_distinct(operand.schema)
+
+        param_position = (
+            operand.schema.resolve(param) if param is not None else None
+        )
+        aggregate.check_input(operand.schema, param_position)
+
+        aggregate_attribute = (
+            aggregate.output_name(param_position, operand.schema),
+            aggregate.output_domain(operand.schema, param_position),
+        )
+        if positions:
+            schema = operand.schema.project(positions).concat(
+                RelationSchema(None, [aggregate_attribute])
+            )
+        else:
+            schema = RelationSchema(None, [aggregate_attribute])
+        super().__init__(schema)
+        self.attrs = attr_list
+        self.positions = positions
+        self.aggregate = aggregate
+        self.param = param
+        self.param_position = param_position
+        self.operand = operand
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.operand,)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "GroupBy":
+        (operand,) = children
+        return GroupBy(self.attrs, self.aggregate, self.param, operand)
+
+    def operator_name(self) -> str:
+        return "groupby"
+
+    def _signature(self) -> tuple:
+        return (self.positions, self.aggregate, self.param_position)

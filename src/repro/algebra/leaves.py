@@ -1,0 +1,69 @@
+"""Leaf nodes of the algebra: database relations and literal multi-sets.
+
+Definition 3.1 starts from "a database relation is a basic relational
+expression".  :class:`RelationRef` is that case — a by-name reference
+whose schema is known statically and whose contents are supplied by the
+evaluation environment.  :class:`LiteralRelation` embeds a concrete
+relation value directly (useful for tests, constants, and the insert
+statement's expression argument).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.algebra.base import AlgebraExpr
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+__all__ = ["RelationRef", "LiteralRelation"]
+
+
+class RelationRef(AlgebraExpr):
+    """A reference to a named database relation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, schema: RelationSchema) -> None:
+        super().__init__(schema.renamed(name))
+        self.name = name
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "RelationRef":
+        if children:
+            raise ValueError("RelationRef takes no children")
+        return self
+
+    def operator_name(self) -> str:
+        return self.name
+
+    def _signature(self) -> tuple:
+        return (self.name, self.schema)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class LiteralRelation(AlgebraExpr):
+    """A constant relation embedded in the expression tree."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(relation.schema)
+        self.relation = relation
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "LiteralRelation":
+        if children:
+            raise ValueError("LiteralRelation takes no children")
+        return self
+
+    def operator_name(self) -> str:
+        return "literal"
+
+    def _signature(self) -> Tuple:
+        # Relations hash by contents, so literals participate in
+        # structural expression equality correctly.
+        return (self.relation,)
+
+    def __repr__(self) -> str:
+        return f"lit[{len(self.relation)} tuples]"

@@ -1,0 +1,80 @@
+"""Rendering algebra expressions in the paper's notation.
+
+:func:`render` produces a compact one-line form using the paper's
+symbols (``σ``, ``π``, ``δ``, ``Γ``, ``⊎``, ``−``, ``×``, ``∩``, ``⋈``);
+:func:`render_tree` produces an indented multi-line plan view used by
+examples and the optimizer's explain output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algebra.base import AlgebraExpr
+
+__all__ = ["render", "render_tree"]
+
+
+def render(expr: "AlgebraExpr") -> str:
+    """One-line rendering in (approximately) the paper's notation."""
+    from repro.algebra.basic import Difference, Product, Project, Select, Union
+    from repro.algebra.extended import ExtendedProject, GroupBy, Unique
+    from repro.algebra.leaves import LiteralRelation, RelationRef
+    from repro.algebra.standard import Intersect, Join
+
+    if isinstance(expr, RelationRef):
+        return expr.name
+    if isinstance(expr, LiteralRelation):
+        return f"lit[{len(expr.relation)}]"
+    if isinstance(expr, Union):
+        return f"({render(expr.left)} ⊎ {render(expr.right)})"
+    if isinstance(expr, Difference):
+        return f"({render(expr.left)} − {render(expr.right)})"
+    if isinstance(expr, Product):
+        return f"({render(expr.left)} × {render(expr.right)})"
+    if isinstance(expr, Intersect):
+        return f"({render(expr.left)} ∩ {render(expr.right)})"
+    if isinstance(expr, Join):
+        return f"({render(expr.left)} ⋈[{expr.condition!r}] {render(expr.right)})"
+    if isinstance(expr, Select):
+        return f"σ[{expr.condition!r}]({render(expr.operand)})"
+    if isinstance(expr, Project):
+        attrs = ", ".join(f"%{position}" for position in expr.positions)
+        return f"π[{attrs}]({render(expr.operand)})"
+    if isinstance(expr, ExtendedProject):
+        entries = ", ".join(repr(expression) for expression in expr.expressions)
+        return f"π̂[{entries}]({render(expr.operand)})"
+    if isinstance(expr, Unique):
+        return f"δ({render(expr.operand)})"
+    if isinstance(expr, GroupBy):
+        attrs = ", ".join(f"%{position}" for position in expr.positions)
+        param = f"%{expr.param_position}" if expr.param_position else "_"
+        return f"Γ[({attrs}), {expr.aggregate.name}, {param}]({render(expr.operand)})"
+    return f"{expr.operator_name()}({', '.join(render(child) for child in expr.children())})"
+
+
+def render_tree(expr: "AlgebraExpr", indent: int = 0) -> str:
+    """Indented multi-line plan view."""
+    from repro.algebra.basic import Project, Select
+    from repro.algebra.extended import ExtendedProject, GroupBy
+    from repro.algebra.standard import Join
+
+    pad = "  " * indent
+    label = expr.operator_name()
+    if isinstance(expr, Select):
+        label = f"select [{expr.condition!r}]"
+    elif isinstance(expr, Join):
+        label = f"join [{expr.condition!r}]"
+    elif isinstance(expr, Project):
+        label = "project [" + ", ".join(f"%{p}" for p in expr.positions) + "]"
+    elif isinstance(expr, ExtendedProject):
+        label = "xproject [" + ", ".join(repr(e) for e in expr.expressions) + "]"
+    elif isinstance(expr, GroupBy):
+        attrs = ", ".join(f"%{p}" for p in expr.positions)
+        param = f"%{expr.param_position}" if expr.param_position else "_"
+        label = f"groupby [({attrs}), {expr.aggregate.name}, {param}]"
+    lines = [f"{pad}{label}"]
+    for child in expr.children():
+        lines.append(render_tree(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The standard-algebra additions (Definition 3.2): intersection and join.
+
+Both are *derived* operators — Theorem 3.1 proves
+
+* ``E1 ∩ E2 = E1 − (E1 − E2)``  (multiplicity ``min(E1(x), E2(x))``)
+* ``E1 ⋈_φ E2 = σ_φ(E1 × E2)``
+
+They are included "to make life somewhat easier", not for expressiveness.
+:meth:`Intersect.derived_form` and :meth:`Join.derived_form` return the
+right-hand sides, which the equivalence checkers and benches use to
+reproduce the theorem.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.algebra.base import AlgebraExpr, ConditionLike, as_condition
+from repro.algebra.basic import Difference, Product, Select
+from repro.errors import ExpressionTypeError, SchemaMismatchError
+from repro.expressions import ScalarExpr
+
+__all__ = ["Intersect", "Join"]
+
+
+class Intersect(AlgebraExpr):
+    """``E1 ∩ E2`` — multiplicity is the minimum of the operands'."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: AlgebraExpr, right: AlgebraExpr) -> None:
+        if not left.schema.compatible_with(right.schema):
+            raise SchemaMismatchError(left.schema, right.schema, "intersection")
+        super().__init__(left.schema)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Intersect":
+        left, right = children
+        return Intersect(left, right)
+
+    def operator_name(self) -> str:
+        return "intersect"
+
+    def derived_form(self) -> AlgebraExpr:
+        """Theorem 3.1: ``E1 − (E1 − E2)``."""
+        return Difference(self.left, Difference(self.left, self.right))
+
+
+class Join(AlgebraExpr):
+    """``E1 ⋈_φ E2`` — a selection on the product; schema ``E ⊕ E'``.
+
+    The condition φ is defined over the *concatenated* schema, so it may
+    reference attributes of both operands (positionally, the right
+    operand's attributes are shifted by ``degree(E1)``).
+    """
+
+    __slots__ = ("left", "right", "condition")
+
+    def __init__(
+        self, left: AlgebraExpr, right: AlgebraExpr, condition: ConditionLike
+    ) -> None:
+        combined = left.schema.concat(right.schema)
+        parsed = as_condition(condition)
+        if not parsed.is_boolean(combined):
+            raise ExpressionTypeError(
+                f"join condition {parsed!r} is not boolean over {combined}"
+            )
+        super().__init__(combined)
+        self.left = left
+        self.right = right
+        self.condition: ScalarExpr = parsed
+
+    def children(self) -> Tuple[AlgebraExpr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[AlgebraExpr]) -> "Join":
+        left, right = children
+        return Join(left, right, self.condition)
+
+    def operator_name(self) -> str:
+        return "join"
+
+    def _signature(self) -> tuple:
+        return (self.condition,)
+
+    def derived_form(self) -> AlgebraExpr:
+        """Theorem 3.1: ``σ_φ(E1 × E2)``."""
+        return Select(self.condition, Product(self.left, self.right))

@@ -1,0 +1,310 @@
+"""Command-line shell for the multi-set algebra.
+
+Usage::
+
+    python -m repro                 # interactive XRA shell
+    python -m repro script.xra      # run an XRA script file
+    python -m repro --sql script.sql  # run a file of SQL statements
+
+Interactive input is XRA by default; statements run when their
+terminating ``;`` arrives (multi-line input is buffered).  Meta-commands
+start with a dot:
+
+    .help                 this text
+    .tables               list relations with sizes
+    .schema NAME          show one relation's schema
+    .sql  STATEMENT       run one SQL statement (query or DML)
+    .explain EXPRESSION   show an XRA query's logical tree, optimized
+                          tree, and physical plan
+    .profile EXPRESSION   run an XRA query with per-operator counters
+                          (pairs / rows / ms per plan node)
+    .load NAME PATH       load a typed-header CSV file as relation NAME
+    .save NAME PATH       save relation NAME as CSV
+    .time                 show the database's logical time
+    .quit                 leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+from repro.algebra import render, render_tree
+from repro.database import Database
+from repro.engine import StatisticsCatalog, plan
+from repro.errors import ReproError
+from repro.optimizer import optimize
+from repro.relation import format_relation, relation_from_csv, relation_to_csv
+from repro.sql import sql_to_algebra, sql_to_statement
+from repro.sql.ast import SelectQuery
+from repro.sql.parser import parse_sql
+from repro.sql.translate import translate_statement
+from repro.language import Session, Transaction
+from repro.xra import XRAInterpreter
+from repro.xra.parser import StatementItem, TransactionItem, parse_script
+
+__all__ = ["Shell", "main"]
+
+
+class Shell:
+    """The REPL engine, factored for testability (streams injectable)."""
+
+    PROMPT = "xra> "
+    CONTINUATION = "...> "
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        out: TextIO = sys.stdout,
+        err: TextIO = sys.stderr,
+    ) -> None:
+        self.database = database or Database()
+        self.interpreter = XRAInterpreter(self.database)
+        self.session = Session(self.database)
+        self.out = out
+        self.err = err
+        self._buffer: List[str] = []
+
+    # -- output helpers -------------------------------------------------
+
+    def print(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    def print_error(self, error: BaseException) -> None:
+        self.err.write(f"error: {error}\n")
+
+    def show_relation(self, relation) -> None:
+        self.print(format_relation(relation, show_multiplicity=True))
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self, source: TextIO) -> int:
+        """Read-eval-print until EOF or ``.quit``; returns an exit code."""
+        interactive = source is sys.stdin and sys.stdin.isatty()
+        while True:
+            if interactive:
+                prompt = self.CONTINUATION if self._buffer else self.PROMPT
+                self.out.write(prompt)
+                self.out.flush()
+            line = source.readline()
+            if not line:
+                return 0
+            if not self._buffer and line.strip().startswith("."):
+                if self.handle_meta(line.strip()) == "quit":
+                    return 0
+                continue
+            self._buffer.append(line)
+            if self._statement_complete():
+                text = "".join(self._buffer)
+                self._buffer = []
+                self.execute_xra(text)
+
+    def _statement_complete(self) -> bool:
+        """True once the buffered text ends a statement (top-level ';')."""
+        text = "".join(self._buffer)
+        depth = 0
+        in_string = False
+        complete = False
+        for char in text:
+            if in_string:
+                if char == "'":
+                    in_string = False
+                continue
+            if char == "'":
+                in_string = True
+            elif char in "([{":
+                depth += 1
+            elif char in ")]}":
+                depth -= 1
+            elif char == ";" and depth == 0:
+                complete = True
+        return complete and depth <= 0
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute_xra(self, text: str) -> None:
+        try:
+            result = self.interpreter.run(text)
+        except ReproError as error:
+            self.print_error(error)
+            return
+        for output in result.outputs:
+            self.show_relation(output)
+        aborted = [r for r in result.transactions if not r.committed]
+        for outcome in aborted:
+            self.print(f"aborted: {outcome.error}")
+
+    def execute_sql(self, text: str) -> None:
+        try:
+            parsed = parse_sql(text)
+            translated = translate_statement(parsed, self.database.schema)
+            if isinstance(parsed, SelectQuery):
+                self.show_relation(self.session.query(translated))
+            else:
+                outcome = Transaction([translated]).run(self.database)
+                if outcome.committed:
+                    self.print(f"ok (t={self.database.logical_time})")
+                else:
+                    self.print(f"aborted: {outcome.error}")
+        except ReproError as error:
+            self.print_error(error)
+
+    # -- meta-commands -----------------------------------------------------------------
+
+    def handle_meta(self, line: str) -> Optional[str]:
+        command, _, argument = line.partition(" ")
+        argument = argument.strip()
+        if command in (".quit", ".exit"):
+            return "quit"
+        if command == ".help":
+            self.print(__doc__ or "")
+            return None
+        if command == ".tables":
+            for name in self.database.names():
+                relation = self.database[name]
+                self.print(
+                    f"{name:20s} {len(relation):8d} tuple(s), "
+                    f"{relation.distinct_count} distinct"
+                )
+            return None
+        if command == ".schema":
+            try:
+                self.print(repr(self.database.schema.get(argument)))
+            except ReproError as error:
+                self.print_error(error)
+            return None
+        if command == ".sql":
+            self.execute_sql(argument)
+            return None
+        if command == ".explain":
+            self.explain(argument)
+            return None
+        if command == ".profile":
+            self.profile(argument)
+            return None
+        if command == ".load":
+            self.load_csv(argument)
+            return None
+        if command == ".save":
+            self.save_csv(argument)
+            return None
+        if command == ".time":
+            self.print(f"logical time: {self.database.logical_time}")
+            return None
+        self.print(f"unknown command {command!r}; try .help")
+        return None
+
+    def explain(self, text: str) -> None:
+        """Logical tree, optimized tree, physical plan of one XRA query."""
+        try:
+            items = parse_script(
+                f"? {text};" if not text.strip().startswith("?") else f"{text};",
+                self.database.schema.get,
+            )
+        except ReproError as error:
+            self.print_error(error)
+            return
+        statements = []
+        for item in items:
+            if isinstance(item, StatementItem):
+                statements.append(item.statement)
+            elif isinstance(item, TransactionItem):
+                statements.extend(item.statements)
+        queries = [s for s in statements if hasattr(s, "expression")]
+        if not queries:
+            self.print_error(ReproError("nothing to explain"))
+            return
+        expr = queries[0].expression
+        self.print("logical:   " + render(expr))
+        catalog = StatisticsCatalog.from_env(dict(self.database.as_env()))
+        optimized = optimize(expr, catalog)
+        self.print("optimized: " + render(optimized))
+        self.print("physical:")
+        self.print(plan(optimized).explain(indent=1))
+
+    def profile(self, text: str) -> None:
+        """Run one XRA query with per-operator execution counters."""
+        expr = self._parse_single_query(text)
+        if expr is None:
+            return
+        from repro.engine.profiler import execute_profiled
+
+        result, report = execute_profiled(expr, dict(self.database.as_env()))
+        self.print(str(report))
+        self.print(f"result: {len(result)} tuple(s), "
+                   f"{result.distinct_count} distinct")
+
+    def _parse_single_query(self, text: str):
+        """Parse ``text`` as one XRA query expression; report errors."""
+        try:
+            items = parse_script(
+                f"? {text};" if not text.strip().startswith("?") else f"{text};",
+                self.database.schema.get,
+            )
+        except ReproError as error:
+            self.print_error(error)
+            return None
+        for item in items:
+            if isinstance(item, StatementItem) and hasattr(
+                item.statement, "expression"
+            ):
+                return item.statement.expression
+        self.print_error(ReproError("expected a query expression"))
+        return None
+
+    def load_csv(self, argument: str) -> None:
+        try:
+            name, path = argument.split(maxsplit=1)
+        except ValueError:
+            self.print_error(ReproError("usage: .load NAME PATH"))
+            return
+        try:
+            relation = relation_from_csv(path, name=name)
+            self.database.create_relation(relation.schema.strict(), relation)
+            self.print(f"loaded {len(relation)} tuple(s) into {name!r}")
+        except (ReproError, OSError) as error:
+            self.print_error(error)
+
+    def save_csv(self, argument: str) -> None:
+        try:
+            name, path = argument.split(maxsplit=1)
+        except ValueError:
+            self.print_error(ReproError("usage: .save NAME PATH"))
+            return
+        try:
+            relation_to_csv(self.database[name], path)
+            self.print(f"saved {name!r} to {path}")
+        except (ReproError, OSError) as error:
+            self.print_error(error)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-set extended relational algebra shell "
+        "(Grefen & de By, ICDE 1994 reproduction)",
+    )
+    parser.add_argument(
+        "script", nargs="?", help="an XRA (or, with --sql, SQL) script file"
+    )
+    parser.add_argument(
+        "--sql", action="store_true", help="treat the script file as SQL"
+    )
+    options = parser.parse_args(argv)
+
+    shell = Shell()
+    if options.script:
+        with open(options.script, encoding="utf-8") as handle:
+            text = handle.read()
+        if options.sql:
+            for statement in filter(str.strip, text.split(";")):
+                shell.execute_sql(statement)
+        else:
+            shell.execute_xra(text)
+        return 0
+    return shell.run(sys.stdin)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

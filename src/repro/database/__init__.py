@@ -1,0 +1,13 @@
+"""Database instances, states, logical time, and transitions (Defs 2.5/2.6)."""
+
+from repro.database.database import Database, DatabaseState
+from repro.database.persist import load_database, save_database
+from repro.database.transitions import DatabaseTransition
+
+__all__ = [
+    "Database",
+    "DatabaseState",
+    "DatabaseTransition",
+    "save_database",
+    "load_database",
+]

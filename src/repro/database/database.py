@@ -1,0 +1,137 @@
+"""Database instances (Definition 2.5) with logical time (Definition 2.6).
+
+A :class:`Database` holds one relation instance per schema in its
+database schema, plus a *logical time* counter.  Every committed
+transaction produces a single-step transition ``D^t -> D^{t+1}``; the
+database records these transitions so tests and examples can inspect the
+exact state sequence the paper's transaction semantics prescribes.
+
+Relations are immutable values, so snapshots and rollback are cheap:
+a state is just a name->relation dict copy.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.database.transitions import DatabaseTransition
+from repro.errors import SchemaMismatchError, UnknownRelationError
+from repro.relation import Relation
+from repro.schema import DatabaseSchema, RelationSchema
+
+__all__ = ["Database", "DatabaseState"]
+
+#: A database state: an immutable name -> relation mapping.
+DatabaseState = Mapping[str, Relation]
+
+
+class Database:
+    """A mutable database instance over a fixed database schema."""
+
+    def __init__(self, schema: Optional[DatabaseSchema] = None) -> None:
+        self.schema = schema or DatabaseSchema()
+        self._relations: Dict[str, Relation] = {
+            relation_schema.name: Relation.empty(relation_schema)
+            for relation_schema in self.schema
+            if relation_schema.name is not None
+        }
+        self._logical_time = 0
+        self._transitions: list[DatabaseTransition] = []
+
+    # -- schema evolution ------------------------------------------------
+
+    def create_relation(
+        self, schema: RelationSchema, relation: Optional[Relation] = None
+    ) -> Relation:
+        """Declare a new base relation (empty unless ``relation`` given)."""
+        self.schema.add(schema)
+        assert schema.name is not None
+        if relation is None:
+            relation = Relation.empty(schema)
+        elif not relation.schema.compatible_with(schema):
+            raise SchemaMismatchError(schema, relation.schema, "create_relation")
+        self._relations[schema.name] = relation.rename(schema.name)
+        return self._relations[schema.name]
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a base relation and its schema."""
+        self.schema.remove(name)
+        del self._relations[name]
+
+    # -- state access ----------------------------------------------------------
+
+    @property
+    def logical_time(self) -> int:
+        """The logical time ``t`` of the current state ``D^t``."""
+        return self._logical_time
+
+    def get(self, name: str) -> Relation:
+        """The current instance of relation ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def set(self, name: str, relation: Relation) -> None:
+        """Replace relation ``name`` (schema-checked).
+
+        This is the ``←`` of Definition 4.1; statements use it, user code
+        normally goes through statements or transactions instead.
+        """
+        declared = self.schema.get(name)
+        if not relation.schema.compatible_with(declared):
+            raise SchemaMismatchError(declared, relation.schema, f"set {name!r}")
+        self._relations[name] = relation.rename(name)
+
+    def as_env(self) -> Mapping[str, Relation]:
+        """A read-only view usable as an evaluation environment."""
+        return MappingProxyType(self._relations)
+
+    # -- states and transitions ----------------------------------------------------
+
+    def snapshot(self) -> DatabaseState:
+        """The current state ``D^t`` as an immutable value."""
+        return dict(self._relations)
+
+    def restore(self, state: DatabaseState) -> None:
+        """Reinstall a previously captured state (used by abort)."""
+        self._relations = dict(state)
+
+    def install(self, state: DatabaseState) -> DatabaseTransition:
+        """Commit ``state`` as ``D^{t+1}`` and advance logical time.
+
+        Records and returns the single-step transition
+        ``(D^t, D^{t+1})`` per Definition 2.6.
+        """
+        before = self.snapshot()
+        transition = DatabaseTransition(
+            before, dict(state), self._logical_time, self._logical_time + 1
+        )
+        self._relations = dict(state)
+        self._logical_time += 1
+        self._transitions.append(transition)
+        return transition
+
+    @property
+    def transitions(self) -> list[DatabaseTransition]:
+        """All committed transitions, oldest first."""
+        return list(self._transitions)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}[{len(relation)}]" for name, relation in sorted(self._relations.items())
+        )
+        return f"<Database t={self._logical_time} {inner}>"

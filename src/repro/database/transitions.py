@@ -1,0 +1,58 @@
+"""Database transitions (Definition 2.6).
+
+A transition is an ordered pair of database states ``(D^{t1}, D^{t2})``
+with ``t1 < t2``; the common case — and what committed transactions
+produce — is the single-step transition ``t2 = t1 + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relation import Relation
+
+__all__ = ["DatabaseTransition"]
+
+
+class DatabaseTransition:
+    """An ordered pair of database states with their logical times."""
+
+    __slots__ = ("before", "after", "time_before", "time_after")
+
+    def __init__(
+        self,
+        before: Mapping[str, "Relation"],
+        after: Mapping[str, "Relation"],
+        time_before: int,
+        time_after: int,
+    ) -> None:
+        if time_before >= time_after:
+            raise ValueError(
+                f"transition requires t1 < t2, got {time_before} >= {time_after}"
+            )
+        self.before = dict(before)
+        self.after = dict(after)
+        self.time_before = time_before
+        self.time_after = time_after
+
+    @property
+    def is_single_step(self) -> bool:
+        """True for the usual ``t2 = t1 + 1`` transition."""
+        return self.time_after == self.time_before + 1
+
+    def changed_relations(self) -> list[str]:
+        """Names whose instance differs between the two states."""
+        names = set(self.before) | set(self.after)
+        return sorted(
+            name
+            for name in names
+            if self.before.get(name) != self.after.get(name)
+        )
+
+    def __repr__(self) -> str:
+        changed = ", ".join(self.changed_relations()) or "nothing"
+        return (
+            f"<Transition t{self.time_before}->t{self.time_after} "
+            f"changed: {changed}>"
+        )

@@ -1,0 +1,53 @@
+"""Atomic value domains (Definition 2.1 of the paper).
+
+A domain is a set of atomic values; the relational operators never look
+inside a value.  This package provides the common basic domains (integer,
+real, boolean, string), the specialised ones the paper mentions (date,
+time, money), and a registry for resolving domains by name in the textual
+front ends.
+"""
+
+from repro.domains.base import Domain
+from repro.domains.money import MONEY, MoneyDomain
+from repro.domains.registry import DomainRegistry, default_registry, resolve_domain
+from repro.domains.standard import (
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    BooleanDomain,
+    IntegerDomain,
+    RealDomain,
+    StringDomain,
+)
+from repro.domains.temporal import (
+    DATE,
+    TIME,
+    TIMESTAMP,
+    DateDomain,
+    TimeDomain,
+    TimestampDomain,
+)
+
+__all__ = [
+    "Domain",
+    "IntegerDomain",
+    "RealDomain",
+    "BooleanDomain",
+    "StringDomain",
+    "DateDomain",
+    "TimeDomain",
+    "TimestampDomain",
+    "MoneyDomain",
+    "INTEGER",
+    "REAL",
+    "BOOLEAN",
+    "STRING",
+    "DATE",
+    "TIME",
+    "TIMESTAMP",
+    "MONEY",
+    "DomainRegistry",
+    "default_registry",
+    "resolve_domain",
+]

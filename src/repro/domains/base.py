@@ -1,0 +1,88 @@
+"""Atomic domains (Definition 2.1).
+
+A *domain* is a set of atomic values: atomic in the sense that the
+operators of the relational model never look inside a value.  Concrete
+domains (integers, reals, booleans, strings, dates, times, money, ...)
+subclass :class:`Domain` and implement membership, normalisation, and a
+total order where one exists (MIN / MAX need it).
+
+Domains are value objects: two domain instances with the same name are
+interchangeable, compare equal, and hash equal.  This lets schemas be
+compared structurally, which the algebra relies on (union, difference,
+intersection, and update are only defined for operands of *identical*
+schema).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+from repro.errors import DomainValueError
+
+__all__ = ["Domain"]
+
+
+class Domain(ABC):
+    """An atomic value domain.
+
+    Subclasses define:
+
+    * :attr:`name` — the canonical name used in schema declarations and
+      by the registry;
+    * :meth:`contains` — membership test;
+    * :meth:`normalize` — coerce a raw Python value into the domain's
+      canonical representation (raising :class:`DomainValueError` when
+      the value is not a member);
+    * :attr:`is_numeric` / :attr:`is_ordered` — capability flags used by
+      the type checker (SUM/AVG need numeric, MIN/MAX need ordered).
+    """
+
+    #: Canonical name; subclasses override as a class attribute.
+    name: str = "domain"
+
+    #: True when +, -, *, / and SUM/AVG make sense on the values.
+    is_numeric: bool = False
+
+    #: True when < / <= / MIN / MAX make sense on the values.
+    is_ordered: bool = False
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return True when ``value`` is a member of this domain."""
+
+    def normalize(self, value: Any) -> Any:
+        """Coerce ``value`` into the canonical representation.
+
+        The default implementation accepts the value unchanged when it is
+        already a member and rejects everything else.  Subclasses widen
+        this (e.g. the real domain accepts ints, the money domain accepts
+        ``(amount, currency)`` pairs).
+        """
+        if self.contains(value):
+            return value
+        raise DomainValueError(self, value)
+
+    def validate(self, value: Any) -> Any:
+        """Alias of :meth:`normalize`; reads better at call sites."""
+        return self.normalize(value)
+
+    # -- value-object protocol ----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and self.name == other.name
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((Domain, self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+    # -- optional enumeration (used by tests for small domains) --------
+
+    def sample_values(self) -> Iterator[Any]:
+        """Yield a few representative members (for tests and examples)."""
+        return iter(())

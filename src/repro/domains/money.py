@@ -1,0 +1,55 @@
+"""The money domain (Definition 2.1's "more specialized types ... money").
+
+Money values are exact decimal amounts.  We represent them with
+:class:`decimal.Decimal` quantised to two fraction digits, which keeps
+SUM / AVG exact for currency data — the classic motivation for a money
+type over a float.  The domain is numeric (SUM / AVG are meaningful) and
+totally ordered (MIN / MAX are meaningful).
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+from typing import Any, Iterator
+
+from repro.domains.base import Domain
+from repro.errors import DomainValueError
+
+__all__ = ["MoneyDomain", "MONEY"]
+
+_CENT = Decimal("0.01")
+
+
+class MoneyDomain(Domain):
+    """Exact two-decimal amounts, e.g. prices.
+
+    Accepts :class:`~decimal.Decimal`, ``int``, or numeric text;
+    ``float`` is accepted but routed through ``str`` first so that
+    ``1.10`` becomes exactly ``Decimal('1.10')``.
+    """
+
+    name = "money"
+    is_numeric = True
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Decimal) and value == value.quantize(_CENT)
+
+    def normalize(self, value: Any) -> Decimal:
+        if isinstance(value, Decimal):
+            return value.quantize(_CENT)
+        if type(value) is int:
+            return Decimal(value).quantize(_CENT)
+        if type(value) is float or isinstance(value, str):
+            try:
+                return Decimal(str(value)).quantize(_CENT)
+            except InvalidOperation as exc:
+                raise DomainValueError(self, value) from exc
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[Decimal]:
+        return iter((Decimal("0.00"), Decimal("1.95"), Decimal("12.50")))
+
+
+#: Shared instance for use in schema declarations.
+MONEY = MoneyDomain()

@@ -1,0 +1,72 @@
+"""Name-based lookup of domains.
+
+Schema declarations in the textual front ends (XRA, SQL DDL, CSV headers)
+refer to domains by name; the registry maps those names to the shared
+domain instances.  Users can register their own specialised domains —
+the paper explicitly allows arbitrary atomic domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.domains.base import Domain
+from repro.domains.money import MONEY
+from repro.domains.standard import BOOLEAN, INTEGER, REAL, STRING
+from repro.domains.temporal import DATE, TIME, TIMESTAMP
+from repro.errors import UnknownDomainError
+
+__all__ = ["DomainRegistry", "default_registry", "resolve_domain"]
+
+
+class DomainRegistry:
+    """A mutable mapping from domain names (and aliases) to domains."""
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, Domain] = {}
+
+    def register(self, domain: Domain, aliases: Iterable[str] = ()) -> Domain:
+        """Register ``domain`` under its canonical name plus ``aliases``."""
+        self._domains[domain.name.lower()] = domain
+        for alias in aliases:
+            self._domains[alias.lower()] = domain
+        return domain
+
+    def resolve(self, name: str) -> Domain:
+        """Return the domain registered under ``name`` (case-insensitive)."""
+        try:
+            return self._domains[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._domains))
+            raise UnknownDomainError(
+                f"unknown domain {name!r}; known domains: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._domains
+
+    def names(self) -> list[str]:
+        """All registered names and aliases, sorted."""
+        return sorted(self._domains)
+
+
+def _build_default_registry() -> DomainRegistry:
+    registry = DomainRegistry()
+    registry.register(INTEGER, aliases=("int",))
+    registry.register(REAL, aliases=("float", "double"))
+    registry.register(BOOLEAN, aliases=("bool",))
+    registry.register(STRING, aliases=("str", "text", "varchar", "char"))
+    registry.register(DATE)
+    registry.register(TIME)
+    registry.register(TIMESTAMP, aliases=("datetime",))
+    registry.register(MONEY, aliases=("decimal", "numeric"))
+    return registry
+
+
+#: The registry used by the front ends unless one is passed explicitly.
+default_registry = _build_default_registry()
+
+
+def resolve_domain(name: str) -> Domain:
+    """Resolve ``name`` in the default registry."""
+    return default_registry.resolve(name)

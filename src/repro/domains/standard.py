@@ -1,0 +1,118 @@
+"""The basic data-type domains from Definition 2.1.
+
+The paper names integers, reals, booleans, and strings as the common
+domain types.  Each is a singleton-style value object; module-level
+constants (:data:`INTEGER`, :data:`REAL`, :data:`BOOLEAN`, :data:`STRING`)
+are the instances schemas should use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.domains.base import Domain
+from repro.errors import DomainValueError
+
+__all__ = [
+    "IntegerDomain",
+    "RealDomain",
+    "BooleanDomain",
+    "StringDomain",
+    "INTEGER",
+    "REAL",
+    "BOOLEAN",
+    "STRING",
+]
+
+
+class IntegerDomain(Domain):
+    """The domain of (arbitrary-precision) integers."""
+
+    name = "integer"
+    is_numeric = True
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is int
+
+    def normalize(self, value: Any) -> int:
+        # bool is a subclass of int in Python; keep the domains disjoint.
+        if type(value) is int:
+            return value
+        if type(value) is float and value.is_integer():
+            return int(value)
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[int]:
+        return iter((0, 1, -1, 42, 10**9))
+
+
+class RealDomain(Domain):
+    """The domain of real numbers (IEEE doubles in this implementation)."""
+
+    name = "real"
+    is_numeric = True
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is float
+
+    def normalize(self, value: Any) -> float:
+        if type(value) is float:
+            return value
+        if type(value) is int:
+            return float(value)
+        # Decimal ratios (e.g. money / money) widen to real.
+        from decimal import Decimal
+
+        if isinstance(value, Decimal):
+            return float(value)
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[float]:
+        return iter((0.0, 1.5, -2.25, 3.14159))
+
+
+class BooleanDomain(Domain):
+    """The two-valued boolean domain."""
+
+    name = "boolean"
+    is_numeric = False
+    is_ordered = True  # False < True, so MIN / MAX are defined.
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is bool
+
+    def normalize(self, value: Any) -> bool:
+        if type(value) is bool:
+            return value
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[bool]:
+        return iter((False, True))
+
+
+class StringDomain(Domain):
+    """The domain of character strings (ordered lexicographically)."""
+
+    name = "string"
+    is_numeric = False
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is str
+
+    def normalize(self, value: Any) -> str:
+        if type(value) is str:
+            return value
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[str]:
+        return iter(("", "a", "Grolsch", "Enschede"))
+
+
+#: Shared instances for use in schema declarations.
+INTEGER = IntegerDomain()
+REAL = RealDomain()
+BOOLEAN = BooleanDomain()
+STRING = StringDomain()

@@ -1,0 +1,101 @@
+"""Specialised temporal domains (Definition 2.1).
+
+The paper notes that "more specialized types as time, date, or money are
+possible too; note that they are also atomic in the sense of the
+definition".  These domains wrap :mod:`datetime` values; the algebra never
+decomposes them (atomicity), but they are totally ordered so MIN / MAX
+work, and date arithmetic is deliberately *not* exposed to the scalar
+expression language (that would break atomicity).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Iterator
+
+from repro.domains.base import Domain
+from repro.errors import DomainValueError
+
+__all__ = ["DateDomain", "TimeDomain", "TimestampDomain", "DATE", "TIME", "TIMESTAMP"]
+
+
+class DateDomain(Domain):
+    """Calendar dates.  Accepts ``datetime.date`` or ISO ``YYYY-MM-DD`` text."""
+
+    name = "date"
+    is_numeric = False
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is datetime.date
+
+    def normalize(self, value: Any) -> datetime.date:
+        if type(value) is datetime.date:
+            return value
+        if type(value) is datetime.datetime:
+            return value.date()
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise DomainValueError(self, value) from exc
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[datetime.date]:
+        return iter((datetime.date(1994, 2, 14), datetime.date(2026, 7, 5)))
+
+
+class TimeDomain(Domain):
+    """Times of day.  Accepts ``datetime.time`` or ISO ``HH:MM[:SS]`` text."""
+
+    name = "time"
+    is_numeric = False
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is datetime.time
+
+    def normalize(self, value: Any) -> datetime.time:
+        if type(value) is datetime.time:
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.time.fromisoformat(value)
+            except ValueError as exc:
+                raise DomainValueError(self, value) from exc
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[datetime.time]:
+        return iter((datetime.time(9, 0), datetime.time(17, 30)))
+
+
+class TimestampDomain(Domain):
+    """Points in time.  Accepts ``datetime.datetime`` or ISO text."""
+
+    name = "timestamp"
+    is_numeric = False
+    is_ordered = True
+
+    def contains(self, value: Any) -> bool:
+        return type(value) is datetime.datetime
+
+    def normalize(self, value: Any) -> datetime.datetime:
+        if type(value) is datetime.datetime:
+            return value
+        if type(value) is datetime.date:
+            return datetime.datetime.combine(value, datetime.time.min)
+        if isinstance(value, str):
+            try:
+                return datetime.datetime.fromisoformat(value)
+            except ValueError as exc:
+                raise DomainValueError(self, value) from exc
+        raise DomainValueError(self, value)
+
+    def sample_values(self) -> Iterator[datetime.datetime]:
+        return iter((datetime.datetime(1994, 2, 14, 9, 0),))
+
+
+#: Shared instances for use in schema declarations.
+DATE = DateDomain()
+TIME = TimeDomain()
+TIMESTAMP = TimestampDomain()

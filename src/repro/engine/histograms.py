@@ -1,0 +1,150 @@
+"""Equi-depth histograms for selectivity estimation.
+
+The plain :class:`~repro.engine.statistics.StatisticsCatalog` knows only
+row counts and distinct counts, so range predicates fall back to the
+Selinger 1/3 constant.  This module adds per-column equi-depth
+histograms (each bucket holds ~the same number of *tuples*, duplicates
+included — bag semantics again) and a histogram-aware selectivity
+function for ``attr op constant`` comparisons.
+
+Histograms are an optimizer-quality extension: estimates, never results,
+depend on them, so they live beside the cost model rather than in the
+algebra.  ``bench`` usage: E4's join ordering improves measurably when
+the chain's key distributions are skewed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.relation import Relation
+
+__all__ = ["EquiDepthHistogram", "HistogramCatalog"]
+
+
+class EquiDepthHistogram:
+    """An equi-depth histogram over one column's bag of values.
+
+    ``boundaries[i-1] < bucket_i <= boundaries[i]`` with roughly equal
+    tuple counts per bucket.  Supports selectivity of ``=``, ``<``,
+    ``<=``, ``>``, ``>=``, ``<>`` against a constant.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "total", "distinct")
+
+    def __init__(
+        self,
+        boundaries: List[Any],
+        bucket_counts: List[int],
+        total: int,
+        distinct: int,
+    ) -> None:
+        self.boundaries = boundaries
+        self.bucket_counts = bucket_counts
+        self.total = total
+        self.distinct = max(1, distinct)
+
+    @classmethod
+    def build(cls, values: List[Any], buckets: int = 16) -> "EquiDepthHistogram":
+        """Build from the (duplicated) list of column values."""
+        if not values:
+            return cls([], [], 0, 0)
+        ordered = sorted(values)
+        total = len(ordered)
+        buckets = max(1, min(buckets, total))
+        per_bucket = total / buckets
+        boundaries: List[Any] = []
+        bucket_counts: List[int] = []
+        start = 0
+        for index in range(1, buckets + 1):
+            end = round(index * per_bucket)
+            if end <= start:
+                continue
+            boundaries.append(ordered[end - 1])
+            bucket_counts.append(end - start)
+            start = end
+        return cls(boundaries, bucket_counts, total, len(set(ordered)))
+
+    # -- selectivity ------------------------------------------------------
+
+    def selectivity(self, operator: str, constant: Any) -> float:
+        """Estimated fraction of tuples satisfying ``column <op> constant``."""
+        if self.total == 0:
+            return 0.0
+        if operator == "=":
+            return min(1.0, 1.0 / self.distinct)
+        if operator == "<>":
+            return max(0.0, 1.0 - 1.0 / self.distinct)
+        if operator in ("<", "<="):
+            return self._fraction_below(constant, inclusive=operator == "<=")
+        if operator in (">", ">="):
+            return max(
+                0.0,
+                1.0 - self._fraction_below(constant, inclusive=operator == ">"),
+            )
+        return 0.5
+
+    def _fraction_below(self, constant: Any, inclusive: bool) -> float:
+        """Fraction of tuples with value < (or <=) ``constant``."""
+        if not self.boundaries:
+            return 0.0
+        try:
+            if inclusive:
+                position = bisect.bisect_right(self.boundaries, constant)
+            else:
+                position = bisect.bisect_left(self.boundaries, constant)
+        except TypeError:
+            return 0.5  # incomparable constant: stay neutral
+        if position >= len(self.boundaries):
+            return 1.0
+        covered = sum(self.bucket_counts[:position])
+        # Assume the constant sits mid-bucket within the straddled bucket.
+        covered += self.bucket_counts[position] / 2.0
+        return min(1.0, covered / self.total)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EquiDepthHistogram buckets={len(self.bucket_counts)} "
+            f"total={self.total} distinct={self.distinct}>"
+        )
+
+
+class HistogramCatalog:
+    """Per-relation, per-column histograms, built from an environment."""
+
+    def __init__(
+        self, histograms: Optional[Dict[str, Dict[int, EquiDepthHistogram]]] = None
+    ) -> None:
+        #: relation name -> 1-based column position -> histogram
+        self.histograms = histograms or {}
+
+    @classmethod
+    def from_env(
+        cls, env: Mapping[str, Relation], buckets: int = 16
+    ) -> "HistogramCatalog":
+        catalog: Dict[str, Dict[int, EquiDepthHistogram]] = {}
+        for name, relation in env.items():
+            columns: Dict[int, List[Any]] = {
+                position: [] for position in range(1, relation.schema.degree + 1)
+            }
+            for row, count in relation.pairs():
+                for position, value in enumerate(row, start=1):
+                    columns[position].extend([value] * count)
+            catalog[name] = {
+                position: EquiDepthHistogram.build(values, buckets)
+                for position, values in columns.items()
+            }
+        return cls(catalog)
+
+    def get(self, relation: str, position: int) -> Optional[EquiDepthHistogram]:
+        return self.histograms.get(relation, {}).get(position)
+
+    def selectivity(
+        self, relation: str, position: int, operator: str, constant: Any
+    ) -> Optional[float]:
+        """Histogram selectivity, or None when no histogram exists."""
+        histogram = self.get(relation, position)
+        if histogram is None:
+            return None
+        return histogram.selectivity(operator, constant)

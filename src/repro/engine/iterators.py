@@ -1,0 +1,460 @@
+"""Physical operators: pull-based iterators over (tuple, count) pairs.
+
+The reference evaluator (:mod:`repro.engine.evaluator`) is the semantic
+ground truth but materialises every intermediate result.  The physical
+operators here stream ``(tuple, multiplicity)`` pairs instead and use
+hash-based algorithms (hash join, hash dedup, hash group-by), which is
+what makes the cost claims of the paper's introduction measurable: bag
+semantics lets a pipeline *avoid* duplicate elimination entirely, while
+a set-semantics engine must dedup after every operator (see bench E7).
+
+Stream invariant: a stream is any iterator of ``(row, count)`` pairs with
+positive counts; the *same* row may appear in several pairs (operators
+that merge — projection, union — do not consolidate eagerly).  Consumers
+that need totals (difference, intersection, dedup, group-by) consolidate
+internally.  :func:`collect` materialises a stream into a
+:class:`~repro.relation.Relation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.aggregates import AggregateFunction
+from repro.multiset import Multiset
+from repro.relation import Relation
+from repro.schema import RelationSchema
+from repro.tuples import Row
+
+__all__ = [
+    "Pairs",
+    "PhysicalOp",
+    "ScanOp",
+    "LiteralOp",
+    "FilterOp",
+    "ProjectOp",
+    "MapOp",
+    "UnionOp",
+    "DifferenceOp",
+    "IntersectOp",
+    "NestedLoopJoinOp",
+    "HashJoinOp",
+    "ProductOp",
+    "DistinctOp",
+    "GroupByOp",
+    "collect",
+    "consolidate",
+]
+
+#: A stream of (tuple, multiplicity) pairs.
+Pairs = Iterator[Tuple[Row, int]]
+
+
+def consolidate(pairs: Pairs) -> Dict[Row, int]:
+    """Drain a stream into a total-count dictionary."""
+    counts: Dict[Row, int] = {}
+    for row, count in pairs:
+        counts[row] = counts.get(row, 0) + count
+    return counts
+
+
+class PhysicalOp:
+    """Base class: a physical operator with a result schema.
+
+    ``execute(env)`` returns a fresh pair stream; operators are reusable
+    (each call re-executes the subtree).
+    """
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        raise NotImplementedError
+
+    def children(self) -> Tuple["PhysicalOp", ...]:
+        return ()
+
+    def label(self) -> str:
+        """Operator label for explain output."""
+        return type(self).__name__.removesuffix("Op").lower()
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented physical plan rendering."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class ScanOp(PhysicalOp):
+    """Scan a named database relation."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, schema: RelationSchema) -> None:
+        super().__init__(schema)
+        self.name = name
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        return iter(list(env[self.name].pairs()))
+
+    def label(self) -> str:
+        return f"scan {self.name}"
+
+
+class LiteralOp(PhysicalOp):
+    """Stream a constant relation."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: Relation) -> None:
+        super().__init__(relation.schema)
+        self.relation = relation
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        return iter(list(self.relation.pairs()))
+
+    def label(self) -> str:
+        return f"literal[{len(self.relation)}]"
+
+
+class FilterOp(PhysicalOp):
+    """Pipelined selection: drop pairs whose tuple fails the predicate."""
+
+    __slots__ = ("predicate", "child", "_describe")
+
+    def __init__(
+        self,
+        predicate: Callable[[Row], bool],
+        child: PhysicalOp,
+        describe: str = "",
+    ) -> None:
+        super().__init__(child.schema)
+        self.predicate = predicate
+        self.child = child
+        self._describe = describe
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        predicate = self.predicate
+        return (
+            (row, count)
+            for row, count in self.child.execute(env)
+            if predicate(row)
+        )
+
+    def label(self) -> str:
+        suffix = f" [{self._describe}]" if self._describe else ""
+        return f"filter{suffix}"
+
+
+class ProjectOp(PhysicalOp):
+    """Pipelined positional projection (no consolidation — bag semantics)."""
+
+    __slots__ = ("positions", "child")
+
+    def __init__(
+        self, positions: Sequence[int], schema: RelationSchema, child: PhysicalOp
+    ) -> None:
+        super().__init__(schema)
+        self.positions = tuple(position - 1 for position in positions)
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        indices = self.positions
+        return (
+            (tuple(row[index] for index in indices), count)
+            for row, count in self.child.execute(env)
+        )
+
+    def label(self) -> str:
+        attrs = ", ".join(f"%{index + 1}" for index in self.positions)
+        return f"project [{attrs}]"
+
+
+class MapOp(PhysicalOp):
+    """Pipelined extended projection through bound scalar functions."""
+
+    __slots__ = ("functions", "child")
+
+    def __init__(
+        self,
+        functions: Sequence[Callable[[Row], Any]],
+        schema: RelationSchema,
+        child: PhysicalOp,
+    ) -> None:
+        super().__init__(schema)
+        self.functions = tuple(functions)
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        functions = self.functions
+        return (
+            (tuple(function(row) for function in functions), count)
+            for row, count in self.child.execute(env)
+        )
+
+    def label(self) -> str:
+        return f"xproject [{len(self.functions)} exprs]"
+
+
+class UnionOp(PhysicalOp):
+    """Additive union: concatenate the operand streams."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp) -> None:
+        super().__init__(left.schema)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        yield from self.left.execute(env)
+        yield from self.right.execute(env)
+
+
+class DifferenceOp(PhysicalOp):
+    """Monus difference: consolidate both sides, emit max(0, l - r)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp) -> None:
+        super().__init__(left.schema)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        left_counts = consolidate(self.left.execute(env))
+        right_counts = consolidate(self.right.execute(env))
+        for row, count in left_counts.items():
+            remaining = count - right_counts.get(row, 0)
+            if remaining > 0:
+                yield row, remaining
+
+
+class IntersectOp(PhysicalOp):
+    """Min intersection: consolidate both sides, emit min(l, r)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp) -> None:
+        super().__init__(left.schema)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        left_counts = consolidate(self.left.execute(env))
+        right_counts = consolidate(self.right.execute(env))
+        for row, count in left_counts.items():
+            shared = min(count, right_counts.get(row, 0))
+            if shared > 0:
+                yield row, shared
+
+
+class ProductOp(PhysicalOp):
+    """Cartesian product: materialise the right side, stream the left."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: PhysicalOp, right: PhysicalOp, schema: RelationSchema
+    ) -> None:
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        right_pairs = list(self.right.execute(env))
+        for left_row, left_count in self.left.execute(env):
+            for right_row, right_count in right_pairs:
+                yield left_row + right_row, left_count * right_count
+
+
+class NestedLoopJoinOp(PhysicalOp):
+    """Theta join as a fused product + filter (the fallback join)."""
+
+    __slots__ = ("left", "right", "predicate")
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        predicate: Callable[[Row], bool],
+        schema: RelationSchema,
+    ) -> None:
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        predicate = self.predicate
+        right_pairs = list(self.right.execute(env))
+        for left_row, left_count in self.left.execute(env):
+            for right_row, right_count in right_pairs:
+                combined = left_row + right_row
+                if predicate(combined):
+                    yield combined, left_count * right_count
+
+    def label(self) -> str:
+        return "nested-loop-join"
+
+
+class HashJoinOp(PhysicalOp):
+    """Equi-join: build a hash table on the right, probe with the left.
+
+    ``left_key`` / ``right_key`` extract the join key from each operand's
+    tuples; an optional ``residual`` predicate (over the concatenated
+    tuple) handles the non-equality conjuncts of a mixed condition.
+    Multiplicities multiply, as the product's semantics requires.
+    """
+
+    __slots__ = ("left", "right", "left_key", "right_key", "residual")
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_key: Callable[[Row], Any],
+        right_key: Callable[[Row], Any],
+        schema: RelationSchema,
+        residual: Optional[Callable[[Row], bool]] = None,
+    ) -> None:
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        table: Dict[Any, List[Tuple[Row, int]]] = {}
+        right_key = self.right_key
+        for right_row, right_count in self.right.execute(env):
+            table.setdefault(right_key(right_row), []).append(
+                (right_row, right_count)
+            )
+        left_key = self.left_key
+        residual = self.residual
+        for left_row, left_count in self.left.execute(env):
+            matches = table.get(left_key(left_row))
+            if not matches:
+                continue
+            for right_row, right_count in matches:
+                combined = left_row + right_row
+                if residual is None or residual(combined):
+                    yield combined, left_count * right_count
+
+    def label(self) -> str:
+        suffix = " +residual" if self.residual is not None else ""
+        return f"hash-join{suffix}"
+
+
+class DistinctOp(PhysicalOp):
+    """Duplicate elimination: hash the support, emit each row once."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: PhysicalOp) -> None:
+        super().__init__(child.schema)
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        seen: set[Row] = set()
+        for row, _count in self.child.execute(env):
+            if row not in seen:
+                seen.add(row)
+                yield row, 1
+
+
+class GroupByOp(PhysicalOp):
+    """Hash aggregation.
+
+    Builds, per group key, the bag of aggregate inputs (attribute values
+    weighted by multiplicity) and emits ``key + (aggregate,)`` rows.  The
+    empty-grouping form emits exactly one tuple, matching Definition 3.4.
+    """
+
+    __slots__ = ("positions", "aggregate", "param_position", "child")
+
+    def __init__(
+        self,
+        positions: Sequence[int],
+        aggregate: AggregateFunction,
+        param_position: Optional[int],
+        schema: RelationSchema,
+        child: PhysicalOp,
+    ) -> None:
+        super().__init__(schema)
+        self.positions = tuple(position - 1 for position in positions)
+        self.aggregate = aggregate
+        self.param_position = param_position
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        indices = self.positions
+        param_index = (
+            self.param_position - 1 if self.param_position is not None else None
+        )
+        groups: Dict[Row, Multiset[Any]] = {}
+        if not indices:
+            values: Multiset[Any] = Multiset()
+            for row, count in self.child.execute(env):
+                value = row[param_index] if param_index is not None else row
+                values.add(value, count)
+            yield (self.aggregate.compute(values),), 1
+            return
+        for row, count in self.child.execute(env):
+            key = tuple(row[index] for index in indices)
+            bag = groups.get(key)
+            if bag is None:
+                bag = Multiset()
+                groups[key] = bag
+            value = row[param_index] if param_index is not None else row
+            bag.add(value, count)
+        for key, bag in groups.items():
+            yield key + (self.aggregate.compute(bag),), 1
+
+    def label(self) -> str:
+        attrs = ", ".join(f"%{index + 1}" for index in self.positions)
+        return f"hash-groupby [({attrs}), {self.aggregate.name}]"
+
+
+def collect(op: PhysicalOp, env: Dict[str, Relation]) -> Relation:
+    """Execute ``op`` and materialise the stream into a relation."""
+    counts = consolidate(op.execute(env))
+    return Relation.from_multiset(op.schema, Multiset(counts))

@@ -1,0 +1,210 @@
+"""Translation of logical algebra expressions into physical plans.
+
+The planner is deliberately simple and deterministic — strategy choice,
+not search (search lives in :mod:`repro.optimizer`, which rewrites the
+*logical* tree first):
+
+* joins whose condition contains equality conjuncts relating the two
+  operands become hash joins (remaining conjuncts become a residual
+  filter); other joins become nested loops;
+* a selection directly above a product is fused the same way (this is
+  Theorem 3.1's ``σ_φ(E1 × E2) = E1 ⋈_φ E2`` applied physically);
+* everything else maps one-to-one onto the operators of
+  :mod:`repro.engine.iterators`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.algebra import (
+    AlgebraExpr,
+    Difference,
+    ExtendedProject,
+    GroupBy,
+    Intersect,
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.engine.iterators import (
+    DifferenceOp,
+    DistinctOp,
+    FilterOp,
+    GroupByOp,
+    HashJoinOp,
+    IntersectOp,
+    LiteralOp,
+    MapOp,
+    NestedLoopJoinOp,
+    PhysicalOp,
+    ProductOp,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+)
+from repro.errors import EvaluationError
+from repro.expressions import (
+    Compare,
+    ScalarExpr,
+    conjoin,
+    rebase,
+    split_conjuncts,
+)
+from repro.relation import Relation
+from repro.schema import RelationSchema
+from repro.tuples import Row
+
+__all__ = ["plan", "execute", "extract_equi_conjuncts"]
+
+
+def extract_equi_conjuncts(
+    condition: ScalarExpr,
+    combined: RelationSchema,
+    left_degree: int,
+) -> Tuple[List[Tuple[ScalarExpr, ScalarExpr]], List[ScalarExpr]]:
+    """Split a join condition into equi-key pairs and residual conjuncts.
+
+    Returns ``(pairs, residual)`` where each pair ``(lk, rk)`` is a
+    scalar expression over the *left* / *right* operand schema such that
+    the conjunct was ``lk = rk`` over the combined schema.  Conjuncts
+    that do not have that shape stay in ``residual`` (expressed over the
+    combined schema).
+    """
+    pairs: List[Tuple[ScalarExpr, ScalarExpr]] = []
+    residual: List[ScalarExpr] = []
+    right_first = left_degree + 1
+    right_last = combined.degree
+    for conjunct in split_conjuncts(condition):
+        if isinstance(conjunct, Compare) and conjunct.op == "=":
+            left_on_left = rebase(conjunct.left, combined, 1, left_degree)
+            right_on_right = rebase(conjunct.right, combined, right_first, right_last)
+            if left_on_left is not None and right_on_right is not None:
+                pairs.append((left_on_left, right_on_right))
+                continue
+            # The symmetric orientation: right side of '=' touches the
+            # left operand and vice versa.
+            left_on_right = rebase(conjunct.left, combined, right_first, right_last)
+            right_on_left = rebase(conjunct.right, combined, 1, left_degree)
+            if left_on_right is not None and right_on_left is not None:
+                pairs.append((right_on_left, left_on_right))
+                continue
+        residual.append(conjunct)
+    return pairs, residual
+
+
+def _key_extractor(
+    expressions: List[ScalarExpr], schema: RelationSchema
+) -> Callable[[Row], Any]:
+    bound = [expression.bind(schema) for expression in expressions]
+    if len(bound) == 1:
+        only = bound[0]
+        return lambda row: only(row)
+    return lambda row: tuple(function(row) for function in bound)
+
+
+def _plan_join(
+    left: AlgebraExpr,
+    right: AlgebraExpr,
+    condition: ScalarExpr,
+    schema: RelationSchema,
+) -> PhysicalOp:
+    combined = left.schema.concat(right.schema)
+    pairs, residual = extract_equi_conjuncts(condition, combined, left.schema.degree)
+    left_plan = plan(left)
+    right_plan = plan(right)
+    if pairs:
+        left_key = _key_extractor([pair[0] for pair in pairs], left.schema)
+        right_key = _key_extractor([pair[1] for pair in pairs], right.schema)
+        residual_fn = (
+            conjoin(residual).bind(combined) if residual else None
+        )
+        return HashJoinOp(
+            left_plan, right_plan, left_key, right_key, schema, residual_fn
+        )
+    predicate = condition.bind(combined)
+    return NestedLoopJoinOp(left_plan, right_plan, predicate, schema)
+
+
+def plan(expr: AlgebraExpr) -> PhysicalOp:
+    """Translate a logical expression into a physical plan."""
+    if isinstance(expr, RelationRef):
+        return ScanOp(expr.name, expr.schema)
+    if isinstance(expr, LiteralRelation):
+        return LiteralOp(expr.relation)
+    if isinstance(expr, Union):
+        return UnionOp(plan(expr.left), plan(expr.right))
+    if isinstance(expr, Difference):
+        return DifferenceOp(plan(expr.left), plan(expr.right))
+    if isinstance(expr, Intersect):
+        return IntersectOp(plan(expr.left), plan(expr.right))
+    if isinstance(expr, Join):
+        return _plan_join(expr.left, expr.right, expr.condition, expr.schema)
+    if isinstance(expr, Select):
+        # Fuse sigma-over-product into a join (Theorem 3.1, physically).
+        if isinstance(expr.operand, Product):
+            product = expr.operand
+            return _plan_join(
+                product.left, product.right, expr.condition, expr.schema
+            )
+        child = plan(expr.operand)
+        predicate = expr.condition.bind(expr.operand.schema)
+        return FilterOp(predicate, child, describe=repr(expr.condition))
+    if isinstance(expr, Product):
+        return ProductOp(plan(expr.left), plan(expr.right), expr.schema)
+    if isinstance(expr, Project):
+        return ProjectOp(expr.positions, expr.schema, plan(expr.operand))
+    if isinstance(expr, ExtendedProject):
+        operand_schema = expr.operand.schema
+        functions = [
+            expression.bind(operand_schema) for expression in expr.expressions
+        ]
+        return MapOp(functions, expr.schema, plan(expr.operand))
+    if isinstance(expr, Unique):
+        return DistinctOp(plan(expr.operand))
+    if isinstance(expr, GroupBy):
+        return GroupByOp(
+            expr.positions,
+            expr.aggregate,
+            expr.param_position,
+            expr.schema,
+            plan(expr.operand),
+        )
+    if hasattr(expr, "reference_evaluate"):
+        return _ExtensionOp(expr)
+    raise EvaluationError(f"no physical plan rule for {type(expr).__name__}")
+
+
+class _ExtensionOp(PhysicalOp):
+    """Physical wrapper for self-evaluating extension nodes.
+
+    Extension operators (e.g. transitive closure) run through the
+    reference evaluator; their output streams into the surrounding
+    physical plan like any other operator.
+    """
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: AlgebraExpr) -> None:
+        super().__init__(expr.schema)
+        self.expr = expr
+
+    def execute(self, env: dict[str, Relation]):
+        from repro.engine.evaluator import evaluate
+
+        return iter(list(evaluate(self.expr, env).pairs()))
+
+    def label(self) -> str:
+        return f"extension [{self.expr.operator_name()}]"
+
+
+def execute(expr: AlgebraExpr, env: dict[str, Relation]) -> Relation:
+    """Plan and run ``expr`` on the physical engine."""
+    from repro.engine.iterators import collect
+
+    return collect(plan(expr), env)

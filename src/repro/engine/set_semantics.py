@@ -1,0 +1,112 @@
+"""A set-semantics evaluator — the paper's foil.
+
+The introduction gives two reasons for bag semantics: duplicates are
+*meaningful* in applications, and duplicate removal is *expensive*.
+Example 3.2 sharpens the first into a correctness argument: under set
+semantics, inserting the (otherwise harmless) projection
+
+    π_(alcperc, country)
+
+under a per-country AVG collapses equal (alcperc, country) pairs and
+*changes the aggregate* — "thereby causing incorrect aggregate values".
+
+This module implements exactly that foil: :func:`evaluate_set` mirrors
+the reference evaluator but forces every operator's result to be
+duplicate-free, the way a strictly set-based relational model behaves.
+Benches E6/E7 run both evaluators side by side: E6 shows the wrong
+averages, E7 charges the δ-after-every-operator cost.
+
+Note the asymmetry: bag→set needs δ everywhere; bag semantics needs no
+extra machinery at all.  That asymmetry *is* the paper's cost argument.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra import (
+    AlgebraExpr,
+    Difference,
+    ExtendedProject,
+    GroupBy,
+    Intersect,
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.errors import EvaluationError, UnknownRelationError
+from repro.relation import Relation
+
+__all__ = ["evaluate_set"]
+
+
+def evaluate_set(expr: AlgebraExpr, env: Mapping[str, Relation]) -> Relation:
+    """Evaluate ``expr`` as a strictly set-based model would.
+
+    Every input relation and every intermediate result is deduplicated.
+    Aggregates then see at most one copy of each tuple — which is
+    precisely why Example 3.2's second formulation goes wrong.
+    """
+    if isinstance(expr, RelationRef):
+        try:
+            return env[expr.name].distinct()
+        except KeyError:
+            raise UnknownRelationError(expr.name) from None
+    if isinstance(expr, LiteralRelation):
+        return expr.relation.distinct()
+    if isinstance(expr, Union):
+        # Set union: max-union (a tuple is in the union once).
+        left = evaluate_set(expr.left, env)
+        right = evaluate_set(expr.right, env)
+        return Relation.from_multiset(
+            left.schema, left.tuples.max_union(right.tuples)
+        )
+    if isinstance(expr, Difference):
+        left = evaluate_set(expr.left, env)
+        right = evaluate_set(expr.right, env)
+        return left.difference(right)
+    if isinstance(expr, Product):
+        left = evaluate_set(expr.left, env)
+        right = evaluate_set(expr.right, env)
+        return left.product(right)  # product of sets is duplicate-free
+    if isinstance(expr, Intersect):
+        left = evaluate_set(expr.left, env)
+        right = evaluate_set(expr.right, env)
+        return left.intersection(right)
+    if isinstance(expr, Join):
+        predicate = expr.condition.bind(expr.schema)
+        left = evaluate_set(expr.left, env)
+        right = evaluate_set(expr.right, env)
+        return left.join(right, predicate)
+    if isinstance(expr, Select):
+        predicate = expr.condition.bind(expr.operand.schema)
+        return evaluate_set(expr.operand, env).select(predicate)
+    if isinstance(expr, Project):
+        # THE defining difference: set projection removes duplicates.
+        return evaluate_set(expr.operand, env).project(expr.positions).distinct()
+    if isinstance(expr, ExtendedProject):
+        operand_schema = expr.operand.schema
+        functions = [
+            expression.bind(operand_schema) for expression in expr.expressions
+        ]
+        return (
+            evaluate_set(expr.operand, env)
+            .extended_project(functions, expr.schema)
+            .distinct()
+        )
+    if isinstance(expr, Unique):
+        return evaluate_set(expr.operand, env).distinct()
+    if isinstance(expr, GroupBy):
+        operand = evaluate_set(expr.operand, env)
+        return operand.group_by(
+            list(expr.positions), expr.aggregate, expr.param_position
+        )
+    handler = getattr(expr, "reference_evaluate", None)
+    if handler is not None:
+        return handler(env, evaluate_set).distinct()
+    raise EvaluationError(f"no set-semantics rule for {type(expr).__name__}")

@@ -1,0 +1,256 @@
+"""Cardinality statistics and estimation.
+
+The optimizer needs to compare candidate plans without running them; this
+module provides per-relation statistics (bag cardinality plus per-column
+distinct counts) and a recursive cardinality estimator over logical
+expressions.
+
+A pleasant property of bag semantics shows up here: projection preserves
+cardinality *exactly* (``|π_α E| = |E|``, since nothing is deduplicated),
+so the estimator is precise where a set-semantics estimator must guess.
+Estimation error concentrates in selections, joins, and δ — the usual
+suspects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.algebra import (
+    AlgebraExpr,
+    Difference,
+    ExtendedProject,
+    GroupBy,
+    Intersect,
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.expressions import AttrRef, BoolOp, Compare, Const, Not, ScalarExpr
+from repro.relation import Relation
+
+__all__ = ["TableStats", "StatisticsCatalog", "estimate_cardinality"]
+
+#: Fallback selectivities, in the Selinger tradition.
+_EQUALITY_SELECTIVITY = 0.1
+_RANGE_SELECTIVITY = 1.0 / 3.0
+_DEFAULT_ROWS = 1000.0
+_DISTINCT_FRACTION = 0.6  # fallback support-size fraction for delta
+
+
+class TableStats:
+    """Statistics for one relation: bag size and per-column distinct counts."""
+
+    __slots__ = ("row_count", "distinct_values")
+
+    def __init__(
+        self, row_count: int, distinct_values: Optional[Dict[int, int]] = None
+    ) -> None:
+        self.row_count = row_count
+        #: 1-based column position -> number of distinct values.
+        self.distinct_values = distinct_values or {}
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "TableStats":
+        """Exact statistics computed from a concrete relation."""
+        distinct: Dict[int, int] = {}
+        degree = relation.schema.degree
+        columns: list[set] = [set() for _ in range(degree)]
+        for row, _count in relation.pairs():
+            for index, value in enumerate(row):
+                columns[index].add(value)
+        for index, values in enumerate(columns, start=1):
+            distinct[index] = len(values)
+        return cls(len(relation), distinct)
+
+    def __repr__(self) -> str:
+        return f"TableStats(rows={self.row_count}, distinct={self.distinct_values})"
+
+
+class StatisticsCatalog:
+    """Statistics for a set of named relations.
+
+    Optionally carries a :class:`~repro.engine.histograms.HistogramCatalog`
+    for range-predicate selectivity (built with ``with_histograms=True``).
+    """
+
+    def __init__(
+        self,
+        tables: Optional[Dict[str, TableStats]] = None,
+        histograms: Optional[object] = None,
+    ) -> None:
+        self.tables = tables or {}
+        self.histograms = histograms
+
+    @classmethod
+    def from_env(
+        cls, env: Mapping[str, Relation], with_histograms: bool = False
+    ) -> "StatisticsCatalog":
+        """Exact statistics for every relation in an environment."""
+        histograms = None
+        if with_histograms:
+            from repro.engine.histograms import HistogramCatalog
+
+            histograms = HistogramCatalog.from_env(env)
+        return cls(
+            {
+                name: TableStats.from_relation(relation)
+                for name, relation in env.items()
+            },
+            histograms,
+        )
+
+    def rows(self, name: str) -> float:
+        stats = self.tables.get(name)
+        return float(stats.row_count) if stats is not None else _DEFAULT_ROWS
+
+    def distinct(self, name: str, position: int) -> Optional[int]:
+        stats = self.tables.get(name)
+        if stats is None:
+            return None
+        return stats.distinct_values.get(position)
+
+
+def _condition_selectivity(
+    condition: ScalarExpr,
+    expr: AlgebraExpr,
+    catalog: StatisticsCatalog,
+) -> float:
+    """Heuristic selectivity of ``condition`` over ``expr``'s schema."""
+    if isinstance(condition, BoolOp):
+        left = _condition_selectivity(condition.left, expr, catalog)
+        right = _condition_selectivity(condition.right, expr, catalog)
+        if condition.op == "and":
+            return left * right
+        return min(1.0, left + right - left * right)
+    if isinstance(condition, Not):
+        return max(0.0, 1.0 - _condition_selectivity(condition.operand, expr, catalog))
+    if isinstance(condition, Compare):
+        histogram_estimate = _histogram_selectivity(condition, expr, catalog)
+        if histogram_estimate is not None:
+            return histogram_estimate
+        if condition.op == "=":
+            distinct = _distinct_for(condition, expr, catalog)
+            if distinct:
+                return 1.0 / distinct
+            return _EQUALITY_SELECTIVITY
+        if condition.op == "<>":
+            return 1.0 - _EQUALITY_SELECTIVITY
+        return _RANGE_SELECTIVITY
+    if isinstance(condition, Const):
+        return 1.0 if condition.value else 0.0
+    return 0.5
+
+
+def _histogram_selectivity(
+    condition: Compare, expr: AlgebraExpr, catalog: StatisticsCatalog
+) -> Optional[float]:
+    """Histogram estimate for ``attr op constant`` over a base relation."""
+    if catalog.histograms is None or not isinstance(expr, RelationRef):
+        return None
+    attr, constant, operator = condition.left, condition.right, condition.op
+    if not isinstance(attr, AttrRef) or not isinstance(constant, Const):
+        # Try the mirrored orientation (constant op attr).
+        if isinstance(condition.left, Const) and isinstance(
+            condition.right, AttrRef
+        ):
+            mirror = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            attr = condition.right
+            constant = condition.left
+            operator = mirror.get(operator, operator)
+        else:
+            return None
+    try:
+        position = expr.schema.resolve(attr.ref)
+    except Exception:
+        return None
+    return catalog.histograms.selectivity(
+        expr.name, position, operator, constant.value
+    )
+
+
+def _distinct_for(
+    condition: Compare, expr: AlgebraExpr, catalog: StatisticsCatalog
+) -> Optional[int]:
+    """Distinct count of the column in an ``attr = const`` comparison."""
+    attr, other = condition.left, condition.right
+    if not isinstance(attr, AttrRef):
+        attr, other = other, attr
+    if not isinstance(attr, AttrRef) or not isinstance(other, (Const, AttrRef)):
+        return None
+    # Walk down to a base relation when the expression is a plain ref.
+    if isinstance(expr, RelationRef):
+        try:
+            position = expr.schema.resolve(attr.ref)
+        except Exception:
+            return None
+        return catalog.distinct(expr.name, position)
+    return None
+
+
+def estimate_cardinality(
+    expr: AlgebraExpr, catalog: StatisticsCatalog
+) -> float:
+    """Estimated bag cardinality of ``expr``'s result."""
+    if isinstance(expr, RelationRef):
+        return catalog.rows(expr.name)
+    if isinstance(expr, LiteralRelation):
+        return float(len(expr.relation))
+    if isinstance(expr, Union):
+        return estimate_cardinality(expr.left, catalog) + estimate_cardinality(
+            expr.right, catalog
+        )
+    if isinstance(expr, Difference):
+        left = estimate_cardinality(expr.left, catalog)
+        right = estimate_cardinality(expr.right, catalog)
+        return max(left - right / 2.0, left * 0.1)
+    if isinstance(expr, Intersect):
+        left = estimate_cardinality(expr.left, catalog)
+        right = estimate_cardinality(expr.right, catalog)
+        return min(left, right) * 0.5
+    if isinstance(expr, Product):
+        return estimate_cardinality(expr.left, catalog) * estimate_cardinality(
+            expr.right, catalog
+        )
+    if isinstance(expr, Join):
+        left = estimate_cardinality(expr.left, catalog)
+        right = estimate_cardinality(expr.right, catalog)
+        selectivity = _condition_selectivity(expr.condition, expr, catalog)
+        return max(1.0, left * right * selectivity)
+    if isinstance(expr, Select):
+        input_cardinality = estimate_cardinality(expr.operand, catalog)
+        selectivity = _condition_selectivity(expr.condition, expr.operand, catalog)
+        return max(0.0, input_cardinality * selectivity)
+    if isinstance(expr, (Project, ExtendedProject)):
+        # Bag semantics: projection never changes cardinality.
+        return estimate_cardinality(expr.operand, catalog)
+    if isinstance(expr, Unique):
+        input_cardinality = estimate_cardinality(expr.operand, catalog)
+        return max(1.0, input_cardinality * _DISTINCT_FRACTION)
+    if isinstance(expr, GroupBy):
+        if not expr.positions:
+            return 1.0
+        input_cardinality = estimate_cardinality(expr.operand, catalog)
+        groups = input_cardinality * 0.1
+        if isinstance(expr.operand, RelationRef):
+            product = 1.0
+            known = True
+            for position in expr.positions:
+                distinct = catalog.distinct(expr.operand.name, position)
+                if distinct is None:
+                    known = False
+                    break
+                product *= distinct
+            if known:
+                groups = product
+        return max(1.0, min(groups, input_cardinality))
+    # Unknown node: assume it passes its (first) child through.
+    children = expr.children()
+    if children:
+        return estimate_cardinality(children[0], catalog)
+    return _DEFAULT_ROWS

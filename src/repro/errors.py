@@ -1,0 +1,251 @@
+"""Exception hierarchy for the multi-set extended relational algebra.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause.  The
+sub-hierarchy mirrors the layers of the system: structural errors (domains,
+schemas), expression errors (scalar language), algebra errors (operator
+construction and typing), evaluation errors (runtime), language errors
+(statements / programs / transactions), and front-end errors (SQL / XRA
+parsing).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "DomainValueError",
+    "UnknownDomainError",
+    "SchemaError",
+    "SchemaMismatchError",
+    "AttributeResolutionError",
+    "DuplicateAttributeError",
+    "ExpressionError",
+    "ExpressionTypeError",
+    "ExpressionParseError",
+    "UnboundAttributeError",
+    "AlgebraError",
+    "ArityError",
+    "AggregateError",
+    "EmptyAggregateError",
+    "EvaluationError",
+    "DivisionByZeroError",
+    "LanguageError",
+    "UnknownRelationError",
+    "DuplicateRelationError",
+    "TransactionError",
+    "TransactionAbort",
+    "ConstraintViolationError",
+    "FrontendError",
+    "SQLParseError",
+    "SQLTranslationError",
+    "XRAParseError",
+    "XRARuntimeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Structural layer (Section 2 of the paper)
+# ---------------------------------------------------------------------------
+
+
+class DomainError(ReproError):
+    """Problem with an atomic domain (Definition 2.1)."""
+
+
+class DomainValueError(DomainError):
+    """A value does not belong to the domain it was declared on."""
+
+    def __init__(self, domain: object, value: object) -> None:
+        super().__init__(f"value {value!r} is not a member of domain {domain}")
+        self.domain = domain
+        self.value = value
+
+
+class UnknownDomainError(DomainError):
+    """A domain name could not be resolved in the registry."""
+
+
+class SchemaError(ReproError):
+    """Problem with a relation or database schema (Definitions 2.2 / 2.5)."""
+
+
+class SchemaMismatchError(SchemaError):
+    """Two operands require compatible schemas but have different ones.
+
+    Raised by union, difference, intersection, comparison operators, and
+    the update statement, all of which are only defined for operands of
+    the same schema.
+    """
+
+    def __init__(self, left: object, right: object, operation: str = "operation") -> None:
+        super().__init__(
+            f"{operation} requires identical schemas, got {left} and {right}"
+        )
+        self.left = left
+        self.right = right
+        self.operation = operation
+
+
+class AttributeResolutionError(SchemaError):
+    """An attribute reference (positional ``%i`` or named) cannot be resolved."""
+
+
+class DuplicateAttributeError(SchemaError):
+    """A schema declares the same attribute name twice."""
+
+
+# ---------------------------------------------------------------------------
+# Scalar expression layer (conditions phi and arithmetic lists alpha)
+# ---------------------------------------------------------------------------
+
+
+class ExpressionError(ReproError):
+    """Problem with a scalar expression."""
+
+
+class ExpressionTypeError(ExpressionError):
+    """A scalar expression is ill-typed (e.g. SUM over a string attribute)."""
+
+
+class ExpressionParseError(ExpressionError):
+    """The textual form of a scalar expression cannot be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1) -> None:
+        location = f" at position {position}" if position >= 0 else ""
+        source = f" in {text!r}" if text else ""
+        super().__init__(f"{message}{location}{source}")
+        self.text = text
+        self.position = position
+
+
+class UnboundAttributeError(ExpressionError):
+    """An expression refers to an attribute absent from the input schema."""
+
+
+# ---------------------------------------------------------------------------
+# Algebra layer (Section 3)
+# ---------------------------------------------------------------------------
+
+
+class AlgebraError(ReproError):
+    """Problem constructing or typing an algebra expression."""
+
+
+class ArityError(AlgebraError):
+    """An operator received the wrong number of inputs or attributes."""
+
+
+class AggregateError(AlgebraError):
+    """Problem with an aggregate function (Definition 3.3)."""
+
+
+class EmptyAggregateError(AggregateError):
+    """AVG / MIN / MAX applied to an empty multi-set.
+
+    Definition 3.3 notes these aggregates are *partial* functions: they
+    are undefined on empty multi-sets.  We surface the partiality as this
+    exception rather than inventing a NULL value the paper does not have.
+    """
+
+    def __init__(self, function: str) -> None:
+        super().__init__(
+            f"aggregate {function} is undefined on an empty multi-set"
+        )
+        self.function = function
+
+
+# ---------------------------------------------------------------------------
+# Evaluation layer
+# ---------------------------------------------------------------------------
+
+
+class EvaluationError(ReproError):
+    """Runtime failure while evaluating an algebra expression."""
+
+
+class DivisionByZeroError(EvaluationError):
+    """Division by zero inside a scalar expression."""
+
+
+# ---------------------------------------------------------------------------
+# Language layer (Section 4)
+# ---------------------------------------------------------------------------
+
+
+class LanguageError(ReproError):
+    """Problem in the statement / program / transaction language."""
+
+
+class UnknownRelationError(LanguageError):
+    """A statement or expression refers to a relation not in the database."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation {name!r}")
+        self.name = name
+
+
+class DuplicateRelationError(LanguageError):
+    """An assignment or schema declaration reuses an existing relation name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"relation {name!r} already exists")
+        self.name = name
+
+
+class TransactionError(LanguageError):
+    """Invalid use of the transaction machinery (e.g. nested brackets)."""
+
+
+class TransactionAbort(LanguageError):
+    """Signals that the enclosing transaction must abort.
+
+    Raising this (or any other exception) inside a transaction rolls the
+    database back to the pre-transaction state ``D^t``, per the atomicity
+    property in Definition 4.3.
+    """
+
+    def __init__(self, reason: str = "transaction aborted") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ConstraintViolationError(TransactionAbort):
+    """An integrity constraint rejected the post-state of a transaction."""
+
+    def __init__(self, constraint: str, detail: str = "") -> None:
+        message = f"integrity constraint {constraint!r} violated"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.constraint = constraint
+        self.detail = detail
+
+
+# ---------------------------------------------------------------------------
+# Front ends (SQL and XRA)
+# ---------------------------------------------------------------------------
+
+
+class FrontendError(ReproError):
+    """Problem in one of the textual front ends."""
+
+
+class SQLParseError(FrontendError):
+    """The SQL text cannot be parsed by the subset grammar."""
+
+
+class SQLTranslationError(FrontendError):
+    """The SQL statement parses but cannot be mapped onto the algebra."""
+
+
+class XRAParseError(FrontendError):
+    """The XRA program text cannot be parsed."""
+
+
+class XRARuntimeError(FrontendError):
+    """An XRA program failed during interpretation."""

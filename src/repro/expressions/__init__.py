@@ -1,0 +1,51 @@
+"""Scalar expression language: conditions ``φ`` and arithmetic lists ``α``.
+
+Selection conditions are boolean-valued expressions over a tuple
+(Definition 3.1); extended projection entries are basic-domain-valued
+expressions (Definition 3.4).  Expressions can be built fluently in
+Python (``col("alcperc") * lit(1.1)``) or parsed from text
+(``parse_expression("alcperc * 1.1")``).
+"""
+
+from repro.expressions.ast import (
+    Arith,
+    AttrRef,
+    BoolOp,
+    Compare,
+    Const,
+    Neg,
+    Not,
+    ScalarExpr,
+    col,
+    lit,
+)
+from repro.expressions.parser import parse_expression, tokenize
+from repro.expressions.rewrite import (
+    conjoin,
+    map_attr_refs,
+    rebase,
+    resolve_refs,
+    shift_refs,
+    split_conjuncts,
+)
+
+__all__ = [
+    "map_attr_refs",
+    "resolve_refs",
+    "shift_refs",
+    "rebase",
+    "split_conjuncts",
+    "conjoin",
+    "ScalarExpr",
+    "Const",
+    "AttrRef",
+    "Arith",
+    "Neg",
+    "Compare",
+    "BoolOp",
+    "Not",
+    "col",
+    "lit",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,507 @@
+"""Scalar expressions over tuples.
+
+Definition 3.1 treats a selection condition ``φ`` as "a function from
+dom(E) into the boolean domain"; Definition 3.4 treats each entry of an
+extended projection list as a function from dom(E) into a basic domain.
+This module gives those functions syntax: a small typed expression AST
+with attribute references (positional ``%i`` or named), constants,
+arithmetic, comparisons, and boolean connectives.
+
+Each node supports two schema-directed operations:
+
+* :meth:`ScalarExpr.infer_domain` — static typing against an input
+  schema (raising :class:`~repro.errors.ExpressionTypeError` on misuse,
+  e.g. adding a string);
+* :meth:`ScalarExpr.bind` — compile the expression into a plain Python
+  callable ``Row -> value`` with all attribute positions resolved, so
+  per-tuple evaluation does no name lookups.
+
+Atomicity is respected: the only things an expression can do with a
+value are compare it, combine numerics arithmetically, and pass it
+through — the algebra never decomposes atomic values.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Any, Callable, Tuple
+
+from repro.domains import BOOLEAN, Domain, INTEGER, MONEY, REAL
+from repro.errors import (
+    DivisionByZeroError,
+    ExpressionTypeError,
+)
+from repro.schema import AttrRefLike, RelationSchema
+from repro.tuples import Row
+
+__all__ = [
+    "ScalarExpr",
+    "Const",
+    "AttrRef",
+    "Arith",
+    "Neg",
+    "Compare",
+    "BoolOp",
+    "Not",
+    "col",
+    "lit",
+]
+
+_NUMERIC = {INTEGER, REAL, MONEY}
+
+
+class ScalarExpr:
+    """Base class for scalar expressions."""
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        """The domain of the expression's value, given the input schema."""
+        raise NotImplementedError
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], Any]:
+        """Compile into a ``Row -> value`` callable bound to ``schema``."""
+        raise NotImplementedError
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        """1-based positions of the attributes this expression reads."""
+        raise NotImplementedError
+
+    def is_boolean(self, schema: RelationSchema) -> bool:
+        """True when the expression is a condition (result domain boolean)."""
+        return self.infer_domain(schema) == BOOLEAN
+
+    # Operator sugar so conditions compose fluently in Python code:
+    #   (col("alcperc") * lit(1.1)) > lit(5.0)
+
+    def __add__(self, other: "ScalarExpr") -> "Arith":
+        return Arith("+", self, _as_expr(other))
+
+    def __sub__(self, other: "ScalarExpr") -> "Arith":
+        return Arith("-", self, _as_expr(other))
+
+    def __mul__(self, other: "ScalarExpr") -> "Arith":
+        return Arith("*", self, _as_expr(other))
+
+    def __truediv__(self, other: "ScalarExpr") -> "Arith":
+        return Arith("/", self, _as_expr(other))
+
+    def __neg__(self) -> "Neg":
+        return Neg(self)
+
+    def eq(self, other: "ScalarExpr | Any") -> "Compare":
+        return Compare("=", self, _as_expr(other))
+
+    def ne(self, other: "ScalarExpr | Any") -> "Compare":
+        return Compare("<>", self, _as_expr(other))
+
+    def lt(self, other: "ScalarExpr | Any") -> "Compare":
+        return Compare("<", self, _as_expr(other))
+
+    def le(self, other: "ScalarExpr | Any") -> "Compare":
+        return Compare("<=", self, _as_expr(other))
+
+    def gt(self, other: "ScalarExpr | Any") -> "Compare":
+        return Compare(">", self, _as_expr(other))
+
+    def ge(self, other: "ScalarExpr | Any") -> "Compare":
+        return Compare(">=", self, _as_expr(other))
+
+    def and_(self, other: "ScalarExpr") -> "BoolOp":
+        return BoolOp("and", self, other)
+
+    def or_(self, other: "ScalarExpr") -> "BoolOp":
+        return BoolOp("or", self, other)
+
+    def not_(self) -> "Not":
+        return Not(self)
+
+
+def _as_expr(value: "ScalarExpr | Any") -> "ScalarExpr":
+    if isinstance(value, ScalarExpr):
+        return value
+    return Const.infer(value)
+
+
+class Const(ScalarExpr):
+    """A literal constant of a known domain."""
+
+    __slots__ = ("value", "domain")
+
+    def __init__(self, value: Any, domain: Domain) -> None:
+        self.value = domain.normalize(value)
+        self.domain = domain
+
+    @classmethod
+    def infer(cls, value: Any) -> "Const":
+        """Build a constant, inferring the domain from the Python type."""
+        if type(value) is bool:
+            return cls(value, BOOLEAN)
+        if type(value) is int:
+            return cls(value, INTEGER)
+        if type(value) is float:
+            return cls(value, REAL)
+        if isinstance(value, Decimal):
+            return cls(value, MONEY)
+        if isinstance(value, str):
+            from repro.domains import STRING
+
+            return cls(value, STRING)
+        raise ExpressionTypeError(f"cannot infer a domain for constant {value!r}")
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        return self.domain
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], Any]:
+        value = self.value
+        return lambda row: value
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Const)
+            and self.value == other.value
+            and self.domain == other.domain
+        )
+
+    def __hash__(self) -> int:
+        return hash((Const, self.value, self.domain))
+
+
+class AttrRef(ScalarExpr):
+    """An attribute reference: positional ``%i`` or by (qualified) name."""
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: AttrRefLike) -> None:
+        self.ref = ref
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        return schema.attribute(schema.resolve(self.ref)).domain
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], Any]:
+        index = schema.resolve(self.ref) - 1
+        return lambda row: row[index]
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return frozenset((schema.resolve(self.ref),))
+
+    def shifted(self, offset: int, schema: RelationSchema) -> "AttrRef":
+        """This reference re-based ``offset`` positions to the right.
+
+        Used when pushing conditions through products: a condition on
+        the right operand of ``E1 × E2`` sees its attributes shifted by
+        ``degree(E1)`` in the product schema.
+        """
+        return AttrRef(schema.resolve(self.ref) + offset)
+
+    def __repr__(self) -> str:
+        if isinstance(self.ref, int):
+            return f"%{self.ref}"
+        return str(self.ref)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttrRef) and self.ref == other.ref
+
+    def __hash__(self) -> int:
+        return hash((AttrRef, self.ref))
+
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+class Arith(ScalarExpr):
+    """Binary arithmetic: ``+ - * /`` over numeric domains.
+
+    Typing: integer op integer is integer (except ``/``, which is real);
+    anything involving real is real; anything involving money is money,
+    except money divided by money, which is a real ratio.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ScalarExpr, right: ScalarExpr) -> None:
+        if op not in ("+", "-", "*", "/"):
+            raise ExpressionTypeError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        left = self.left.infer_domain(schema)
+        right = self.right.infer_domain(schema)
+        if left not in _NUMERIC or right not in _NUMERIC:
+            raise ExpressionTypeError(
+                f"arithmetic {self.op!r} needs numeric operands, got "
+                f"{left.name} and {right.name}"
+            )
+        if self.op == "/":
+            if left == MONEY and right == MONEY:
+                return REAL
+            if MONEY in (left, right):
+                return MONEY
+            return REAL
+        if MONEY in (left, right):
+            return MONEY
+        if REAL in (left, right):
+            return REAL
+        return INTEGER
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], Any]:
+        result_domain = self.infer_domain(schema)
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        # Mixed money arithmetic: Decimal refuses to combine with float,
+        # so when either operand is money both are coerced to Decimal
+        # (exactly, via MONEY.normalize) before the operation.
+        left_domain = self.left.infer_domain(schema)
+        right_domain = self.right.infer_domain(schema)
+        if MONEY in (left_domain, right_domain):
+            if left_domain != MONEY:
+                inner_left = left
+                left = lambda row: MONEY.normalize(inner_left(row))
+            if right_domain != MONEY:
+                inner_right = right
+                right = lambda row: MONEY.normalize(inner_right(row))
+        if self.op == "/":
+
+            def divide(row: Row) -> Any:
+                denominator = right(row)
+                if denominator == 0:
+                    raise DivisionByZeroError(
+                        f"division by zero in {self!r} for tuple {row!r}"
+                    )
+                quotient = left(row) / denominator
+                return result_domain.normalize(quotient)
+
+            return divide
+        operation = _ARITH_OPS[self.op]
+        normalize = result_domain.normalize
+        return lambda row: normalize(operation(left(row), right(row)))
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return self.left.references(schema) | self.right.references(schema)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Arith)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((Arith, self.op, self.left, self.right))
+
+
+class Neg(ScalarExpr):
+    """Unary minus over a numeric operand."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: ScalarExpr) -> None:
+        self.operand = operand
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        domain = self.operand.infer_domain(schema)
+        if domain not in _NUMERIC:
+            raise ExpressionTypeError(
+                f"unary minus needs a numeric operand, got {domain.name}"
+            )
+        return domain
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], Any]:
+        operand = self.operand.bind(schema)
+        return lambda row: -operand(row)
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return self.operand.references(schema)
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Neg) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash((Neg, self.operand))
+
+
+_COMPARE_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Compare(ScalarExpr):
+    """A comparison producing a boolean.
+
+    Operands must be of the same domain, or both numeric (int/real/money
+    compare freely).  Ordering comparisons additionally require an
+    ordered domain.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ScalarExpr, right: ScalarExpr) -> None:
+        if op not in _COMPARE_OPS:
+            raise ExpressionTypeError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        left = self.left.infer_domain(schema)
+        right = self.right.infer_domain(schema)
+        comparable = left == right or (left in _NUMERIC and right in _NUMERIC)
+        if not comparable:
+            raise ExpressionTypeError(
+                f"cannot compare {left.name} with {right.name}"
+            )
+        if self.op not in ("=", "<>") and not left.is_ordered:
+            raise ExpressionTypeError(
+                f"ordering comparison {self.op!r} needs an ordered domain, "
+                f"got {left.name}"
+            )
+        return BOOLEAN
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], bool]:
+        self.infer_domain(schema)  # surface type errors at bind time
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        operation = _COMPARE_OPS[self.op]
+        return lambda row: operation(left(row), right(row))
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return self.left.references(schema) | self.right.references(schema)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Compare)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((Compare, self.op, self.left, self.right))
+
+
+class BoolOp(ScalarExpr):
+    """Conjunction / disjunction of boolean expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: ScalarExpr, right: ScalarExpr) -> None:
+        if op not in ("and", "or"):
+            raise ExpressionTypeError(f"unknown boolean operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        for side in (self.left, self.right):
+            if side.infer_domain(schema) != BOOLEAN:
+                raise ExpressionTypeError(
+                    f"{self.op!r} needs boolean operands, got {side!r}"
+                )
+        return BOOLEAN
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], bool]:
+        self.infer_domain(schema)
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        if self.op == "and":
+            return lambda row: left(row) and right(row)
+        return lambda row: left(row) or right(row)
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return self.left.references(schema) | self.right.references(schema)
+
+    def conjuncts(self) -> Tuple[ScalarExpr, ...]:
+        """Flatten nested conjunctions (used by the optimizer to split σ)."""
+        if self.op != "and":
+            return (self,)
+        parts: list[ScalarExpr] = []
+        for side in (self.left, self.right):
+            if isinstance(side, BoolOp) and side.op == "and":
+                parts.extend(side.conjuncts())
+            else:
+                parts.append(side)
+        return tuple(parts)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BoolOp)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((BoolOp, self.op, self.left, self.right))
+
+
+class Not(ScalarExpr):
+    """Boolean negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: ScalarExpr) -> None:
+        self.operand = operand
+
+    def infer_domain(self, schema: RelationSchema) -> Domain:
+        if self.operand.infer_domain(schema) != BOOLEAN:
+            raise ExpressionTypeError(
+                f"'not' needs a boolean operand, got {self.operand!r}"
+            )
+        return BOOLEAN
+
+    def bind(self, schema: RelationSchema) -> Callable[[Row], bool]:
+        self.infer_domain(schema)
+        operand = self.operand.bind(schema)
+        return lambda row: not operand(row)
+
+    def references(self, schema: RelationSchema) -> frozenset[int]:
+        return self.operand.references(schema)
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash((Not, self.operand))
+
+
+def col(ref: AttrRefLike) -> AttrRef:
+    """Shorthand attribute reference: ``col("alcperc")`` or ``col(3)``."""
+    return AttrRef(ref)
+
+
+def lit(value: Any) -> Const:
+    """Shorthand constant with inferred domain: ``lit(1.1)``."""
+    return Const.infer(value)

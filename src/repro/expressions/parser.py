@@ -1,0 +1,226 @@
+"""Parser for the textual form of scalar expressions.
+
+Grammar (precedence from loosest to tightest)::
+
+    expr    := or
+    or      := and ( 'or' and )*
+    and     := not ( 'and' not )*
+    not     := 'not' not | cmp
+    cmp     := add ( ('=' | '<>' | '!=' | '<=' | '>=' | '<' | '>') add )?
+    add     := mul ( ('+' | '-') mul )*
+    mul     := unary ( ('*' | '/') unary )*
+    unary   := '-' unary | atom
+    atom    := number | string | 'true' | 'false' | attrref | '(' expr ')'
+    attrref := '%' digits | identifier ( '.' identifier )?
+
+Numbers with a ``.`` or exponent are reals, otherwise integers.  Strings
+use single quotes with ``''`` as the escape for a quote, as in SQL and
+the paper's examples (``brewery = 'Guineken'``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ExpressionParseError
+from repro.expressions.ast import (
+    Arith,
+    AttrRef,
+    BoolOp,
+    Compare,
+    Const,
+    Neg,
+    Not,
+    ScalarExpr,
+)
+from repro.domains import BOOLEAN, INTEGER, REAL, STRING
+
+__all__ = ["parse_expression", "tokenize"]
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<real>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<attr>%\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><>|!=|<=|>=|[=<>+\-*/(),])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens, raising on unrecognised characters."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ExpressionParseError(
+                f"unexpected character {text[position]!r}", text, position
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            token_text = match.group()
+            if kind == "name" and token_text.lower() in _KEYWORDS:
+                kind = "keyword"
+                token_text = token_text.lower()
+            tokens.append(Token(kind, token_text, position))
+        position = match.end()
+    tokens.append(Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- cursor helpers ------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise ExpressionParseError(
+                f"expected {wanted!r}, found {actual.text or 'end of input'!r}",
+                self.text,
+                actual.position,
+            )
+        return token
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> ScalarExpr:
+        expression = self.parse_or()
+        trailing = self.peek()
+        if trailing.kind != "eof":
+            raise ExpressionParseError(
+                f"unexpected trailing input {trailing.text!r}",
+                self.text,
+                trailing.position,
+            )
+        return expression
+
+    def parse_or(self) -> ScalarExpr:
+        expression = self.parse_and()
+        while self.accept("keyword", "or"):
+            expression = BoolOp("or", expression, self.parse_and())
+        return expression
+
+    def parse_and(self) -> ScalarExpr:
+        expression = self.parse_not()
+        while self.accept("keyword", "and"):
+            expression = BoolOp("and", expression, self.parse_not())
+        return expression
+
+    def parse_not(self) -> ScalarExpr:
+        if self.accept("keyword", "not"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ScalarExpr:
+        expression = self.parse_additive()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("=", "<>", "!=", "<=", ">=", "<", ">"):
+            self.advance()
+            operator = "<>" if token.text == "!=" else token.text
+            right = self.parse_additive()
+            return Compare(operator, expression, right)
+        return expression
+
+    def parse_additive(self) -> ScalarExpr:
+        expression = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self.advance()
+                expression = Arith(token.text, expression, self.parse_multiplicative())
+            else:
+                return expression
+
+    def parse_multiplicative(self) -> ScalarExpr:
+        expression = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                self.advance()
+                expression = Arith(token.text, expression, self.parse_unary())
+            else:
+                return expression
+
+    def parse_unary(self) -> ScalarExpr:
+        if self.accept("op", "-"):
+            return Neg(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> ScalarExpr:
+        token = self.peek()
+        if token.kind == "real":
+            self.advance()
+            return Const(float(token.text), REAL)
+        if token.kind == "int":
+            self.advance()
+            return Const(int(token.text), INTEGER)
+        if token.kind == "string":
+            self.advance()
+            body = token.text[1:-1].replace("''", "'")
+            return Const(body, STRING)
+        if token.kind == "attr":
+            self.advance()
+            return AttrRef(int(token.text[1:]))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return Const(token.text == "true", BOOLEAN)
+        if token.kind == "name":
+            self.advance()
+            return AttrRef(token.text)
+        if self.accept("op", "("):
+            expression = self.parse_or()
+            self.expect("op", ")")
+            return expression
+        raise ExpressionParseError(
+            f"unexpected token {token.text or 'end of input'!r}",
+            self.text,
+            token.position,
+        )
+
+
+def parse_expression(text: str) -> ScalarExpr:
+    """Parse ``text`` into a :class:`~repro.expressions.ast.ScalarExpr`.
+
+    Examples::
+
+        parse_expression("country = 'Netherlands'")
+        parse_expression("%3 * 1.1")
+        parse_expression("alcperc > 5.0 and not (brewery = 'Guineken')")
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,127 @@
+"""Structural rewriting of scalar expressions.
+
+The optimizer and the physical planner both need to move conditions
+around schemas: splitting a condition into conjuncts, normalising
+attribute references to positions, and *rebasing* a condition from a
+product's concatenated schema onto one operand's schema (the heart of
+selection push-down and of equi-join detection).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.expressions.ast import (
+    Arith,
+    AttrRef,
+    BoolOp,
+    Compare,
+    Const,
+    Neg,
+    Not,
+    ScalarExpr,
+)
+from repro.schema import RelationSchema
+
+__all__ = [
+    "map_attr_refs",
+    "resolve_refs",
+    "shift_refs",
+    "rebase",
+    "split_conjuncts",
+    "conjoin",
+]
+
+
+def map_attr_refs(
+    expr: ScalarExpr, transform: Callable[[AttrRef], ScalarExpr]
+) -> ScalarExpr:
+    """Rebuild ``expr`` with every attribute reference passed through ``transform``."""
+    if isinstance(expr, AttrRef):
+        return transform(expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op,
+            map_attr_refs(expr.left, transform),
+            map_attr_refs(expr.right, transform),
+        )
+    if isinstance(expr, Neg):
+        return Neg(map_attr_refs(expr.operand, transform))
+    if isinstance(expr, Compare):
+        return Compare(
+            expr.op,
+            map_attr_refs(expr.left, transform),
+            map_attr_refs(expr.right, transform),
+        )
+    if isinstance(expr, BoolOp):
+        return BoolOp(
+            expr.op,
+            map_attr_refs(expr.left, transform),
+            map_attr_refs(expr.right, transform),
+        )
+    if isinstance(expr, Not):
+        return Not(map_attr_refs(expr.operand, transform))
+    raise TypeError(f"unknown scalar expression node {type(expr).__name__}")
+
+
+def resolve_refs(expr: ScalarExpr, schema: RelationSchema) -> ScalarExpr:
+    """Normalise every attribute reference to its 1-based position.
+
+    After this, the expression is schema-name-independent: it can be
+    bound against any schema with compatible positions, which is what
+    rewrites rely on.
+    """
+    return map_attr_refs(expr, lambda ref: AttrRef(schema.resolve(ref.ref)))
+
+
+def shift_refs(expr: ScalarExpr, offset: int) -> ScalarExpr:
+    """Shift every *positional* reference by ``offset`` (refs must be ints)."""
+
+    def transform(ref: AttrRef) -> ScalarExpr:
+        if not isinstance(ref.ref, int):
+            raise ValueError(
+                f"shift_refs needs positional references, found {ref.ref!r}"
+            )
+        return AttrRef(ref.ref + offset)
+
+    return map_attr_refs(expr, transform)
+
+
+def rebase(
+    expr: ScalarExpr,
+    schema: RelationSchema,
+    first: int,
+    last: int,
+) -> Optional[ScalarExpr]:
+    """Rebase ``expr`` from ``schema`` onto the attribute window [first, last].
+
+    Returns the expression rewritten with positions relative to the
+    window (so it can be evaluated against the operand owning those
+    columns), or None when the expression references attributes outside
+    the window.  Used to push a selection through a product and to peel
+    the two sides of an equi-join conjunct apart.
+    """
+    positions = expr.references(schema)
+    if not all(first <= position <= last for position in positions):
+        return None
+    resolved = resolve_refs(expr, schema)
+    return shift_refs(resolved, -(first - 1))
+
+
+def split_conjuncts(expr: ScalarExpr) -> List[ScalarExpr]:
+    """Top-level conjuncts of ``expr`` (a non-conjunction is one conjunct)."""
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        return list(expr.conjuncts())
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[ScalarExpr]) -> ScalarExpr:
+    """Fold conjuncts back into a single condition (left-deep ``and`` chain)."""
+    if not conjuncts:
+        raise ValueError("cannot conjoin zero conjuncts")
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BoolOp("and", result, conjunct)
+    return result

@@ -1,0 +1,48 @@
+"""Extensions the paper's Section 5 explicitly invites.
+
+* :mod:`~repro.extensions.closure` — a transitive-closure operator
+  (recursion), per the reference to integrity-control thesis work [11];
+* :mod:`~repro.extensions.constraints` — integrity constraints checked
+  at the transaction commit bracket;
+* :mod:`~repro.extensions.parallel` — PRISMA-style hash-fragmented
+  parallel operators, whose correctness rests on the paper's own
+  equivalence theorems.
+"""
+
+from repro.extensions.closure import (
+    TransitiveClosure,
+    closure_by_iteration,
+    transitive_closure_pairs,
+)
+from repro.extensions.constraints import (
+    Constraint,
+    DomainConstraint,
+    KeyConstraint,
+    ReferentialConstraint,
+)
+from repro.extensions.parallel import (
+    FragmentReport,
+    hash_partition,
+    parallel_distinct,
+    parallel_equijoin,
+    parallel_group_by,
+    parallel_project,
+    parallel_select,
+)
+
+__all__ = [
+    "TransitiveClosure",
+    "transitive_closure_pairs",
+    "closure_by_iteration",
+    "Constraint",
+    "KeyConstraint",
+    "ReferentialConstraint",
+    "DomainConstraint",
+    "hash_partition",
+    "FragmentReport",
+    "parallel_select",
+    "parallel_project",
+    "parallel_equijoin",
+    "parallel_group_by",
+    "parallel_distinct",
+]

@@ -1,0 +1,144 @@
+"""Integrity constraints (the topic the paper delegates to [11]).
+
+The paper excludes integrity constraints from its scope, pointing to
+Grefen's thesis on integrity control in parallel database systems.  This
+module provides the transaction-level hook that thesis line of work
+assumes: constraints are predicates over database *states*, checked at
+the commit bracket; a violation aborts the transaction (so the
+correctness property of the transaction model is maintained).
+
+Three constraint forms cover the classic cases:
+
+* :class:`KeyConstraint` — an attribute list is a key: no two distinct
+  tuples agree on it, and (bag twist!) no tuple has multiplicity > 1;
+* :class:`ReferentialConstraint` — every value combination in the
+  referencing columns appears in the referenced relation's columns;
+* :class:`DomainConstraint` — an arbitrary condition holds for every
+  tuple of a relation (e.g. ``alcperc > 0``).
+
+All raise :class:`~repro.errors.ConstraintViolationError`, a subclass of
+:class:`~repro.errors.TransactionAbort` — the transaction machinery
+rolls back automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.algebra.base import ConditionLike, as_condition
+from repro.errors import ConstraintViolationError
+from repro.relation import Relation
+from repro.schema import AttrRefLike
+
+__all__ = [
+    "Constraint",
+    "KeyConstraint",
+    "ReferentialConstraint",
+    "DomainConstraint",
+]
+
+
+class Constraint:
+    """Base class: a named predicate over a database state."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def check(self, state: Mapping[str, Relation]) -> None:
+        """Raise :class:`ConstraintViolationError` when violated."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class KeyConstraint(Constraint):
+    """``attrs`` is a key of ``relation``: distinct tuples differ on it.
+
+    Under bag semantics a key constraint has a second obligation the set
+    model gets for free: a tuple with multiplicity greater than one also
+    repeats its key value, so duplicates of the *whole tuple* violate the
+    key too.
+    """
+
+    def __init__(
+        self, name: str, relation: str, attrs: Sequence[AttrRefLike]
+    ) -> None:
+        super().__init__(name)
+        self.relation = relation
+        self.attrs = list(attrs)
+
+    def check(self, state: Mapping[str, Relation]) -> None:
+        relation = state.get(self.relation)
+        if relation is None:
+            return
+        positions = relation.schema.resolve_all(self.attrs)
+        seen: dict = {}
+        for row, count in relation.pairs():
+            key = tuple(row[position - 1] for position in positions)
+            if count > 1 or key in seen:
+                raise ConstraintViolationError(
+                    self.name,
+                    f"key {self.attrs} of {self.relation!r} duplicated for {key!r}",
+                )
+            seen[key] = row
+
+
+class ReferentialConstraint(Constraint):
+    """Every referencing value combination exists in the referenced columns."""
+
+    def __init__(
+        self,
+        name: str,
+        referencing: str,
+        referencing_attrs: Sequence[AttrRefLike],
+        referenced: str,
+        referenced_attrs: Sequence[AttrRefLike],
+    ) -> None:
+        super().__init__(name)
+        self.referencing = referencing
+        self.referencing_attrs = list(referencing_attrs)
+        self.referenced = referenced
+        self.referenced_attrs = list(referenced_attrs)
+
+    def check(self, state: Mapping[str, Relation]) -> None:
+        source = state.get(self.referencing)
+        target = state.get(self.referenced)
+        if source is None or target is None:
+            return
+        source_positions = source.schema.resolve_all(self.referencing_attrs)
+        target_positions = target.schema.resolve_all(self.referenced_attrs)
+        available = {
+            tuple(row[position - 1] for position in target_positions)
+            for row, _count in target.pairs()
+        }
+        for row, _count in source.pairs():
+            key = tuple(row[position - 1] for position in source_positions)
+            if key not in available:
+                raise ConstraintViolationError(
+                    self.name,
+                    f"{self.referencing!r}{self.referencing_attrs} value {key!r} "
+                    f"has no match in {self.referenced!r}{self.referenced_attrs}",
+                )
+
+
+class DomainConstraint(Constraint):
+    """A condition that must hold for every tuple of one relation."""
+
+    def __init__(self, name: str, relation: str, condition: ConditionLike) -> None:
+        super().__init__(name)
+        self.relation = relation
+        self.condition = as_condition(condition)
+
+    def check(self, state: Mapping[str, Relation]) -> None:
+        relation = state.get(self.relation)
+        if relation is None:
+            return
+        predicate = self.condition.bind(relation.schema)
+        for row, _count in relation.pairs():
+            if not predicate(row):
+                raise ConstraintViolationError(
+                    self.name,
+                    f"tuple {row!r} of {self.relation!r} fails "
+                    f"{self.condition!r}",
+                )

@@ -1,0 +1,22 @@
+"""Statements, programs, transactions, sessions (Section 4 of the paper)."""
+
+from repro.language.context import ExecutionContext
+from repro.language.programs import Program
+from repro.language.session import ActiveTransaction, Session
+from repro.language.statements import Assign, Delete, Insert, Query, Statement, Update
+from repro.language.transactions import Transaction, TransactionResult
+
+__all__ = [
+    "ExecutionContext",
+    "Statement",
+    "Insert",
+    "Delete",
+    "Update",
+    "Assign",
+    "Query",
+    "Program",
+    "Transaction",
+    "TransactionResult",
+    "Session",
+    "ActiveTransaction",
+]

@@ -1,0 +1,91 @@
+"""Execution contexts for statements, programs, and transactions.
+
+A context is a *working state*: a copy of the database's relations plus
+the temporary relations created by assignment statements, plus the
+outputs produced by query statements.  Statements mutate the context;
+the transaction machinery decides whether the working state ever becomes
+the next database state ``D^{t+1}`` (Definition 4.3).
+
+The context also owns the evaluation strategy: the reference evaluator
+by default, optionally the physical engine and/or the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.algebra import AlgebraExpr
+from repro.engine import StatisticsCatalog, evaluate, execute
+from repro.errors import DuplicateRelationError, UnknownRelationError
+from repro.relation import Relation
+
+__all__ = ["ExecutionContext"]
+
+
+class ExecutionContext:
+    """Working state for statement execution."""
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation],
+        use_physical_engine: bool = False,
+        optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = None,
+    ) -> None:
+        #: Working copies of the base relations.
+        self.relations: Dict[str, Relation] = dict(relations)
+        #: Temporary relations created by assignment statements.
+        self.temporaries: Dict[str, Relation] = {}
+        #: Results of query statements, in execution order.
+        self.outputs: List[Relation] = []
+        self._use_physical_engine = use_physical_engine
+        self._optimizer = optimizer
+
+    # -- name resolution -------------------------------------------------
+
+    def environment(self) -> Dict[str, Relation]:
+        """Base relations and temporaries together (names are disjoint)."""
+        env = dict(self.relations)
+        env.update(self.temporaries)
+        return env
+
+    def get_relation(self, name: str) -> Relation:
+        if name in self.temporaries:
+            return self.temporaries[name]
+        if name in self.relations:
+            return self.relations[name]
+        raise UnknownRelationError(name)
+
+    def set_relation(self, name: str, relation: Relation) -> None:
+        """Replace an existing base or temporary relation."""
+        if name in self.temporaries:
+            self.temporaries[name] = relation
+        elif name in self.relations:
+            self.relations[name] = relation
+        else:
+            raise UnknownRelationError(name)
+
+    def bind_temporary(self, name: str, relation: Relation) -> None:
+        """Create (or rebind) a temporary relation.
+
+        Shadowing a base relation is rejected: the paper's assignment
+        defines a *new* variable, and silently hiding a stored relation
+        would make programs treacherous to read.
+        """
+        if name in self.relations:
+            raise DuplicateRelationError(name)
+        self.temporaries[name] = relation.rename(name)
+
+    # -- expression evaluation --------------------------------------------------
+
+    def evaluate(self, expr: AlgebraExpr) -> Relation:
+        """Evaluate ``expr`` against the working state."""
+        if self._optimizer is not None:
+            expr = self._optimizer(expr)
+        env = self.environment()
+        if self._use_physical_engine:
+            return execute(expr, env)
+        return evaluate(expr, env)
+
+    def statistics(self) -> StatisticsCatalog:
+        """Exact statistics of the working state (for cost-based choices)."""
+        return StatisticsCatalog.from_env(self.environment())

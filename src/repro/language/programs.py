@@ -1,0 +1,54 @@
+"""Programs (Definition 4.2): sequential composition of statements.
+
+The paper's grammar is minimal — a statement is a program, and ``p; a``
+sequences a program with one more statement.  :class:`Program` is the
+flattened form: an ordered statement list executed left to right against
+one shared context (so assignments made early are visible to later
+statements).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.language.context import ExecutionContext
+from repro.language.statements import Statement
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An ordered sequence of statements."""
+
+    def __init__(self, statements: Iterable[Statement] = ()) -> None:
+        self.statements: List[Statement] = list(statements)
+
+    def then(self, statement: Statement) -> "Program":
+        """The paper's ``p; a`` constructor — returns a new program."""
+        return Program(self.statements + [statement])
+
+    def execute(self, context: ExecutionContext) -> None:
+        """Run every statement, in order, against ``context``."""
+        for statement in self.statements:
+            statement.execute(context)
+
+    def execute_stepwise(
+        self, context: ExecutionContext
+    ) -> Iterator[Tuple[Statement, ExecutionContext]]:
+        """Run statement by statement, yielding after each step.
+
+        The transaction machinery uses this to expose the intermediate
+        states ``D^{t.i}`` of Definition 4.3.
+        """
+        for statement in self.statements:
+            statement.execute(context)
+            yield statement, context
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __repr__(self) -> str:
+        return "; ".join(repr(statement) for statement in self.statements)

@@ -1,0 +1,201 @@
+"""A convenient front door: sessions and interactive transactions.
+
+:class:`Session` ties a database to an evaluation strategy (reference or
+physical engine, optimizer on/off) and offers:
+
+* ``session.query(expr)`` — evaluate a read-only expression now;
+* ``session.insert/delete/update/assign`` — auto-commit single-statement
+  transactions;
+* ``with session.transaction() as txn:`` — an open transaction whose
+  statements execute immediately against a private working state;
+  normal exit commits, an exception (or ``txn.abort()``) rolls back.
+
+The paper's advice — "transactions are the best level for database
+access in practice" — is what this module operationalises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.algebra import AlgebraExpr, RelationRef
+from repro.algebra.base import ConditionLike
+from repro.database import Database
+from repro.errors import TransactionAbort, TransactionError
+from repro.language.context import ExecutionContext
+from repro.language.statements import Assign, Delete, Insert, Query, Statement, Update
+from repro.language.transactions import Transaction, TransactionResult
+from repro.optimizer import optimize
+from repro.relation import Relation
+
+__all__ = ["Session", "ActiveTransaction"]
+
+
+class Session:
+    """A database session with a fixed evaluation strategy."""
+
+    def __init__(
+        self,
+        database: Database,
+        use_physical_engine: bool = True,
+        use_optimizer: bool = True,
+        constraints: Sequence[object] = (),
+    ) -> None:
+        self.database = database
+        self.use_physical_engine = use_physical_engine
+        self.constraints: List[object] = list(constraints)
+        self._optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = (
+            optimize if use_optimizer else None
+        )
+
+    # -- expression building ----------------------------------------------
+
+    def relation(self, name: str) -> RelationRef:
+        """An algebra leaf for the named base relation."""
+        return RelationRef(name, self.database.schema.get(name))
+
+    # -- read-only access ----------------------------------------------------
+
+    def query(self, expr: AlgebraExpr) -> Relation:
+        """Evaluate ``expr`` against the current state (no transaction)."""
+        context = ExecutionContext(
+            self.database.snapshot(),
+            use_physical_engine=self.use_physical_engine,
+            optimizer=self._optimizer,
+        )
+        return context.evaluate(expr)
+
+    # -- auto-commit statements ------------------------------------------------
+
+    def run(self, statements: Sequence[Statement]) -> TransactionResult:
+        """Run ``statements`` as one transaction."""
+        transaction = Transaction(statements)
+        return transaction.run(
+            self.database,
+            use_physical_engine=self.use_physical_engine,
+            optimizer=self._optimizer,
+            constraints=self.constraints,
+        )
+
+    def insert(self, target: str, expression: AlgebraExpr) -> TransactionResult:
+        return self.run([Insert(target, expression)])
+
+    def delete(self, target: str, expression: AlgebraExpr) -> TransactionResult:
+        return self.run([Delete(target, expression)])
+
+    def update(
+        self,
+        target: str,
+        expression: AlgebraExpr,
+        assignments: Sequence[ConditionLike],
+    ) -> TransactionResult:
+        return self.run([Update(target, expression, assignments)])
+
+    # -- interactive transactions --------------------------------------------------
+
+    def transaction(self) -> "ActiveTransaction":
+        """Open transaction brackets; use as a context manager."""
+        return ActiveTransaction(self)
+
+
+class ActiveTransaction:
+    """An open transaction: statements run immediately on a working state.
+
+    Normal ``with`` exit commits; an exception inside the block — or an
+    explicit :meth:`abort` — rolls everything back (the database is
+    untouched either way until commit).
+    """
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._pre_state = session.database.snapshot()
+        self._context = ExecutionContext(
+            self._pre_state,
+            use_physical_engine=session.use_physical_engine,
+            optimizer=session._optimizer,
+        )
+        self._finished = False
+
+    # -- statements -----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._finished:
+            raise TransactionError("transaction already finished")
+
+    def insert(self, target: str, expression: AlgebraExpr) -> None:
+        self._require_open()
+        Insert(target, expression).execute(self._context)
+
+    def delete(self, target: str, expression: AlgebraExpr) -> None:
+        self._require_open()
+        Delete(target, expression).execute(self._context)
+
+    def update(
+        self,
+        target: str,
+        expression: AlgebraExpr,
+        assignments: Sequence[ConditionLike],
+    ) -> None:
+        self._require_open()
+        Update(target, expression, assignments).execute(self._context)
+
+    def assign(self, target: str, expression: AlgebraExpr) -> None:
+        self._require_open()
+        Assign(target, expression).execute(self._context)
+
+    def query(self, expression: AlgebraExpr) -> Relation:
+        """``?E`` — evaluated against the transaction's working state."""
+        self._require_open()
+        Query(expression).execute(self._context)
+        return self._context.outputs[-1]
+
+    def relation(self, name: str) -> RelationRef:
+        """An algebra leaf resolving in this transaction's working state.
+
+        Temporaries bound by :meth:`assign` are visible here, unlike in
+        :meth:`Session.relation`.
+        """
+        self._require_open()
+        return RelationRef(name, self._context.get_relation(name).schema)
+
+    # -- brackets -----------------------------------------------------------------
+
+    def commit(self) -> TransactionResult:
+        """Close the brackets: constraint-check and install ``D^{t+1}``."""
+        self._require_open()
+        self._finished = True
+        try:
+            Transaction._check_constraints(
+                self._session.constraints, self._context
+            )
+        except TransactionAbort as abort:
+            self._session.database.restore(self._pre_state)
+            return TransactionResult(
+                False, self._context.outputs, abort, None, []
+            )
+        transition = self._session.database.install(self._context.relations)
+        return TransactionResult(
+            True, self._context.outputs, None, transition, []
+        )
+
+    def abort(self, reason: str = "user abort") -> None:
+        """Roll back explicitly (raises :class:`TransactionAbort`)."""
+        raise TransactionAbort(reason)
+
+    def __enter__(self) -> "ActiveTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc_value, _traceback) -> bool:
+        if self._finished:
+            return False
+        if exc_type is None:
+            result = self.commit()
+            if not result.committed:
+                # Constraint violation at the end bracket: surface it.
+                assert result.error is not None
+                raise result.error
+            return False
+        # Any exception aborts; the database was never touched.
+        self._finished = True
+        self._session.database.restore(self._pre_state)
+        return isinstance(exc_value, TransactionAbort)

@@ -1,0 +1,134 @@
+"""Transactions (Definition 4.3): atomic execution of programs.
+
+A transaction is a program in *transaction brackets* executed against a
+database state ``D^t``.  During execution the database passes through
+intermediate states ``D^{t.0} = D^t, D^{t.1}, ..., D^{t.n}`` which may
+contain temporary relations and "have no semantics beyond the execution
+of T".  The end bracket either
+
+* **commits**: temporary relations are removed from ``D^{t.n}`` and the
+  result is installed as ``D^{t+1}`` (one single-step transition); or
+* **aborts**: ``D^t`` is reinstalled — the database is unchanged.
+
+Atomicity is the property this module enforces:
+``T(D) = D^{t.n}|_base`` or ``T(D) = D`` — nothing in between is ever
+visible.  Isolation is by construction: transactions run serially
+against the database object.  Durability is out of scope for an
+in-memory reproduction (the paper's model is PRISMA/DB, a main-memory
+system).  Correctness hooks are integrity constraints
+(:mod:`repro.extensions.constraints`) checked before commit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.algebra import AlgebraExpr
+from repro.database import Database, DatabaseTransition
+from repro.errors import TransactionAbort
+from repro.language.context import ExecutionContext
+from repro.language.programs import Program
+from repro.language.statements import Statement
+from repro.relation import Relation
+
+__all__ = ["Transaction", "TransactionResult", "IntermediateState"]
+
+#: A snapshot of one intermediate state D^{t.i}: (statement index, relations
+#: including temporaries at that point).
+IntermediateState = tuple
+
+
+class TransactionResult:
+    """Outcome of running a transaction."""
+
+    __slots__ = ("committed", "outputs", "error", "transition", "intermediate_states")
+
+    def __init__(
+        self,
+        committed: bool,
+        outputs: List[Relation],
+        error: Optional[BaseException],
+        transition: Optional[DatabaseTransition],
+        intermediate_states: List[IntermediateState],
+    ) -> None:
+        self.committed = committed
+        self.outputs = outputs
+        self.error = error
+        self.transition = transition
+        self.intermediate_states = intermediate_states
+
+    def __repr__(self) -> str:
+        status = "committed" if self.committed else "aborted"
+        return f"<TransactionResult {status}, {len(self.outputs)} output(s)>"
+
+
+class Transaction:
+    """A program enclosed in transaction brackets: ``(a1; ...; an)``."""
+
+    def __init__(self, program: Program | Iterable[Statement]) -> None:
+        if isinstance(program, Program):
+            self.program = program
+        else:
+            self.program = Program(program)
+
+    def run(
+        self,
+        database: Database,
+        use_physical_engine: bool = False,
+        optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = None,
+        constraints: Sequence["object"] = (),
+        record_intermediate_states: bool = False,
+    ) -> TransactionResult:
+        """Execute against ``database`` with full atomicity.
+
+        Any exception raised by a statement — including an explicit
+        :class:`~repro.errors.TransactionAbort` and constraint
+        violations — aborts the transaction: the pre-state ``D^t``
+        remains installed, logical time does not advance, and the
+        exception is reported in the result (never re-raised for
+        :class:`TransactionAbort`; other exceptions propagate after the
+        rollback, since they are bugs rather than semantics).
+        """
+        pre_state = database.snapshot()
+        context = ExecutionContext(
+            pre_state,
+            use_physical_engine=use_physical_engine,
+            optimizer=optimizer,
+        )
+        intermediate_states: List[IntermediateState] = []
+        if record_intermediate_states:
+            intermediate_states.append((0, dict(context.environment())))
+        try:
+            for index, (statement, _ctx) in enumerate(
+                self.program.execute_stepwise(context), start=1
+            ):
+                if record_intermediate_states:
+                    intermediate_states.append((index, dict(context.environment())))
+            self._check_constraints(constraints, context)
+        except TransactionAbort as abort:
+            database.restore(pre_state)
+            return TransactionResult(
+                False, context.outputs, abort, None, intermediate_states
+            )
+        except Exception:
+            database.restore(pre_state)
+            raise
+        # Commit: the end bracket drops temporaries and installs D^{t+1}.
+        transition = database.install(context.relations)
+        return TransactionResult(
+            True, context.outputs, None, transition, intermediate_states
+        )
+
+    @staticmethod
+    def _check_constraints(
+        constraints: Sequence["object"], context: ExecutionContext
+    ) -> None:
+        """Run integrity constraints against the would-be post-state."""
+        for constraint in constraints:
+            check = getattr(constraint, "check", None)
+            if check is None:
+                raise TypeError(f"{constraint!r} is not a constraint")
+            check(context.relations)
+
+    def __repr__(self) -> str:
+        return f"({self.program!r})"

@@ -1,0 +1,92 @@
+"""Free-function forms of the bag operations.
+
+These mirror the methods on :class:`~repro.multiset.Multiset` so that the
+equivalence checkers and property tests can treat operators as first-class
+values (e.g. parametrise a test over ``[union, intersection, ...]``).
+Each function documents the multiplicity equation it implements.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+from repro.multiset.multiset import Multiset
+
+__all__ = [
+    "union",
+    "difference",
+    "intersection",
+    "max_union",
+    "distinct",
+    "scale",
+    "is_submultiset",
+    "multiset_equal",
+    "union_all",
+    "intersection_all",
+]
+
+T = TypeVar("T", bound=Hashable)
+
+
+def union(left: Multiset[T], right: Multiset[T]) -> Multiset[T]:
+    """``(E1 ⊎ E2)(x) = E1(x) + E2(x)``."""
+    return left.union(right)
+
+
+def difference(left: Multiset[T], right: Multiset[T]) -> Multiset[T]:
+    """``(E1 − E2)(x) = max(0, E1(x) − E2(x))`` (monus)."""
+    return left.difference(right)
+
+
+def intersection(left: Multiset[T], right: Multiset[T]) -> Multiset[T]:
+    """``(E1 ∩ E2)(x) = min(E1(x), E2(x))``."""
+    return left.intersection(right)
+
+
+def max_union(left: Multiset[T], right: Multiset[T]) -> Multiset[T]:
+    """Set-style union on bags: ``max(E1(x), E2(x))``."""
+    return left.max_union(right)
+
+
+def distinct(bag: Multiset[T]) -> Multiset[T]:
+    """``(δE)(x) = 1`` if ``E(x) > 0`` else ``0``."""
+    return bag.distinct()
+
+
+def scale(bag: Multiset[T], factor: int) -> Multiset[T]:
+    """Multiply every multiplicity by ``factor >= 0``."""
+    return bag.scale(factor)
+
+
+def is_submultiset(left: Multiset[T], right: Multiset[T]) -> bool:
+    """``E1 ⊆ₘ E2``: every multiplicity in ``left`` is dominated by ``right``."""
+    return left.issubmultiset(right)
+
+
+def multiset_equal(left: Multiset[T], right: Multiset[T]) -> bool:
+    """Definition 2.3 equality: identical multiplicity functions."""
+    return left == right
+
+
+def union_all(bags: Iterable[Multiset[T]]) -> Multiset[T]:
+    """Fold ``⊎`` over ``bags`` (empty input gives the empty bag)."""
+    result: Multiset[T] = Multiset.empty()
+    for bag in bags:
+        result = result.union(bag)
+    return result
+
+
+def intersection_all(bags: Iterable[Multiset[T]]) -> Multiset[T]:
+    """Fold ``∩`` over ``bags``.
+
+    Raises ``ValueError`` on empty input: unlike union, intersection has
+    no neutral element in unbounded multiplicity arithmetic.
+    """
+    iterator = iter(bags)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("intersection_all() of no multisets is undefined") from None
+    for bag in iterator:
+        result = result.intersection(bag)
+    return result

@@ -1,0 +1,79 @@
+"""Equivalence-based query optimization (Section 3.3 of the paper).
+
+The paper's claim is that the standard relational algebra's rewrite
+toolkit survives the move to bag semantics; this package makes the claim
+operational: rewrite rules (:mod:`~repro.optimizer.rules`), a fixpoint
+rewriter, cost-based join re-association (Theorem 3.3), and the theorems
+themselves as machine-checkable equivalences.
+"""
+
+from repro.optimizer.equivalences import (
+    check_equivalence,
+    delta_max_union,
+    delta_over_union_claimed,
+    delta_over_union_valid,
+    intersect_as_difference,
+    intersect_associative,
+    join_as_select_product,
+    join_commutative_with_projection,
+    join_associative,
+    product_associative,
+    product_commutative_with_projection,
+    project_distributes_over_union,
+    select_distributes_over_union,
+    union_associative,
+)
+from repro.optimizer.heuristics import cleanup_rewriter, optimize, push_down_rewriter
+from repro.optimizer.join_order import (
+    enumerate_associations,
+    flatten_join_cluster,
+    reorder_joins,
+)
+from repro.optimizer.rewriter import Rewriter, RewriteTrace
+from repro.optimizer.rules import (
+    MergeProjects,
+    MergeSelects,
+    PushProjectThroughUnion,
+    PushSelectThroughProduct,
+    PushSelectThroughProject,
+    PushSelectThroughUnion,
+    Rule,
+    SelectIntoJoin,
+    SelectProductToJoin,
+    SplitSelect,
+)
+
+__all__ = [
+    "optimize",
+    "push_down_rewriter",
+    "cleanup_rewriter",
+    "Rewriter",
+    "RewriteTrace",
+    "Rule",
+    "SplitSelect",
+    "MergeSelects",
+    "PushSelectThroughUnion",
+    "PushProjectThroughUnion",
+    "PushSelectThroughProduct",
+    "PushSelectThroughProject",
+    "SelectProductToJoin",
+    "SelectIntoJoin",
+    "MergeProjects",
+    "reorder_joins",
+    "flatten_join_cluster",
+    "enumerate_associations",
+    "check_equivalence",
+    "intersect_as_difference",
+    "join_as_select_product",
+    "select_distributes_over_union",
+    "project_distributes_over_union",
+    "product_associative",
+    "product_commutative_with_projection",
+    "join_commutative_with_projection",
+    "join_associative",
+    "union_associative",
+    "intersect_associative",
+    "delta_over_union_claimed",
+    "delta_over_union_valid",
+    "delta_max_union",
+]

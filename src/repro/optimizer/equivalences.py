@@ -1,0 +1,262 @@
+"""The paper's expression equivalences as checkable objects.
+
+Theorems 3.1-3.3 (and the δ/⊎ *non*-equivalence noted in Section 3.3)
+are materialised here as builders that, given operand expressions,
+return the ``(lhs, rhs)`` expression pair.  :func:`check_equivalence`
+evaluates both sides with the reference evaluator and compares — this is
+how the property-test suite and bench E1-E4 machine-check the theorems.
+
+Positional conventions for the associativity laws (Theorem 3.3): both
+condition parameters are expressed over the *full* concatenated schema
+``E1 ⊕ E2 ⊕ E3``; φ1 may reference only columns of E1⊕E2 and φ2 only
+columns of E2⊕E3.  Because ⊕ is associative on column order, the same
+positions are valid on both sides — only φ2 must be shifted when it
+moves inside the right-nested join.  That positional invariance is
+precisely why the paper can state associativity without renaming
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from repro.algebra import (
+    AlgebraExpr,
+    Difference,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Select,
+    Union,
+    Unique,
+)
+from repro.algebra.base import AttrListLike, ConditionLike, as_attr_list, as_condition
+from repro.engine import evaluate
+from repro.expressions import ScalarExpr
+from repro.expressions.rewrite import resolve_refs, shift_refs
+from repro.relation import Relation
+from repro.schema import AttrList
+
+__all__ = [
+    "check_equivalence",
+    "intersect_as_difference",
+    "join_as_select_product",
+    "select_distributes_over_union",
+    "project_distributes_over_union",
+    "product_associative",
+    "product_commutative_with_projection",
+    "join_commutative_with_projection",
+    "join_associative",
+    "union_associative",
+    "intersect_associative",
+    "delta_over_union_claimed",
+    "delta_over_union_valid",
+    "delta_max_union",
+]
+
+ExprPair = Tuple[AlgebraExpr, AlgebraExpr]
+
+
+def check_equivalence(pair: ExprPair, env: Mapping[str, Relation]) -> bool:
+    """Evaluate both sides with the reference evaluator and compare."""
+    lhs, rhs = pair
+    return evaluate(lhs, env) == evaluate(rhs, env)
+
+
+# -- Theorem 3.1 -------------------------------------------------------------
+
+
+def intersect_as_difference(left: AlgebraExpr, right: AlgebraExpr) -> ExprPair:
+    """``E1 ∩ E2 = E1 − (E1 − E2)`` — multiplicity ``min`` via double monus."""
+    return (
+        Intersect(left, right),
+        Difference(left, Difference(left, right)),
+    )
+
+
+def join_as_select_product(
+    left: AlgebraExpr, right: AlgebraExpr, condition: ConditionLike
+) -> ExprPair:
+    """``E1 ⋈_φ E2 = σ_φ(E1 × E2)``."""
+    parsed = as_condition(condition)
+    return (
+        Join(left, right, parsed),
+        Select(parsed, Product(left, right)),
+    )
+
+
+# -- Theorem 3.2 ------------------------------------------------------------------
+
+
+def select_distributes_over_union(
+    left: AlgebraExpr, right: AlgebraExpr, condition: ConditionLike
+) -> ExprPair:
+    """``σ_φ(E1 ⊎ E2) = σ_φ(E1) ⊎ σ_φ(E2)``."""
+    parsed = as_condition(condition)
+    return (
+        Select(parsed, Union(left, right)),
+        Union(Select(parsed, left), Select(parsed, right)),
+    )
+
+
+def project_distributes_over_union(
+    left: AlgebraExpr, right: AlgebraExpr, attrs: AttrListLike
+) -> ExprPair:
+    """``π_α(E1 ⊎ E2) = π_α(E1) ⊎ π_α(E2)``."""
+    attr_list = as_attr_list(attrs)
+    return (
+        Project(attr_list, Union(left, right)),
+        Union(Project(attr_list, left), Project(attr_list, right)),
+    )
+
+
+# -- Theorem 3.3 -----------------------------------------------------------------------
+
+
+def product_associative(
+    e1: AlgebraExpr, e2: AlgebraExpr, e3: AlgebraExpr
+) -> ExprPair:
+    """``(E1 × E2) × E3 = E1 × (E2 × E3)``."""
+    return (
+        Product(Product(e1, e2), e3),
+        Product(e1, Product(e2, e3)),
+    )
+
+
+def join_associative(
+    e1: AlgebraExpr,
+    e2: AlgebraExpr,
+    e3: AlgebraExpr,
+    condition12: ConditionLike,
+    condition23: ConditionLike,
+) -> ExprPair:
+    """``(E1 ⋈_φ1 E2) ⋈_φ2 E3 = E1 ⋈_φ1 (E2 ⋈_φ2 E3)``.
+
+    Both conditions are given over the full schema ``E1 ⊕ E2 ⊕ E3``;
+    ``condition12`` may only reference columns of E1 and E2,
+    ``condition23`` only columns of E2 and E3.
+    """
+    full = e1.schema.concat(e2.schema).concat(e3.schema)
+    d1 = e1.schema.degree
+    d12 = d1 + e2.schema.degree
+    phi1 = resolve_refs(as_condition(condition12), full)
+    phi2 = resolve_refs(as_condition(condition23), full)
+    refs1 = phi1.references(full)
+    refs2 = phi2.references(full)
+    if not all(position <= d12 for position in refs1):
+        raise ValueError("condition12 may only reference columns of E1 ⊕ E2")
+    if not all(position > d1 for position in refs2):
+        raise ValueError("condition23 may only reference columns of E2 ⊕ E3")
+    lhs = Join(Join(e1, e2, phi1), e3, phi2)
+    rhs = Join(e1, Join(e2, e3, shift_refs(phi2, -d1)), phi1)
+    return lhs, rhs
+
+
+def union_associative(
+    e1: AlgebraExpr, e2: AlgebraExpr, e3: AlgebraExpr
+) -> ExprPair:
+    """``(E1 ⊎ E2) ⊎ E3 = E1 ⊎ (E2 ⊎ E3)`` — addition is associative."""
+    return (
+        Union(Union(e1, e2), e3),
+        Union(e1, Union(e2, e3)),
+    )
+
+
+def intersect_associative(
+    e1: AlgebraExpr, e2: AlgebraExpr, e3: AlgebraExpr
+) -> ExprPair:
+    """``(E1 ∩ E2) ∩ E3 = E1 ∩ (E2 ∩ E3)`` — min is associative."""
+    return (
+        Intersect(Intersect(e1, e2), e3),
+        Intersect(e1, Intersect(e2, e3)),
+    )
+
+
+# -- Commutativity (absent from Theorem 3.3 — here is why, precisely) --------------
+
+
+def product_commutative_with_projection(
+    e1: AlgebraExpr, e2: AlgebraExpr
+) -> ExprPair:
+    """``E1 × E2 = π_perm(E2 × E1)`` — commutativity needs a column fix-up.
+
+    Theorem 3.3 lists only associativity: plain commutativity is false in
+    a positional model because it permutes columns.  The repaired law —
+    swap the operands, then project the columns back into place — does
+    hold, and is what a cost-based optimizer would use to consider
+    swapped build/probe sides.  (Our join DP deliberately keeps leaf
+    order fixed and hence needs no projection fix-ups; this equivalence
+    documents what the alternative costs.)
+    """
+    d1 = e1.schema.degree
+    d2 = e2.schema.degree
+    permutation = list(range(d2 + 1, d2 + d1 + 1)) + list(range(1, d2 + 1))
+    return (
+        Product(e1, e2),
+        Project(AttrList(permutation), Product(e2, e1)),
+    )
+
+
+def join_commutative_with_projection(
+    e1: AlgebraExpr, e2: AlgebraExpr, condition: ConditionLike
+) -> ExprPair:
+    """``E1 ⋈φ E2 = π_perm(E2 ⋈φ' E1)`` with φ' the column-swapped condition."""
+    parsed = resolve_refs(as_condition(condition), e1.schema.concat(e2.schema))
+    d1 = e1.schema.degree
+    d2 = e2.schema.degree
+
+    from repro.expressions.ast import AttrRef
+    from repro.expressions.rewrite import map_attr_refs
+
+    def swap(ref: AttrRef) -> AttrRef:
+        assert isinstance(ref.ref, int)
+        if ref.ref <= d1:
+            return AttrRef(ref.ref + d2)
+        return AttrRef(ref.ref - d1)
+
+    swapped = map_attr_refs(parsed, swap)
+    permutation = list(range(d2 + 1, d2 + d1 + 1)) + list(range(1, d2 + 1))
+    return (
+        Join(e1, e2, parsed),
+        Project(AttrList(permutation), Join(e2, e1, swapped)),
+    )
+
+
+# -- The delta / union relationship (Section 3.3) ------------------------------------------
+
+
+def delta_over_union_claimed(left: AlgebraExpr, right: AlgebraExpr) -> ExprPair:
+    """The *invalid* distribution ``δ(E1 ⊎ E2) =? δE1 ⊎ δE2``.
+
+    The paper explicitly notes this does NOT hold: any tuple present in
+    both operands (or duplicated within one) witnesses the failure —
+    the left side gives multiplicity 1, the right side 2 (or more).
+    Bench E3 exhibits the counterexamples; the property tests check the
+    precise failure condition.
+    """
+    return (
+        Unique(Union(left, right)),
+        Union(Unique(left), Unique(right)),
+    )
+
+
+def delta_over_union_valid(left: AlgebraExpr, right: AlgebraExpr) -> ExprPair:
+    """The relation that *does* hold: ``δ(E1 ⊎ E2) = δ(δE1 ⊎ δE2)``."""
+    return (
+        Unique(Union(left, right)),
+        Unique(Union(Unique(left), Unique(right))),
+    )
+
+
+def delta_max_union(
+    left_relation: Relation, right_relation: Relation
+) -> bool:
+    """Container-level identity: ``δ(E1 ⊎ E2) = δE1 ∪_max δE2``.
+
+    The max-union is not an algebra operator (the paper avoids operator
+    proliferation), so this identity is checked on the multiset level.
+    """
+    lhs = left_relation.tuples.union(right_relation.tuples).distinct()
+    rhs = left_relation.tuples.distinct().max_union(right_relation.tuples.distinct())
+    return lhs == rhs

@@ -1,0 +1,81 @@
+"""The optimizer pipeline.
+
+:func:`optimize` chains the classic heuristic phases, all justified by
+the equivalences of Section 3.3 (which the paper proves carry over from
+the set algebra to the bag algebra):
+
+1. **split** — break conjunctive selections apart;
+2. **push down** — move selections through unions, products, joins, and
+   projections toward the leaves (Theorem 3.2 + commutation laws);
+3. **join formation** — fold selections over products into joins and
+   merge spanning selections into join conditions (Theorem 3.1);
+4. **join re-ordering** — re-associate join clusters by cost
+   (Theorem 3.3) when a statistics catalog is supplied;
+5. **cleanup** — merge selection chains and projection chains back
+   together.
+
+δ is never moved through ⊎ — the one set-algebra rule the bag algebra
+forbids (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra import AlgebraExpr
+from repro.engine import StatisticsCatalog
+from repro.optimizer.join_order import reorder_joins
+from repro.optimizer.rewriter import Rewriter, RewriteTrace
+from repro.optimizer.rules import (
+    MergeProjects,
+    MergeSelects,
+    PushProjectThroughUnion,
+    PushSelectThroughProduct,
+    PushSelectThroughProject,
+    PushSelectThroughUnion,
+    SelectIntoJoin,
+    SelectProductToJoin,
+    SplitSelect,
+)
+
+__all__ = ["optimize", "push_down_rewriter", "cleanup_rewriter"]
+
+
+def push_down_rewriter() -> Rewriter:
+    """Phases 1-3: split, push toward leaves, form joins."""
+    return Rewriter(
+        [
+            SplitSelect(),
+            PushSelectThroughUnion(),
+            PushProjectThroughUnion(),
+            PushSelectThroughProduct(),
+            PushSelectThroughProject(),
+            SelectProductToJoin(),
+            SelectIntoJoin(),
+        ]
+    )
+
+
+def cleanup_rewriter() -> Rewriter:
+    """Phase 5: merge adjacent selections and projections."""
+    return Rewriter([MergeSelects(), MergeProjects()])
+
+
+def optimize(
+    expr: AlgebraExpr,
+    catalog: Optional[StatisticsCatalog] = None,
+    trace: Optional[RewriteTrace] = None,
+) -> AlgebraExpr:
+    """Run the full heuristic (and, with ``catalog``, cost-based) pipeline.
+
+    The result is logically equivalent to ``expr`` — the property-test
+    suite checks ``evaluate(optimize(e)) == evaluate(e)`` on random
+    expressions, which is the operational content of Section 3.3.
+    """
+    rewritten = push_down_rewriter().rewrite(expr, trace)
+    if catalog is not None:
+        rewritten = reorder_joins(rewritten, catalog)
+        # Re-ordering can expose new push-down opportunities (selections
+        # attached to relocated leaves); settle again.
+        rewritten = push_down_rewriter().rewrite(rewritten, trace)
+    return cleanup_rewriter().rewrite(rewritten, trace)

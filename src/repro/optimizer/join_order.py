@@ -1,0 +1,224 @@
+"""Associativity-based join re-ordering (Theorem 3.3 put to work).
+
+Theorem 3.3 gives associativity of × and ⋈.  Because ⊕ is associative on
+column order, re-associating a join chain never permutes columns, so a
+positional condition stays valid wherever it lands — the only adjustment
+is an offset shift when a condition moves into a nested subtree.
+
+The optimizer flattens a maximal ×/⋈ cluster into its leaf sequence plus
+a pool of condition conjuncts (each annotated with the columns it
+touches), then runs the classic dynamic program over *contiguous spans*
+(exactly the space of re-associations; leaf order is fixed since the
+paper does not give commutativity, which would permute columns), costing
+candidate trees with :func:`repro.engine.estimate_cost`.  Conjuncts
+attach at the lowest node whose span covers their columns.
+
+Bench E4 measures the cost spread across associations and the gain the
+DP realises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra import AlgebraExpr, Join, Product, Select
+from repro.engine import StatisticsCatalog, estimate_cost
+from repro.expressions import ScalarExpr, conjoin, split_conjuncts
+from repro.expressions.rewrite import resolve_refs, shift_refs
+
+__all__ = ["flatten_join_cluster", "reorder_joins", "enumerate_associations"]
+
+
+@dataclass
+class _Conjunct:
+    """One condition conjunct with global (full-schema) positions."""
+
+    expression: ScalarExpr  # positions are global (1-based over all leaves)
+    first_column: int
+    last_column: int
+
+
+def flatten_join_cluster(
+    expr: AlgebraExpr,
+) -> Optional[Tuple[List[AlgebraExpr], List[_Conjunct]]]:
+    """Flatten a maximal ×/⋈ tree into (leaves, conjunct pool).
+
+    Returns None when ``expr`` is not a join/product (nothing to do).
+    Conjunct positions are rebased to the full concatenated schema of the
+    leaf sequence, which equals the original expression's schema because
+    re-association preserves column order.
+    """
+    if not isinstance(expr, (Join, Product)):
+        return None
+    leaves: List[AlgebraExpr] = []
+    conjuncts: List[_Conjunct] = []
+
+    def walk(node: AlgebraExpr, offset: int) -> int:
+        """Collect leaves/conditions; returns the node's column width."""
+        if isinstance(node, (Join, Product)):
+            left_width = walk(node.left, offset)
+            right_width = walk(node.right, offset + left_width)
+            if isinstance(node, Join):
+                local = resolve_refs(node.condition, node.schema)
+                for part in split_conjuncts(shift_refs(local, offset)):
+                    positions = sorted(
+                        ref for ref in _global_refs(part)
+                    )
+                    if positions:
+                        conjuncts.append(
+                            _Conjunct(part, positions[0], positions[-1])
+                        )
+                    else:
+                        # Condition without attribute references (e.g. a
+                        # constant): attach over the whole node's span.
+                        conjuncts.append(
+                            _Conjunct(
+                                part,
+                                offset + 1,
+                                offset + left_width + right_width,
+                            )
+                        )
+            return left_width + right_width
+        leaves.append(node)
+        return node.schema.degree
+
+    walk(expr, 0)
+    return leaves, conjuncts
+
+
+def _global_refs(expression: ScalarExpr) -> frozenset[int]:
+    """Positions referenced by an expression whose refs are already ints."""
+    from repro.expressions.ast import AttrRef
+    from repro.expressions.rewrite import map_attr_refs
+
+    found: set[int] = set()
+
+    def record(ref: AttrRef) -> AttrRef:
+        assert isinstance(ref.ref, int)
+        found.add(ref.ref)
+        return ref
+
+    map_attr_refs(expression, record)
+    return frozenset(found)
+
+
+def enumerate_associations(count: int) -> List[Tuple]:
+    """All binary association shapes over ``count`` fixed-order leaves.
+
+    Shapes are nested pairs of leaf indices — e.g. for 3 leaves:
+    ``((0, 1), 2)`` and ``(0, (1, 2))``.  Used by bench E4 to cost every
+    association explicitly (the DP below finds the best one without
+    enumerating).
+    """
+    def build(first: int, last: int) -> List:
+        if first == last:
+            return [first]
+        shapes = []
+        for split in range(first, last):
+            for left in build(first, split):
+                for right in build(split + 1, last):
+                    shapes.append((left, right))
+        return shapes
+
+    return build(0, count - 1)
+
+
+def reorder_joins(
+    expr: AlgebraExpr,
+    catalog: StatisticsCatalog,
+    max_leaves: int = 12,
+) -> AlgebraExpr:
+    """Re-associate every join cluster in ``expr`` to its cheapest shape.
+
+    Applied recursively: children are optimized first, then each maximal
+    ×/⋈ cluster at this node is re-associated by dynamic programming over
+    contiguous spans.  Clusters wider than ``max_leaves`` are left alone
+    (the DP is O(n³) spans with full-tree costing, fine for any sane n).
+    """
+    # Recurse into non-join structure first.
+    if not isinstance(expr, (Join, Product)):
+        children = expr.children()
+        if not children:
+            return expr
+        new_children = [reorder_joins(child, catalog, max_leaves) for child in children]
+        return expr.with_children(new_children)
+
+    flattened = flatten_join_cluster(expr)
+    assert flattened is not None
+    leaves, conjuncts = flattened
+    leaves = [reorder_joins(leaf, catalog, max_leaves) for leaf in leaves]
+    if len(leaves) > max_leaves or len(leaves) < 2:
+        return expr
+
+    # Column offsets: leaf i covers global columns start[i]+1 .. start[i+1].
+    starts = [0]
+    for leaf in leaves:
+        starts.append(starts[-1] + leaf.schema.degree)
+
+    # Attach single-leaf conjuncts as selections on their leaf.
+    pool: List[_Conjunct] = []
+    for conjunct in conjuncts:
+        placed = False
+        for index in range(len(leaves)):
+            if (
+                conjunct.first_column > starts[index]
+                and conjunct.last_column <= starts[index + 1]
+            ):
+                local = shift_refs(conjunct.expression, -starts[index])
+                leaves[index] = Select(local, leaves[index])
+                placed = True
+                break
+        if not placed:
+            pool.append(conjunct)
+
+    best: Dict[Tuple[int, int], AlgebraExpr] = {}
+    best_cost: Dict[Tuple[int, int], float] = {}
+
+    def conjuncts_for(first: int, last: int, split: int) -> List[_Conjunct]:
+        """Pool conjuncts inside span [first..last] crossing ``split``."""
+        low = starts[first]
+        high = starts[last + 1]
+        boundary = starts[split + 1]
+        selected = []
+        for conjunct in pool:
+            inside = conjunct.first_column > low and conjunct.last_column <= high
+            crosses = (
+                conjunct.first_column <= boundary < conjunct.last_column
+            )
+            if inside and crosses:
+                selected.append(conjunct)
+        return selected
+
+    for first in range(len(leaves)):
+        best[(first, first)] = leaves[first]
+        best_cost[(first, first)] = estimate_cost(leaves[first], catalog)
+
+    for width in range(2, len(leaves) + 1):
+        for first in range(0, len(leaves) - width + 1):
+            last = first + width - 1
+            champion: Optional[AlgebraExpr] = None
+            champion_cost = float("inf")
+            for split in range(first, last):
+                left = best[(first, split)]
+                right = best[(split + 1, last)]
+                attached = conjuncts_for(first, last, split)
+                if attached:
+                    condition = conjoin(
+                        [
+                            shift_refs(conjunct.expression, -starts[first])
+                            for conjunct in attached
+                        ]
+                    )
+                    candidate: AlgebraExpr = Join(left, right, condition)
+                else:
+                    candidate = Product(left, right)
+                cost = estimate_cost(candidate, catalog)
+                if cost < champion_cost:
+                    champion = candidate
+                    champion_cost = cost
+            assert champion is not None
+            best[(first, last)] = champion
+            best_cost[(first, last)] = champion_cost
+
+    return best[(0, len(leaves) - 1)]

@@ -1,0 +1,61 @@
+"""The rule-application engine.
+
+A :class:`Rewriter` owns an ordered list of rules and applies them
+everywhere in an expression tree, bottom-up, to a fixpoint (with an
+iteration cap as a safety net against accidentally non-terminating rule
+sets).  Rules are pure local rewrites, so the engine is generic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra import AlgebraExpr
+from repro.optimizer.rules import Rule
+
+__all__ = ["Rewriter", "RewriteTrace"]
+
+#: (rule name, before, after) entries for explain output.
+RewriteTrace = List[Tuple[str, str, str]]
+
+
+class Rewriter:
+    """Applies a rule set bottom-up to a fixpoint."""
+
+    def __init__(self, rules: Sequence[Rule], max_passes: int = 50) -> None:
+        self.rules = list(rules)
+        self.max_passes = max_passes
+
+    def rewrite(
+        self, expr: AlgebraExpr, trace: Optional[RewriteTrace] = None
+    ) -> AlgebraExpr:
+        """The fixpoint of applying the rules everywhere in ``expr``."""
+        current = expr
+        for _pass in range(self.max_passes):
+            rewritten, changed = self._rewrite_once(current, trace)
+            if not changed:
+                return rewritten
+            current = rewritten
+        return current
+
+    def _rewrite_once(
+        self, expr: AlgebraExpr, trace: Optional[RewriteTrace]
+    ) -> Tuple[AlgebraExpr, bool]:
+        """One bottom-up pass; returns (new tree, anything changed?)."""
+        changed = False
+        children = expr.children()
+        if children:
+            new_children = []
+            for child in children:
+                new_child, child_changed = self._rewrite_once(child, trace)
+                new_children.append(new_child)
+                changed = changed or child_changed
+            if changed:
+                expr = expr.with_children(new_children)
+        for rule in self.rules:
+            result = rule.apply(expr)
+            if result is not None:
+                if trace is not None:
+                    trace.append((rule.name, repr(expr), repr(result)))
+                return result, True
+        return expr, changed

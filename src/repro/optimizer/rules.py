@@ -1,0 +1,248 @@
+"""Rewrite rules derived from the paper's expression equivalences.
+
+Section 3.3's whole point is that "the expression equivalences used in
+the set-oriented relational context for query optimization also hold in
+the proposed multi-set context".  Each rule here is one such equivalence
+oriented as a rewrite:
+
+* ``SplitSelect``             σ_{a∧b}(E) → σ_a(σ_b(E))
+* ``MergeSelects``            σ_a(σ_b(E)) → σ_{a∧b}(E)  (inverse; used late)
+* ``PushSelectThroughUnion``  σ_φ(E1 ⊎ E2) → σ_φE1 ⊎ σ_φE2   (Theorem 3.2)
+* ``PushProjectThroughUnion`` π_α(E1 ⊎ E2) → π_αE1 ⊎ π_αE2   (Theorem 3.2)
+* ``PushSelectThroughProduct``  σ_φ(E1 × E2) → σ_φ'(E1) × E2 when φ only
+  touches one operand (also fires through joins)
+* ``PushSelectThroughProject``  σ_φ(π_α E) → π_α(σ_φ' E)
+* ``SelectProductToJoin``     σ_φ(E1 × E2) → E1 ⋈_φ E2        (Theorem 3.1)
+* ``SelectIntoJoin``          σ_φ(E1 ⋈_ψ E2) → E1 ⋈_{φ∧ψ} E2
+* ``MergeProjects``           π_α(π_β E) → π_{α∘β} E
+
+Notably *absent*: any rule distributing δ over ⊎ — the paper points out
+that one does **not** hold under bag semantics
+(δ(E1 ⊎ E2) ≠ δE1 ⊎ δE2); see :mod:`repro.optimizer.equivalences`.
+
+Rules are objects with ``apply(expr) -> Optional[AlgebraExpr]`` returning
+a rewritten tree or None when the rule does not match at the root.  The
+:class:`~repro.optimizer.rewriter.Rewriter` applies them everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra import (
+    AlgebraExpr,
+    Join,
+    Product,
+    Project,
+    Select,
+    Union,
+)
+from repro.expressions import BoolOp, conjoin, rebase, split_conjuncts
+from repro.expressions.rewrite import map_attr_refs, resolve_refs
+from repro.expressions.ast import AttrRef
+from repro.schema import AttrList
+
+__all__ = [
+    "Rule",
+    "SplitSelect",
+    "MergeSelects",
+    "PushSelectThroughUnion",
+    "PushProjectThroughUnion",
+    "PushSelectThroughProduct",
+    "PushSelectThroughProject",
+    "SelectProductToJoin",
+    "SelectIntoJoin",
+    "MergeProjects",
+]
+
+
+class Rule:
+    """A local rewrite: match at the root of ``expr`` or return None."""
+
+    name = "rule"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SplitSelect(Rule):
+    """σ_{a∧b}(E) → σ_a(σ_b(E)) — makes each conjunct independently pushable."""
+
+    name = "split-select"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select):
+            return None
+        if not (isinstance(expr.condition, BoolOp) and expr.condition.op == "and"):
+            return None
+        conjuncts = split_conjuncts(expr.condition)
+        if len(conjuncts) < 2:
+            return None
+        result = expr.operand
+        for conjunct in reversed(conjuncts):
+            result = Select(conjunct, result)
+        return result
+
+
+class MergeSelects(Rule):
+    """σ_a(σ_b(E)) → σ_{a∧b}(E) — used late, after push-down has settled."""
+
+    name = "merge-selects"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select) or not isinstance(expr.operand, Select):
+            return None
+        inner = expr.operand
+        return Select(
+            BoolOp("and", expr.condition, inner.condition), inner.operand
+        )
+
+
+class PushSelectThroughUnion(Rule):
+    """Theorem 3.2: σ_φ(E1 ⊎ E2) = σ_φ(E1) ⊎ σ_φ(E2)."""
+
+    name = "push-select-union"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select) or not isinstance(expr.operand, Union):
+            return None
+        union = expr.operand
+        return Union(
+            Select(expr.condition, union.left),
+            Select(expr.condition, union.right),
+        )
+
+
+class PushProjectThroughUnion(Rule):
+    """Theorem 3.2: π_α(E1 ⊎ E2) = π_α(E1) ⊎ π_α(E2)."""
+
+    name = "push-project-union"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Project) or not isinstance(expr.operand, Union):
+            return None
+        union = expr.operand
+        attrs = AttrList(list(expr.positions))
+        return Union(
+            Project(attrs, union.left),
+            Project(attrs, union.right),
+        )
+
+
+class PushSelectThroughProduct(Rule):
+    """σ_φ(E1 × E2) → σ_φ'(E1) × E2 when φ only reads E1's columns.
+
+    (And symmetrically for E2; also fires when the child is a join, the
+    condition then staying clear of the join's own condition.)  This is
+    the classic push-down: valid in the bag algebra because selection
+    commutes with product on multiplicities —
+    ``E1(x)·E2(y)`` is filtered on a property of ``x`` alone.
+    """
+
+    name = "push-select-product"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select):
+            return None
+        child = expr.operand
+        if isinstance(child, Product):
+            left, right = child.left, child.right
+            rebuild = Product
+        elif isinstance(child, Join):
+            left, right = child.left, child.right
+
+            def rebuild(new_left: AlgebraExpr, new_right: AlgebraExpr) -> AlgebraExpr:
+                return Join(new_left, new_right, child.condition)
+
+        else:
+            return None
+
+        combined = left.schema.concat(right.schema)
+        left_degree = left.schema.degree
+        on_left = rebase(expr.condition, combined, 1, left_degree)
+        if on_left is not None:
+            return rebuild(Select(on_left, left), right)
+        on_right = rebase(
+            expr.condition, combined, left_degree + 1, combined.degree
+        )
+        if on_right is not None:
+            return rebuild(left, Select(on_right, right))
+        return None
+
+
+class PushSelectThroughProject(Rule):
+    """σ_φ(π_α E) → π_α(σ_φ' E) — φ's positions remapped through α."""
+
+    name = "push-select-project"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select) or not isinstance(expr.operand, Project):
+            return None
+        project = expr.operand
+        positions = project.positions
+        condition = resolve_refs(expr.condition, project.schema)
+        remapped = map_attr_refs(
+            condition, lambda ref: AttrRef(positions[ref.ref - 1])
+        )
+        return Project(
+            AttrList(list(positions)), Select(remapped, project.operand)
+        )
+
+
+class SelectProductToJoin(Rule):
+    """Theorem 3.1 (oriented): σ_φ(E1 × E2) → E1 ⋈_φ E2.
+
+    Only fires when φ spans both operands (a one-sided φ is better
+    handled by push-down first).
+    """
+
+    name = "select-product-to-join"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select) or not isinstance(expr.operand, Product):
+            return None
+        product = expr.operand
+        combined = product.schema
+        left_degree = product.left.schema.degree
+        positions = expr.condition.references(combined)
+        touches_left = any(position <= left_degree for position in positions)
+        touches_right = any(position > left_degree for position in positions)
+        if not (touches_left and touches_right):
+            return None
+        return Join(product.left, product.right, expr.condition)
+
+
+class SelectIntoJoin(Rule):
+    """σ_φ(E1 ⋈_ψ E2) → E1 ⋈_{ψ∧φ} E2 when φ spans both operands."""
+
+    name = "select-into-join"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Select) or not isinstance(expr.operand, Join):
+            return None
+        join = expr.operand
+        combined = join.schema
+        left_degree = join.left.schema.degree
+        positions = expr.condition.references(combined)
+        touches_left = any(position <= left_degree for position in positions)
+        touches_right = any(position > left_degree for position in positions)
+        if not (touches_left and touches_right):
+            return None
+        merged = conjoin([join.condition, expr.condition])
+        return Join(join.left, join.right, merged)
+
+
+class MergeProjects(Rule):
+    """π_α(π_β E) → π_{α∘β}(E) — compose the position lists."""
+
+    name = "merge-projects"
+
+    def apply(self, expr: AlgebraExpr) -> Optional[AlgebraExpr]:
+        if not isinstance(expr, Project) or not isinstance(expr.operand, Project):
+            return None
+        inner = expr.operand
+        composed = [inner.positions[position - 1] for position in expr.positions]
+        return Project(AttrList(composed), inner.operand)

@@ -1,0 +1,5 @@
+"""Presentation layer: ordering and cursors, deliberately outside the algebra."""
+
+from repro.presentation.cursor import Cursor, SortKey, order_rows
+
+__all__ = ["Cursor", "SortKey", "order_rows"]

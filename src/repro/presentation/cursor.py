@@ -1,0 +1,138 @@
+"""Ordering and cursors — the presentation layer, outside the algebra.
+
+The paper is explicit (Section 5): "As sets do not impose any order on
+their elements, sort operators and cursor manipulation cannot be
+expressed in this formalism, and can thus not be part of the language."
+Real applications still page through results; PRISMA-era systems put
+that machinery *next to* the language, not in it.  This module is that
+boundary, drawn deliberately:
+
+* it consumes a finished :class:`~repro.relation.Relation` — you cannot
+  compose a cursor back into an algebra expression, there is no sort
+  *operator*;
+* ordering is a presentation choice (`order_rows`), with stable
+  multi-key, per-key-direction sorting over the *materialised* tuples
+  (duplicates appear once per multiplicity, as the bag demands);
+* :class:`Cursor` provides the classic fetch interface over the ordered
+  sequence.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relation import Relation
+from repro.schema import AttrRefLike
+from repro.tuples import Row
+
+__all__ = ["order_rows", "Cursor", "SortKey"]
+
+#: One sort key: (attribute reference, descending?)
+SortKey = Tuple[AttrRefLike, bool]
+
+
+def order_rows(
+    relation: Relation,
+    keys: Sequence[SortKey | AttrRefLike],
+) -> List[Row]:
+    """The relation's tuples (duplicates included) in presentation order.
+
+    ``keys`` entries are attribute references, optionally paired with a
+    descending flag: ``order_rows(r, ["country", ("alcperc", True)])``.
+    Sorting is stable, so secondary structure is preserved.
+    """
+    normalised: List[SortKey] = []
+    for key in keys:
+        if isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], bool):
+            normalised.append((key[0], key[1]))
+        else:
+            normalised.append((key, False))  # type: ignore[arg-type]
+    positions = [
+        (relation.schema.resolve(ref) - 1, descending)
+        for ref, descending in normalised
+    ]
+
+    def compare(left: Row, right: Row) -> int:
+        for index, descending in positions:
+            left_value, right_value = left[index], right[index]
+            if left_value == right_value:
+                continue
+            outcome = -1 if left_value < right_value else 1
+            return -outcome if descending else outcome
+        return 0
+
+    return sorted(relation, key=cmp_to_key(compare))
+
+
+class Cursor:
+    """A forward cursor over an ordered materialisation of a relation.
+
+    The cursor is a *consumer-side* convenience: it never feeds back
+    into the algebra.  Supports ``fetchone`` / ``fetchmany`` /
+    ``fetchall``, iteration, and ``rewind``.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        order_by: Optional[Sequence[SortKey | AttrRefLike]] = None,
+    ) -> None:
+        if order_by:
+            self._rows = order_rows(relation, order_by)
+        else:
+            self._rows = relation.rows_sorted()  # deterministic default
+        self._position = 0
+        #: Column names for presentation (positional fallbacks).
+        self.columns = [
+            attribute.name if attribute.name is not None else f"%{index}"
+            for index, attribute in enumerate(relation.schema.attributes, 1)
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        """Total number of tuples (bag cardinality)."""
+        return len(self._rows)
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def fetchone(self) -> Optional[Row]:
+        """The next tuple, or None when exhausted."""
+        if self._position >= len(self._rows):
+            return None
+        row = self._rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> List[Row]:
+        """Up to ``size`` further tuples (may be shorter at the end)."""
+        if size < 0:
+            raise ValueError("fetchmany size must be non-negative")
+        chunk = self._rows[self._position : self._position + size]
+        self._position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> List[Row]:
+        """All remaining tuples."""
+        chunk = self._rows[self._position :]
+        self._position = len(self._rows)
+        return chunk
+
+    def rewind(self) -> None:
+        """Back to the first tuple."""
+        self._position = 0
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cursor {self._position}/{len(self._rows)} "
+            f"columns={self.columns}>"
+        )

@@ -1,0 +1,19 @@
+"""Typed multi-set relations, their reference operators, I/O, and printing."""
+
+from repro.relation.io import (
+    relation_from_csv,
+    relation_from_json,
+    relation_to_csv,
+    relation_to_json,
+)
+from repro.relation.pretty import format_relation
+from repro.relation.relation import Relation
+
+__all__ = [
+    "Relation",
+    "relation_to_csv",
+    "relation_from_csv",
+    "relation_to_json",
+    "relation_from_json",
+    "format_relation",
+]

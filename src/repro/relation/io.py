@@ -1,0 +1,139 @@
+"""Reading and writing relations (CSV and JSON).
+
+CSV files carry a typed header: each column is ``name:domain`` (domain
+names resolved through :mod:`repro.domains.registry`).  Duplicate rows in
+the file become multiplicities — CSV is the "collection of individual
+tuples" notation of the paper.  JSON uses the "(tuple, multiplicity)
+pairs" notation instead, which is compact for highly duplicated data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, List, Union
+
+from repro.domains import DomainRegistry, default_registry
+from repro.errors import SchemaError
+from repro.relation.relation import Relation
+from repro.schema import RelationSchema
+
+__all__ = [
+    "relation_to_csv",
+    "relation_from_csv",
+    "relation_to_json",
+    "relation_from_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def _typed_header(schema: RelationSchema) -> List[str]:
+    header = []
+    for position, attribute in enumerate(schema.attributes, start=1):
+        name = attribute.name if attribute.name is not None else f"%{position}"
+        header.append(f"{name}:{attribute.domain.name}")
+    return header
+
+
+def relation_to_csv(relation: Relation, path: PathLike) -> None:
+    """Write ``relation`` to ``path`` with a typed header.
+
+    Rows are written sorted and duplicated per multiplicity, so the file
+    is a deterministic, faithful rendering of the bag.
+    """
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_typed_header(relation.schema))
+        for row in relation.rows_sorted():
+            writer.writerow([_render_value(value) for value in row])
+
+
+def relation_from_csv(
+    path: PathLike,
+    name: str | None = None,
+    registry: DomainRegistry | None = None,
+) -> Relation:
+    """Read a relation from a typed-header CSV file."""
+    registry = registry or default_registry
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        attributes = []
+        for column in header:
+            attr_name, separator, domain_name = column.partition(":")
+            if not separator:
+                raise SchemaError(
+                    f"CSV header column {column!r} lacks a ':domain' suffix"
+                )
+            resolved_name = None if attr_name.startswith("%") else attr_name
+            attributes.append((resolved_name, registry.resolve(domain_name)))
+        schema = RelationSchema(name, attributes)
+        rows = [_parse_row(row, schema) for row in reader]
+    return Relation(schema, rows)
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse_row(texts: List[str], schema: RelationSchema) -> List[Any]:
+    values: List[Any] = []
+    for text, attribute in zip(texts, schema.attributes):
+        domain_name = attribute.domain.name
+        if domain_name == "integer":
+            values.append(int(text))
+        elif domain_name == "real":
+            values.append(float(text))
+        elif domain_name == "boolean":
+            values.append(text.strip().lower() in ("true", "1", "t", "yes"))
+        else:
+            values.append(text)  # string-ish domains normalise themselves
+    return values
+
+
+def relation_to_json(relation: Relation, path: PathLike) -> None:
+    """Write ``relation`` as JSON in the (tuple, multiplicity) pair form."""
+    document = {
+        "name": relation.schema.name,
+        "attributes": [
+            {"name": attribute.name, "domain": attribute.domain.name}
+            for attribute in relation.schema.attributes
+        ],
+        "pairs": [
+            [[_render_json_value(value) for value in row], count]
+            for row, count in sorted(
+                relation.pairs(), key=lambda pair: tuple(map(str, pair[0]))
+            )
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+
+
+def relation_from_json(
+    path: PathLike, registry: DomainRegistry | None = None
+) -> Relation:
+    """Read a relation from the JSON pair form."""
+    registry = registry or default_registry
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    attributes = [
+        (column["name"], registry.resolve(column["domain"]))
+        for column in document["attributes"]
+    ]
+    schema = RelationSchema(document.get("name"), attributes)
+    pairs = [(tuple(row), count) for row, count in document["pairs"]]
+    return Relation.from_pairs(schema, pairs)
+
+
+def _render_json_value(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,66 @@
+"""Tabular rendering of relations for examples and the query statement.
+
+Ordering is presentation-only: the algebra is orderless (the paper
+excludes sort operators from the formalism), so rendering sorts rows
+purely to make output deterministic, and says so in the footer when
+duplicates are present — the whole point of the paper is that those
+duplicates are *real*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.relation.relation import Relation
+
+__all__ = ["format_relation"]
+
+
+def format_relation(
+    relation: Relation,
+    max_rows: int = 40,
+    show_multiplicity: bool = False,
+) -> str:
+    """A human-readable table.
+
+    With ``show_multiplicity`` the output uses the paper's pair notation
+    (one line per distinct tuple plus a count column); otherwise rows are
+    repeated per multiplicity, capped at ``max_rows``.
+    """
+    schema = relation.schema
+    headers = [
+        attribute.name if attribute.name is not None else f"%{position}"
+        for position, attribute in enumerate(schema.attributes, start=1)
+    ]
+    if show_multiplicity:
+        headers = headers + ["#"]
+        body = [
+            [str(value) for value in row] + [str(count)]
+            for row, count in sorted(
+                relation.pairs(), key=lambda pair: tuple(map(str, pair[0]))
+            )
+        ]
+    else:
+        body = [[str(value) for value in row] for row in relation.rows_sorted()]
+
+    truncated = len(body) - max_rows
+    if truncated > 0:
+        body = body[:max_rows]
+
+    widths = [len(header) for header in headers]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: List[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_line(headers), separator]
+    lines.extend(render_line(row) for row in body)
+    if truncated > 0:
+        lines.append(f"... {truncated} more row(s)")
+    lines.append(
+        f"({len(relation)} tuple(s), {relation.distinct_count} distinct)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Relation and database schemas (Definitions 2.2 and 2.5).
+
+Attributes are *ordered* so they can be addressed by prefixed 1-based
+index (``%i``) as well as by name; this is what makes the attributes of
+anonymous intermediate relations addressable, which the algebra's product
+and extended projection rely on.
+"""
+
+from repro.schema.attribute import Attribute
+from repro.schema.attrlist import AttrList, parse_attr_list
+from repro.schema.database_schema import DatabaseSchema
+from repro.schema.relation_schema import AttrRefLike, RelationSchema
+
+__all__ = [
+    "Attribute",
+    "AttrList",
+    "parse_attr_list",
+    "RelationSchema",
+    "AttrRefLike",
+    "DatabaseSchema",
+]

@@ -1,0 +1,63 @@
+"""Attributes of a relation schema (Definition 2.2).
+
+An attribute pairs an optional name with a domain.  Names are optional
+because the paper deliberately orders attributes "to enable attribute
+addressing by index, rather than by name ... [which] enables addressing
+the attributes of anonymous relations": intermediate results of products
+and extended projections may have unnamed columns, which remain fully
+addressable positionally (``%i``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.domains import Domain
+
+__all__ = ["Attribute"]
+
+
+class Attribute:
+    """One attribute: an optional name plus the domain it is defined on."""
+
+    __slots__ = ("_name", "_domain")
+
+    def __init__(self, name: Optional[str], domain: Domain) -> None:
+        if name is not None and not name.strip():
+            raise ValueError("attribute name must be None or non-empty")
+        if not isinstance(domain, Domain):
+            raise TypeError(f"domain must be a Domain, got {domain!r}")
+        self._name = name
+        self._domain = domain
+
+    @property
+    def name(self) -> Optional[str]:
+        """The attribute name, or None for an anonymous attribute."""
+        return self._name
+
+    @property
+    def domain(self) -> Domain:
+        """The domain the attribute is defined on (``dom(A_i)``)."""
+        return self._domain
+
+    def renamed(self, name: Optional[str]) -> "Attribute":
+        """A copy with a different (or no) name."""
+        return Attribute(name, self._domain)
+
+    def anonymous(self) -> "Attribute":
+        """A copy without a name."""
+        return Attribute(None, self._domain)
+
+    # Attributes are value objects.
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Attribute):
+            return self._name == other._name and self._domain == other._domain
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((Attribute, self._name, self._domain))
+
+    def __repr__(self) -> str:
+        label = self._name if self._name is not None else "_"
+        return f"{label}:{self._domain.name}"

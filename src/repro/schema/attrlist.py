@@ -1,0 +1,112 @@
+"""Attribute lists — the ``α = (%i1, ..., %in)`` of Definition 2.4.
+
+A projection attribute list is a non-empty sequence of prefixed 1-based
+indices.  Attribute numbers are prefixed with ``%`` "to avoid ambiguity
+with normal integer constants".  This module provides parsing of the
+textual form and a small value object used by the basic projection
+operator and by group-by's grouping list.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Sequence, Tuple, Union
+
+from repro.errors import ExpressionParseError
+from repro.schema.relation_schema import AttrRefLike, RelationSchema
+
+__all__ = ["AttrList", "parse_attr_list"]
+
+_REF_TOKEN = re.compile(r"\s*(%\d+|[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)\s*")
+
+
+class AttrList:
+    """An ordered, non-empty list of attribute references.
+
+    References are stored unresolved (ints, ``%i`` strings, or names) and
+    resolved against a concrete schema with :meth:`resolve`, because the
+    same textual list can apply to different schemas (e.g. in reusable
+    query templates).
+
+    Group-by requires its grouping list to be duplicate-free; projection
+    lists may repeat attributes (``π_(%1,%1)`` duplicates a column), so
+    uniqueness is a separate check (:meth:`require_distinct`).
+    """
+
+    __slots__ = ("_refs",)
+
+    def __init__(self, refs: Sequence[AttrRefLike]) -> None:
+        if not refs:
+            raise ValueError("an attribute list must not be empty")
+        self._refs: Tuple[AttrRefLike, ...] = tuple(refs)
+
+    @property
+    def refs(self) -> Tuple[AttrRefLike, ...]:
+        return self._refs
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def __iter__(self) -> Iterator[AttrRefLike]:
+        return iter(self._refs)
+
+    def resolve(self, schema: RelationSchema) -> Tuple[int, ...]:
+        """1-based positions of every reference within ``schema``."""
+        return schema.resolve_all(self._refs)
+
+    def require_distinct(self, schema: RelationSchema) -> Tuple[int, ...]:
+        """Resolve and insist the positions are pairwise distinct.
+
+        Definition 3.4 requires the group-by grouping list to be
+        duplicate-free.
+        """
+        positions = self.resolve(schema)
+        if len(set(positions)) != len(positions):
+            raise ValueError(
+                f"attribute list {self} resolves to duplicate positions "
+                f"{positions} in schema {schema}"
+            )
+        return positions
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AttrList):
+            return self._refs == other._refs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((AttrList, self._refs))
+
+    def __repr__(self) -> str:
+        parts = []
+        for ref in self._refs:
+            if isinstance(ref, int):
+                parts.append(f"%{ref}")
+            else:
+                parts.append(str(ref))
+        return "(" + ", ".join(parts) + ")"
+
+
+def parse_attr_list(text: str) -> AttrList:
+    """Parse ``"(%1, %3)"`` or ``"name, brewery"`` into an :class:`AttrList`.
+
+    Surrounding parentheses are optional.  Each item is either a
+    prefixed index ``%i`` or an (optionally qualified) attribute name.
+    """
+    stripped = text.strip()
+    if stripped.startswith("(") and stripped.endswith(")"):
+        stripped = stripped[1:-1]
+    if not stripped.strip():
+        raise ExpressionParseError("empty attribute list", text)
+    refs: list[Union[int, str]] = []
+    for item in stripped.split(","):
+        match = _REF_TOKEN.fullmatch(item)
+        if not match:
+            raise ExpressionParseError(
+                f"malformed attribute reference {item.strip()!r}", text
+            )
+        token = match.group(1)
+        if token.startswith("%"):
+            refs.append(int(token[1:]))
+        else:
+            refs.append(token)
+    return AttrList(refs)

@@ -1,0 +1,78 @@
+"""Database schemas (Definition 2.5).
+
+A database schema is a *set* of relation schemas; relations in a database
+are always addressed by name (unlike attributes, which may be addressed
+positionally).  The database universe ``U_D`` is the product of the
+relation universes — we do not materialise it, but the schema object is
+the single source of truth for what instances are well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator
+
+from repro.errors import DuplicateRelationError, UnknownRelationError
+from repro.schema.relation_schema import RelationSchema
+
+__all__ = ["DatabaseSchema"]
+
+
+class DatabaseSchema:
+    """A named collection of relation schemas, addressed by relation name."""
+
+    __slots__ = ("_schemas",)
+
+    def __init__(self, schemas: Iterable[RelationSchema] = ()) -> None:
+        self._schemas: Dict[str, RelationSchema] = {}
+        for schema in schemas:
+            self.add(schema)
+
+    def add(self, schema: RelationSchema) -> RelationSchema:
+        """Add a relation schema; its name must be set and unused."""
+        if schema.name is None:
+            raise ValueError(
+                "relation schemas in a database schema must be named"
+            )
+        if schema.name in self._schemas:
+            raise DuplicateRelationError(schema.name)
+        self._schemas[schema.name] = schema.strict()
+        return schema
+
+    def remove(self, name: str) -> RelationSchema:
+        """Remove and return the schema registered under ``name``."""
+        try:
+            return self._schemas.pop(name)
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def get(self, name: str) -> RelationSchema:
+        """The schema registered under ``name``."""
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def names(self) -> list[str]:
+        """Relation names, sorted for deterministic presentation."""
+        return sorted(self._schemas)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DatabaseSchema):
+            return self._schemas == other._schemas
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(schema) for schema in self._schemas.values())
+        return f"DatabaseSchema({inner})"

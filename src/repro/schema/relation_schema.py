@@ -1,0 +1,252 @@
+"""Relation schemas (Definition 2.2).
+
+A relation schema consists of a relation name and an *ordered* list of
+attributes, each defined on a domain.  Ordering matters: the paper
+addresses attributes by 1-based prefixed index (``%i``), which is the
+only way to address the columns of anonymous intermediate results.
+
+Two notions of sameness coexist:
+
+* :meth:`RelationSchema.__eq__` — structural equality including names;
+* :meth:`RelationSchema.compatible_with` — equal domain lists only.
+
+The binary operators that require operands "of the same schema" (union,
+difference, intersection, comparisons, update) check *compatibility*:
+attribute names are a notational convenience that "implies no
+restrictions" (Section 2), so ``(name:string)`` and ``(city:string)``
+relations may be unioned — the result keeps the left operand's names.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.domains import Domain
+from repro.errors import AttributeResolutionError, DuplicateAttributeError
+from repro.schema.attribute import Attribute
+
+__all__ = ["RelationSchema", "AttrRefLike"]
+
+#: Things that can denote an attribute: 1-based index, ``%i`` text, or a name.
+AttrRefLike = Union[int, str]
+
+
+class RelationSchema:
+    """An ordered list of attributes, optionally carrying a relation name."""
+
+    __slots__ = ("_name", "_attributes", "_by_name")
+
+    def __init__(
+        self,
+        name: Optional[str],
+        attributes: Iterable[Attribute | Tuple[Optional[str], Domain]],
+    ) -> None:
+        normalised = []
+        for attribute in attributes:
+            if isinstance(attribute, Attribute):
+                normalised.append(attribute)
+            else:
+                attr_name, domain = attribute
+                normalised.append(Attribute(attr_name, domain))
+        if not normalised:
+            raise ValueError("a relation schema needs at least one attribute")
+        self._name = name
+        self._attributes: Tuple[Attribute, ...] = tuple(normalised)
+        by_name: dict[str, int] = {}
+        ambiguous: set[str] = set()
+        for position, attribute in enumerate(self._attributes, start=1):
+            if attribute.name is None:
+                continue
+            if attribute.name in by_name:
+                ambiguous.add(attribute.name)
+            else:
+                by_name[attribute.name] = position
+        # Ambiguous names stay out of the index; positional addressing
+        # still reaches every column (this is exactly why the paper uses
+        # ordered attributes).  Resolution by an ambiguous name raises.
+        self._by_name = {
+            attr_name: position
+            for attr_name, position in by_name.items()
+            if attr_name not in ambiguous
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, name: Optional[str], /, **attributes: Domain) -> "RelationSchema":
+        """Keyword-style construction: ``RelationSchema.of("beer", name=STRING, ...)``.
+
+        Relies on keyword-argument ordering (guaranteed since Python 3.7).
+        """
+        return cls(name, [(attr, domain) for attr, domain in attributes.items()])
+
+    @classmethod
+    def anonymous(cls, domains: Iterable[Domain]) -> "RelationSchema":
+        """A schema of unnamed attributes over ``domains``."""
+        return cls(None, [(None, domain) for domain in domains])
+
+    def strict(self) -> "RelationSchema":
+        """Validate that all attribute names are unique and present.
+
+        Base relations declared in a database schema must have proper,
+        unambiguous names; intermediate results need not.  Returns self
+        so it can be chained at declaration sites.
+        """
+        seen: set[str] = set()
+        for attribute in self._attributes:
+            if attribute.name is None:
+                raise DuplicateAttributeError(
+                    f"schema {self} has an unnamed attribute; base relations "
+                    f"require named attributes"
+                )
+            if attribute.name in seen:
+                raise DuplicateAttributeError(
+                    f"schema {self} declares attribute {attribute.name!r} twice"
+                )
+            seen.add(attribute.name)
+        return self
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def name(self) -> Optional[str]:
+        """The relation name, or None for an anonymous intermediate schema."""
+        return self._name
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def degree(self) -> int:
+        """Number of attributes (``#r`` for every tuple of this schema)."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def attribute(self, position: int) -> Attribute:
+        """The attribute at 1-based ``position``."""
+        if not 1 <= position <= len(self._attributes):
+            raise AttributeResolutionError(
+                f"attribute index %{position} out of range 1..{len(self._attributes)} "
+                f"in schema {self}"
+            )
+        return self._attributes[position - 1]
+
+    def domains(self) -> Tuple[Domain, ...]:
+        """The ordered domain list (``dom(R)`` as a product of these)."""
+        return tuple(attribute.domain for attribute in self._attributes)
+
+    def names(self) -> Tuple[Optional[str], ...]:
+        return tuple(attribute.name for attribute in self._attributes)
+
+    # -- attribute resolution ------------------------------------------------------
+
+    def resolve(self, ref: AttrRefLike) -> int:
+        """Resolve an attribute reference to a 1-based position.
+
+        Accepted forms: an int (1-based), ``"%i"`` text (the paper's
+        prefixed-index notation), a plain attribute name, or a
+        ``relname.attr`` qualified name when this schema's relation name
+        matches.
+        """
+        if isinstance(ref, int) and not isinstance(ref, bool):
+            if 1 <= ref <= len(self._attributes):
+                return ref
+            raise AttributeResolutionError(
+                f"attribute index %{ref} out of range 1..{len(self._attributes)} "
+                f"in schema {self}"
+            )
+        if isinstance(ref, str):
+            text = ref.strip()
+            if text.startswith("%"):
+                try:
+                    return self.resolve(int(text[1:]))
+                except ValueError:
+                    raise AttributeResolutionError(
+                        f"malformed positional reference {ref!r}"
+                    ) from None
+            if "." in text:
+                qualifier, _, bare = text.partition(".")
+                if self._name is not None and qualifier == self._name:
+                    return self.resolve(bare)
+                raise AttributeResolutionError(
+                    f"qualified name {ref!r} does not match schema {self}"
+                )
+            if text in self._by_name:
+                return self._by_name[text]
+            raise AttributeResolutionError(
+                f"no attribute named {text!r} in schema {self}"
+            )
+        raise AttributeResolutionError(f"cannot resolve attribute reference {ref!r}")
+
+    def resolve_all(self, refs: Sequence[AttrRefLike]) -> Tuple[int, ...]:
+        """Resolve a sequence of references to 1-based positions."""
+        return tuple(self.resolve(ref) for ref in refs)
+
+    # -- schema-level operators (the alpha / (+) of Definition 2.4, lifted) -------------
+
+    def project(self, positions: Sequence[int]) -> "RelationSchema":
+        """``πα`` on the schema level: pick attributes by 1-based position.
+
+        The result is anonymous (it describes a derived relation, not a
+        stored one) but keeps the attribute names of the picked columns.
+        """
+        picked = [self.attribute(position) for position in positions]
+        return RelationSchema(None, picked)
+
+    def concat(self, other: "RelationSchema") -> "RelationSchema":
+        """``⊕`` on the schema level: attribute lists concatenate.
+
+        Used by product and join (result schema ``E ⊕ E'``).  Name clashes
+        between the operands are allowed; clashing names simply become
+        unresolvable by name in the result (positional addressing always
+        works), mirroring how the paper sidesteps the issue with ordered
+        attributes.
+        """
+        return RelationSchema(None, self._attributes + other._attributes)
+
+    def renamed(self, name: Optional[str]) -> "RelationSchema":
+        """A copy with a different relation name (attributes unchanged)."""
+        return RelationSchema(name, self._attributes)
+
+    def with_attribute_names(self, names: Sequence[Optional[str]]) -> "RelationSchema":
+        """A copy with attributes renamed positionally."""
+        if len(names) != len(self._attributes):
+            raise ValueError(
+                f"expected {len(self._attributes)} names, got {len(names)}"
+            )
+        renamed = [
+            attribute.renamed(new_name)
+            for attribute, new_name in zip(self._attributes, names)
+        ]
+        return RelationSchema(self._name, renamed)
+
+    # -- compatibility and equality --------------------------------------------------
+
+    def compatible_with(self, other: "RelationSchema") -> bool:
+        """True when both schemas have the same ordered domain list.
+
+        This is the notion of "same schema" used by the binary operators:
+        names are notation, domains are structure.
+        """
+        return self.domains() == other.domains()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RelationSchema):
+            return (
+                self._name == other._name and self._attributes == other._attributes
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((RelationSchema, self._name, self._attributes))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(attribute) for attribute in self._attributes)
+        label = self._name if self._name is not None else ""
+        return f"{label}({inner})"

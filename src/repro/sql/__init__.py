@@ -1,0 +1,40 @@
+"""SQL front end: the algebra as "a formal background for SQL".
+
+Supports the subset the paper exercises — SELECT [DISTINCT] / FROM
+(comma joins) / WHERE / GROUP BY with aggregates, plus INSERT, DELETE,
+UPDATE — and translates it into the multi-set algebra / Definition 4.1
+statements.  ORDER BY is rejected by design: the formalism has no
+ordering (paper, Section 5).
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    DeleteStatement,
+    InsertStatement,
+    SelectItem,
+    SelectQuery,
+    UpdateStatement,
+)
+from repro.sql.lexer import tokenize_sql
+from repro.sql.parser import parse_sql
+from repro.sql.translate import (
+    sql_to_algebra,
+    sql_to_statement,
+    translate_select,
+    translate_statement,
+)
+
+__all__ = [
+    "parse_sql",
+    "tokenize_sql",
+    "sql_to_algebra",
+    "sql_to_statement",
+    "translate_select",
+    "translate_statement",
+    "SelectQuery",
+    "SelectItem",
+    "AggregateCall",
+    "InsertStatement",
+    "DeleteStatement",
+    "UpdateStatement",
+]

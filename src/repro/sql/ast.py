@@ -1,0 +1,219 @@
+"""Parse-tree types for the SQL subset.
+
+These are deliberately thin: names are left unresolved (qualified or
+bare) and scalar expressions reuse :mod:`repro.expressions` AST nodes
+with name-based attribute references.  All resolution happens in
+:mod:`repro.sql.translate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.expressions import ScalarExpr
+
+__all__ = [
+    "SelectItem",
+    "AggregateCall",
+    "AggregateCallExpr",
+    "SelectQuery",
+    "SetOperation",
+    "TableRef",
+    "InPredicate",
+    "InsertStatement",
+    "DeleteStatement",
+    "UpdateStatement",
+    "SqlStatement",
+]
+
+
+@dataclass
+class AggregateCall:
+    """``AVG(alcperc)`` / ``COUNT(*)`` in a select list."""
+
+    function: str  # upper-case aggregate name
+    argument: Optional[str]  # attribute name; None for COUNT(*)
+
+
+@dataclass
+class SelectItem:
+    """One select-list entry: a scalar expression or an aggregate call."""
+
+    expression: Optional[ScalarExpr]
+    aggregate: Optional[AggregateCall]
+    alias: Optional[str] = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+
+@dataclass
+class TableRef:
+    """One FROM entry: ``name [AS alias] [ON condition]``.
+
+    ``condition`` is set for explicit ``JOIN ... ON`` entries (over the
+    scope of all tables up to and including this one); comma-joined
+    entries leave it None (the WHERE clause carries their conditions).
+    """
+
+    name: str
+    alias: Optional[str] = None
+    condition: Optional[ScalarExpr] = None
+
+    @property
+    def exposed_name(self) -> str:
+        """The name attributes are qualified with in the query scope."""
+        return self.alias or self.name
+
+
+class AggregateCallExpr(ScalarExpr):
+    """An aggregate call inside a scalar expression (HAVING clauses).
+
+    Like :class:`InPredicate`, this node never reaches evaluation: the
+    grouped-select translation replaces it with a positional reference
+    to the aggregate's output column.
+    """
+
+    __slots__ = ("call",)
+
+    def __init__(self, call: AggregateCall) -> None:
+        self.call = call
+
+    def infer_domain(self, schema):  # pragma: no cover - translate intercepts
+        from repro.domains import REAL
+
+        return REAL
+
+    def bind(self, schema):
+        from repro.errors import SQLTranslationError
+
+        raise SQLTranslationError(
+            "aggregate calls are only valid in select lists and HAVING"
+        )
+
+    def references(self, schema):
+        return frozenset()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AggregateCallExpr)
+            and self.call.function == other.call.function
+            and self.call.argument == other.call.argument
+        )
+
+    def __hash__(self) -> int:
+        return hash((AggregateCallExpr, self.call.function, self.call.argument))
+
+    def __repr__(self) -> str:
+        argument = self.call.argument if self.call.argument is not None else "*"
+        return f"{self.call.function}({argument})"
+
+
+@dataclass
+class SelectQuery:
+    """``SELECT [DISTINCT] items FROM tables [WHERE cond] [GROUP BY attrs]
+    [HAVING cond]``."""
+
+    items: List[SelectItem]
+    tables: List[TableRef]
+    where: Optional[ScalarExpr] = None
+    group_by: List[str] = field(default_factory=list)
+    having: Optional[ScalarExpr] = None
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass
+class SetOperation:
+    """``query UNION [ALL] query`` / EXCEPT / INTERSECT.
+
+    The ALL/non-ALL distinction is SQL's surviving acknowledgement of
+    bag semantics and maps directly onto the paper's operators:
+
+    * UNION ALL     → ⊎            UNION     → δ(⊎)
+    * EXCEPT ALL    → − (monus)    EXCEPT    → δE1 − δE2
+    * INTERSECT ALL → ∩ (min)      INTERSECT → δE1 ∩ δE2
+    """
+
+    operator: str  # "union" | "except" | "intersect"
+    all: bool
+    left: "SelectQuery | SetOperation"
+    right: "SelectQuery | SetOperation"
+
+
+class InPredicate(ScalarExpr):
+    """``expr [NOT] IN (subquery)`` — valid only as a top-level WHERE conjunct.
+
+    Lives in the SQL AST (not the core scalar language): the algebra has
+    no subexpression-with-its-own-FROM concept, so translation rewrites
+    the predicate into a duplicate-preserving semi-join (or an anti-join
+    via monus for NOT IN) before anything is ever evaluated.
+    """
+
+    __slots__ = ("operand", "query", "negated")
+
+    def __init__(
+        self,
+        operand: ScalarExpr,
+        query: "SelectQuery | SetOperation",
+        negated: bool,
+    ) -> None:
+        self.operand = operand
+        self.query = query
+        self.negated = negated
+
+    def infer_domain(self, schema):  # pragma: no cover - translate intercepts
+        from repro.domains import BOOLEAN
+
+        return BOOLEAN
+
+    def bind(self, schema):
+        from repro.errors import SQLTranslationError
+
+        raise SQLTranslationError(
+            "IN (subquery) is only supported as a top-level WHERE conjunct"
+        )
+
+    def references(self, schema):
+        return self.operand.references(schema)
+
+    def __repr__(self) -> str:
+        negation = "not " if self.negated else ""
+        return f"({self.operand!r} {negation}in <subquery>)"
+
+
+@dataclass
+class InsertStatement:
+    """``INSERT INTO t VALUES (...), (...)`` or ``INSERT INTO t <select>``."""
+
+    table: str
+    rows: Optional[List[Tuple]] = None
+    query: Optional[SelectQuery] = None
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM t [WHERE cond]``."""
+
+    table: str
+    where: Optional[ScalarExpr] = None
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE t SET a = e, ... [WHERE cond]``."""
+
+    table: str
+    assignments: List[Tuple[str, ScalarExpr]] = field(default_factory=list)
+    where: Optional[ScalarExpr] = None
+
+
+SqlStatement = (
+    SelectQuery,
+    SetOperation,
+    InsertStatement,
+    DeleteStatement,
+    UpdateStatement,
+)

@@ -1,0 +1,89 @@
+"""Lexer for the SQL subset.
+
+The subset covers what the paper uses SQL for (Examples 3.2 and 4.1 and
+the surrounding discussion): SELECT-FROM-WHERE-GROUP BY queries with
+aggregates and DISTINCT, plus INSERT / DELETE / UPDATE statements.
+Keywords are case-insensitive; identifiers keep their case; strings use
+single quotes with ``''`` escaping, as in the SQL standard.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+from repro.errors import SQLParseError
+
+__all__ = ["SqlToken", "tokenize_sql", "KEYWORDS"]
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "insert",
+    "into",
+    "values",
+    "delete",
+    "update",
+    "set",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+    "as",
+    "union",
+    "except",
+    "intersect",
+    "all",
+    "in",
+    "join",
+    "inner",
+    "on",
+}
+
+
+class SqlToken(NamedTuple):
+    kind: str  # keyword | name | int | real | string | op | eof
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<real>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><>|!=|<=|>=|[=<>+\-*/(),.;])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize_sql(text: str) -> List[SqlToken]:
+    """Tokenize ``text``; keywords are lower-cased, names preserved."""
+    tokens: List[SqlToken] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SQLParseError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            token_text = match.group()
+            if kind == "name" and token_text.lower() in KEYWORDS:
+                tokens.append(SqlToken("keyword", token_text.lower(), position))
+            else:
+                tokens.append(SqlToken(kind, token_text, position))
+        position = match.end()
+    tokens.append(SqlToken("eof", "", len(text)))
+    return tokens

@@ -1,0 +1,499 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (statements end at ``;`` or end of input)::
+
+    statement  := query | insert | delete | update
+    query      := term ((UNION | EXCEPT) [ALL] term)*
+    term       := primary (INTERSECT [ALL] primary)*
+    primary    := '(' query ')' | select
+    select     := SELECT [DISTINCT] ('*' | item (',' item)*)
+                  FROM tableref (',' tableref
+                                 | [INNER] JOIN tableref ON expr)*
+                  [WHERE expr] [GROUP BY nameref (',' nameref)*]
+                  [HAVING expr]
+    tableref   := name [[AS] name]
+    item       := aggcall [AS name] | expr [AS name]
+    aggcall    := NAME '(' ('*' | nameref) ')'   -- NAME in the aggregate set
+    insert     := INSERT INTO name (VALUES tuple (',' tuple)* | query)
+    delete     := DELETE FROM name [WHERE expr]
+    update     := UPDATE name SET name '=' expr (',' name '=' expr)*
+                  [WHERE expr]
+
+Scalar expressions reuse the precedence ladder of
+:mod:`repro.expressions.parser` (rebuilt here over SQL tokens, since SQL
+adds qualified names and keyword operators), plus two SQL-only atoms:
+``expr [NOT] IN (query)`` (top-level WHERE conjuncts only) and, inside
+HAVING, aggregate calls.  ORDER BY is *rejected with a pointed error*:
+the paper's formalism deliberately has no ordering ("sort operators and
+cursor manipulation cannot be expressed").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.domains import BOOLEAN, INTEGER, REAL, STRING
+from repro.errors import SQLParseError
+from repro.expressions import (
+    Arith,
+    AttrRef,
+    BoolOp,
+    Compare,
+    Const,
+    Neg,
+    Not,
+    ScalarExpr,
+)
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateCallExpr,
+    DeleteStatement,
+    InPredicate,
+    InsertStatement,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    TableRef,
+    UpdateStatement,
+)
+from repro.sql.lexer import SqlToken, tokenize_sql
+
+__all__ = ["parse_sql"]
+
+_AGGREGATE_NAMES = {
+    "CNT",
+    "CNTD",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "VAR",
+    "STDEV",
+    "MEDIAN",
+}
+
+
+class _SqlParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize_sql(text)
+        self.index = 0
+        #: Inside a HAVING clause aggregate calls are legal scalar atoms.
+        self._in_having = False
+
+    # -- cursor ----------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> SqlToken:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> SqlToken:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[SqlToken]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> SqlToken:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            raise SQLParseError(
+                f"expected {text or kind!r}, found "
+                f"{actual.text or 'end of input'!r} at position {actual.position}"
+            )
+        return token
+
+    def at_clause_end(self) -> bool:
+        token = self.peek()
+        return token.kind == "eof" or (token.kind == "op" and token.text == ";")
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.kind == "op" and token.text == "(":
+            # A parenthesised (compound) query at statement level.
+            statement = self.parse_query()
+            self.accept("op", ";")
+            trailing = self.peek()
+            if trailing.kind != "eof":
+                raise SQLParseError(
+                    f"unexpected trailing input {trailing.text!r} at "
+                    f"position {trailing.position}"
+                )
+            return statement
+        if token.kind != "keyword":
+            raise SQLParseError(
+                f"expected a statement keyword, found {token.text!r}"
+            )
+        if token.text == "select":
+            statement = self.parse_query()
+        elif token.text == "insert":
+            statement = self.parse_insert()
+        elif token.text == "delete":
+            statement = self.parse_delete()
+        elif token.text == "update":
+            statement = self.parse_update()
+        else:
+            raise SQLParseError(f"unsupported statement {token.text!r}")
+        self.accept("op", ";")
+        trailing = self.peek()
+        if trailing.kind != "eof":
+            raise SQLParseError(
+                f"unexpected trailing input {trailing.text!r} at "
+                f"position {trailing.position}"
+            )
+        return statement
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def parse_query(self):
+        """A possibly compound query: SELECTs chained with set operators.
+
+        INTERSECT binds tighter than UNION / EXCEPT (SQL's rule); all
+        chains are left-associative.
+        """
+        query = self.parse_intersect_term()
+        while True:
+            token = self.peek()
+            if token.kind == "keyword" and token.text in ("union", "except"):
+                self.advance()
+                all_flag = self.accept("keyword", "all") is not None
+                right = self.parse_intersect_term()
+                query = SetOperation(token.text, all_flag, query, right)
+            else:
+                return query
+
+    def parse_intersect_term(self):
+        query = self.parse_query_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "keyword" and token.text == "intersect":
+                self.advance()
+                all_flag = self.accept("keyword", "all") is not None
+                right = self.parse_query_primary()
+                query = SetOperation("intersect", all_flag, query, right)
+            else:
+                return query
+
+    def parse_query_primary(self):
+        if self.accept("op", "("):
+            inner = self.parse_query()
+            self.expect("op", ")")
+            return inner
+        return self.parse_select()
+
+    def parse_select(self) -> SelectQuery:
+        self.expect("keyword", "select")
+        distinct = self.accept("keyword", "distinct") is not None
+        star = False
+        items: List[SelectItem] = []
+        if self.accept("op", "*"):
+            star = True
+        else:
+            items.append(self.parse_select_item())
+            while self.accept("op", ","):
+                items.append(self.parse_select_item())
+        self.expect("keyword", "from")
+        tables = [self.parse_table_ref()]
+        while True:
+            if self.accept("op", ","):
+                tables.append(self.parse_table_ref())
+                continue
+            if (
+                self.peek().kind == "keyword"
+                and self.peek().text in ("join", "inner")
+            ):
+                if self.accept("keyword", "inner"):
+                    self.expect("keyword", "join")
+                else:
+                    self.expect("keyword", "join")
+                table = self.parse_table_ref()
+                self.expect("keyword", "on")
+                table.condition = self.parse_expr()
+                tables.append(table)
+                continue
+            break
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.parse_expr()
+        group_by: List[str] = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by.append(self.parse_name_ref())
+            while self.accept("op", ","):
+                group_by.append(self.parse_name_ref())
+        having = None
+        if self.accept("keyword", "having"):
+            self._in_having = True
+            try:
+                having = self.parse_expr()
+            finally:
+                self._in_having = False
+        if self.peek().kind == "keyword" and self.peek().text == "order":
+            raise SQLParseError(
+                "ORDER BY cannot be expressed: the multi-set algebra is "
+                "set-theoretic and deliberately has no ordering (paper, "
+                "Section 5); sort in the presentation layer instead"
+            )
+        return SelectQuery(
+            items=items,
+            tables=tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+            star=star,
+        )
+
+    def parse_table_ref(self) -> TableRef:
+        """``name [[AS] alias]`` — a bare following name is an alias."""
+        name = self.expect("name").text
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("name").text
+        elif self.peek().kind == "name":
+            alias = self.advance().text
+        return TableRef(name=name, alias=alias)
+
+    def parse_select_item(self) -> SelectItem:
+        token = self.peek()
+        following = self.peek(1)
+        if (
+            token.kind == "name"
+            and token.text.upper() in _AGGREGATE_NAMES
+            and following.kind == "op"
+            and following.text == "("
+        ):
+            self.advance()
+            self.expect("op", "(")
+            if self.accept("op", "*"):
+                argument = None
+            else:
+                argument = self.parse_name_ref()
+            self.expect("op", ")")
+            alias = self.parse_alias()
+            return SelectItem(
+                expression=None,
+                aggregate=AggregateCall(token.text.upper(), argument),
+                alias=alias,
+            )
+        expression = self.parse_expr()
+        alias = self.parse_alias()
+        return SelectItem(expression=expression, aggregate=None, alias=alias)
+
+    def parse_alias(self) -> Optional[str]:
+        if self.accept("keyword", "as"):
+            return self.expect("name").text
+        return None
+
+    def parse_name_ref(self) -> str:
+        """A possibly qualified attribute name ``[table.]attr``."""
+        first = self.expect("name").text
+        if self.accept("op", "."):
+            second = self.expect("name").text
+            return f"{first}.{second}"
+        return first
+
+    # -- INSERT / DELETE / UPDATE ----------------------------------------------------
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect("keyword", "insert")
+        self.expect("keyword", "into")
+        table = self.expect("name").text
+        if self.accept("keyword", "values"):
+            rows = [self.parse_value_tuple()]
+            while self.accept("op", ","):
+                rows.append(self.parse_value_tuple())
+            return InsertStatement(table=table, rows=rows)
+        query = self.parse_query()
+        return InsertStatement(table=table, query=query)
+
+    def parse_value_tuple(self) -> Tuple:
+        self.expect("op", "(")
+        values = [self.parse_literal_value()]
+        while self.accept("op", ","):
+            values.append(self.parse_literal_value())
+        self.expect("op", ")")
+        return tuple(values)
+
+    def parse_literal_value(self):
+        negative = self.accept("op", "-") is not None
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            value = int(token.text)
+            return -value if negative else value
+        if token.kind == "real":
+            self.advance()
+            value = float(token.text)
+            return -value if negative else value
+        if negative:
+            raise SQLParseError(f"expected a number after '-', found {token.text!r}")
+        if token.kind == "string":
+            self.advance()
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return token.text == "true"
+        raise SQLParseError(f"expected a literal value, found {token.text!r}")
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect("keyword", "delete")
+        self.expect("keyword", "from")
+        table = self.expect("name").text
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.parse_expr()
+        return DeleteStatement(table=table, where=where)
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect("keyword", "update")
+        table = self.expect("name").text
+        self.expect("keyword", "set")
+        assignments = [self.parse_assignment()]
+        while self.accept("op", ","):
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.parse_expr()
+        return UpdateStatement(table=table, assignments=assignments, where=where)
+
+    def parse_assignment(self) -> Tuple[str, ScalarExpr]:
+        attribute = self.expect("name").text
+        self.expect("op", "=")
+        return attribute, self.parse_expr()
+
+    # -- scalar expressions (SQL flavour) -----------------------------------------------
+
+    def parse_expr(self) -> ScalarExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> ScalarExpr:
+        expression = self.parse_and()
+        while self.accept("keyword", "or"):
+            expression = BoolOp("or", expression, self.parse_and())
+        return expression
+
+    def parse_and(self) -> ScalarExpr:
+        expression = self.parse_not()
+        while self.accept("keyword", "and"):
+            expression = BoolOp("and", expression, self.parse_not())
+        return expression
+
+    def parse_not(self) -> ScalarExpr:
+        if self.accept("keyword", "not"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ScalarExpr:
+        expression = self.parse_additive()
+        token = self.peek()
+        # expr [NOT] IN (subquery)
+        negated = False
+        if (
+            token.kind == "keyword"
+            and token.text == "not"
+            and self.peek(1).kind == "keyword"
+            and self.peek(1).text == "in"
+        ):
+            self.advance()
+            self.advance()
+            negated = True
+        elif token.kind == "keyword" and token.text == "in":
+            self.advance()
+        else:
+            if token.kind == "op" and token.text in (
+                "=",
+                "<>",
+                "!=",
+                "<=",
+                ">=",
+                "<",
+                ">",
+            ):
+                self.advance()
+                operator = "<>" if token.text == "!=" else token.text
+                return Compare(operator, expression, self.parse_additive())
+            return expression
+        self.expect("op", "(")
+        subquery = self.parse_query()
+        self.expect("op", ")")
+        return InPredicate(expression, subquery, negated)
+
+    def parse_additive(self) -> ScalarExpr:
+        expression = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self.advance()
+                expression = Arith(
+                    token.text, expression, self.parse_multiplicative()
+                )
+            else:
+                return expression
+
+    def parse_multiplicative(self) -> ScalarExpr:
+        expression = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "/"):
+                self.advance()
+                expression = Arith(token.text, expression, self.parse_unary())
+            else:
+                return expression
+
+    def parse_unary(self) -> ScalarExpr:
+        if self.accept("op", "-"):
+            return Neg(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> ScalarExpr:
+        token = self.peek()
+        if (
+            self._in_having
+            and token.kind == "name"
+            and token.text.upper() in _AGGREGATE_NAMES
+            and self.peek(1).kind == "op"
+            and self.peek(1).text == "("
+        ):
+            self.advance()
+            self.expect("op", "(")
+            if self.accept("op", "*"):
+                argument = None
+            else:
+                argument = self.parse_name_ref()
+            self.expect("op", ")")
+            return AggregateCallExpr(AggregateCall(token.text.upper(), argument))
+        if token.kind == "real":
+            self.advance()
+            return Const(float(token.text), REAL)
+        if token.kind == "int":
+            self.advance()
+            return Const(int(token.text), INTEGER)
+        if token.kind == "string":
+            self.advance()
+            return Const(token.text[1:-1].replace("''", "'"), STRING)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return Const(token.text == "true", BOOLEAN)
+        if token.kind == "name":
+            return AttrRef(self.parse_name_ref())
+        if self.accept("op", "("):
+            expression = self.parse_or()
+            self.expect("op", ")")
+            return expression
+        raise SQLParseError(
+            f"unexpected token {token.text or 'end of input'!r} at "
+            f"position {token.position}"
+        )
+
+
+def parse_sql(text: str):
+    """Parse one SQL statement into its parse-tree form."""
+    return _SqlParser(text).parse_statement()

@@ -1,0 +1,534 @@
+"""Translation of the SQL subset into the multi-set algebra.
+
+The paper positions the algebra as "a formal background for other
+multi-set languages like SQL" (citing Ceri & Gottlob's SQL-to-algebra
+translation).  This module is that translation for the supported subset:
+
+* ``SELECT ... FROM t1, ..., tn WHERE φ``
+  → ``π̂ (σ_φ (t1 × ... × tn))``
+* ``... GROUP BY α`` with aggregate calls
+  → ``Γ_{α,f,p}`` (several aggregates compose via joins on α)
+* ``SELECT DISTINCT`` → ``δ(...)``
+* ``INSERT / DELETE / UPDATE`` → the statements of Definition 4.1,
+  built exactly as the paper defines them (Example 4.1's UPDATE becomes
+  ``update(beer, σ_{brewery='Guineken'} beer, (name, brewery, alcperc*1.1))``).
+
+Name resolution: attribute names (bare or ``table.attr``) are resolved
+against the FROM product's concatenated schema into *positional*
+references — after translation, everything is the paper's positional
+algebra.  Ambiguous bare names are an error, as in SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aggregates import CNT, resolve_aggregate
+from repro.algebra import (
+    AlgebraExpr,
+    ExtendedProject,
+    GroupBy,
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Unique,
+)
+from repro.errors import SQLTranslationError
+from repro.expressions import AttrRef, ScalarExpr, conjoin
+from repro.expressions.rewrite import map_attr_refs
+from repro.language.statements import Delete, Insert, Statement, Update
+from repro.relation import Relation
+from repro.schema import AttrList, DatabaseSchema, RelationSchema
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateCallExpr,
+    DeleteStatement,
+    InPredicate,
+    InsertStatement,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    TableRef,
+    UpdateStatement,
+)
+from repro.sql.parser import parse_sql
+
+__all__ = [
+    "translate_select",
+    "translate_query",
+    "translate_statement",
+    "sql_to_algebra",
+    "sql_to_statement",
+]
+
+
+class _Scope:
+    """Resolution of (possibly qualified) names over a FROM product."""
+
+    def __init__(self, tables: Sequence[Tuple[str, RelationSchema]]) -> None:
+        self.by_qualified: Dict[str, int] = {}
+        self.by_bare: Dict[str, Optional[int]] = {}
+        offset = 0
+        for table_name, schema in tables:
+            for position, attribute in enumerate(schema.attributes, start=1):
+                if attribute.name is None:
+                    continue
+                global_position = offset + position
+                self.by_qualified[f"{table_name}.{attribute.name}"] = global_position
+                if attribute.name in self.by_bare:
+                    self.by_bare[attribute.name] = None  # ambiguous
+                else:
+                    self.by_bare[attribute.name] = global_position
+            offset += schema.degree
+
+    def resolve(self, name: str) -> int:
+        if "." in name:
+            if name in self.by_qualified:
+                return self.by_qualified[name]
+            raise SQLTranslationError(f"unknown attribute {name!r}")
+        if name in self.by_bare:
+            position = self.by_bare[name]
+            if position is None:
+                raise SQLTranslationError(
+                    f"ambiguous attribute {name!r}; qualify it with a table name"
+                )
+            return position
+        raise SQLTranslationError(f"unknown attribute {name!r}")
+
+    def positional(self, expression: ScalarExpr) -> ScalarExpr:
+        """Rewrite all name references into positional references."""
+
+        def transform(ref: AttrRef) -> AttrRef:
+            if isinstance(ref.ref, int):
+                return ref
+            return AttrRef(self.resolve(str(ref.ref)))
+
+        return map_attr_refs(expression, transform)
+
+
+def _from_product(
+    tables: Sequence["TableRef | str"], db_schema: DatabaseSchema
+) -> Tuple[AlgebraExpr, _Scope]:
+    """The FROM clause as a left-deep product/join chain, plus its scope.
+
+    Comma entries become products; ``JOIN ... ON`` entries become joins
+    with their (scope-resolved) conditions.  Aliases control how names
+    qualify — which is what makes self-joins (``FROM beer b1, beer b2``)
+    expressible.
+    """
+    if not tables:
+        raise SQLTranslationError("FROM clause needs at least one table")
+    refs: List[TableRef] = [
+        table if isinstance(table, TableRef) else TableRef(name=table)
+        for table in tables
+    ]
+    seen: set[str] = set()
+    for ref in refs:
+        exposed = ref.exposed_name
+        if exposed in seen:
+            raise SQLTranslationError(
+                f"table name {exposed!r} used twice in FROM; alias one of "
+                f"the occurrences"
+            )
+        seen.add(exposed)
+    pairs = [(ref.exposed_name, db_schema.get(ref.name)) for ref in refs]
+    scope = _Scope(pairs)
+    expr: AlgebraExpr = RelationRef(refs[0].name, pairs[0][1])
+    if refs[0].condition is not None:
+        raise SQLTranslationError("the first FROM entry cannot carry ON")
+    for ref, (_exposed, schema) in zip(refs[1:], pairs[1:]):
+        right: AlgebraExpr = RelationRef(ref.name, schema)
+        if ref.condition is not None:
+            # The ON condition may reference any table up to this one;
+            # resolution uses the full scope, and Join's constructor
+            # rejects references beyond the current cumulative schema.
+            expr = Join(expr, right, scope.positional(ref.condition))
+        else:
+            expr = Product(expr, right)
+    return expr, scope
+
+
+def _grouped_select(
+    query: SelectQuery,
+    source: AlgebraExpr,
+    scope: _Scope,
+) -> AlgebraExpr:
+    """Translate a SELECT with GROUP BY and/or aggregate items."""
+    group_positions = [scope.resolve(name) for name in query.group_by]
+    aggregate_items = [item for item in query.items if item.is_aggregate]
+    plain_items = [item for item in query.items if not item.is_aggregate]
+
+    # Plain items must be grouping attributes (SQL's classic rule).
+    plain_group_index: List[int] = []
+    for item in plain_items:
+        if not isinstance(item.expression, AttrRef):
+            raise SQLTranslationError(
+                "non-aggregate select items must be plain grouping attributes"
+            )
+        position = scope.resolve(str(item.expression.ref))
+        if position not in group_positions:
+            raise SQLTranslationError(
+                f"select item {item.expression.ref!r} is not in GROUP BY"
+            )
+        plain_group_index.append(group_positions.index(position) + 1)
+
+    # Distinct aggregate calls, from the select list AND from HAVING.
+    def call_key(call) -> Tuple[str, Optional[str]]:
+        return (call.function.upper(), call.argument)
+
+    call_order: List[Tuple[str, Optional[str]]] = []
+    for item in aggregate_items:
+        assert item.aggregate is not None
+        key = call_key(item.aggregate)
+        if key not in call_order:
+            call_order.append(key)
+    having_calls = (
+        _collect_aggregate_calls(query.having) if query.having is not None else []
+    )
+    for call in having_calls:
+        key = call_key(call)
+        if key not in call_order:
+            call_order.append(key)
+
+    if not call_order:
+        raise SQLTranslationError(
+            "GROUP BY without aggregates: use SELECT DISTINCT instead"
+        )
+
+    # One GroupBy per distinct aggregate call, over the same grouping.
+    group_attr_list = (
+        AttrList(list(group_positions)) if group_positions else None
+    )
+    groupbys: List[AlgebraExpr] = []
+    for function_name, argument in call_order:
+        function = resolve_aggregate(function_name)
+        if argument is None:
+            if function is not CNT:
+                raise SQLTranslationError(
+                    f"{function_name}(*) is only valid for COUNT/CNT"
+                )
+            param: Optional[int] = None
+        else:
+            param = scope.resolve(argument)
+        groupbys.append(GroupBy(group_attr_list, function, param, source))
+
+    # Compose multiple aggregates by joining on the grouping attributes.
+    combined = groupbys[0]
+    group_count = len(group_positions)
+    for extra in groupbys[1:]:
+        width = combined.schema.degree
+        if group_count:
+            condition = conjoin(
+                [
+                    AttrRef(key).eq(AttrRef(width + key))
+                    for key in range(1, group_count + 1)
+                ]
+            )
+            joined: AlgebraExpr = Join(combined, extra, condition)
+        else:
+            joined = Product(combined, extra)
+        keep = list(range(1, width + 1)) + [width + group_count + 1]
+        combined = Project(AttrList(keep), joined)
+
+    # HAVING: a selection over the grouped result, with aggregate calls
+    # replaced by their output columns and grouping attributes by their
+    # positions in the grouped schema.
+    if query.having is not None:
+        rewritten = _rewrite_having(
+            query.having, scope, group_positions, call_order
+        )
+        combined = Select(rewritten, combined)
+
+    # Final projection into select-list order: grouping attributes sit at
+    # positions 1..g of the combined result, aggregate columns follow in
+    # distinct-call order.
+    out_positions: List[int] = []
+    plain_cursor = 0
+    for item in query.items:
+        if item.is_aggregate:
+            assert item.aggregate is not None
+            call_index = call_order.index(call_key(item.aggregate))
+            out_positions.append(group_count + 1 + call_index)
+        else:
+            out_positions.append(plain_group_index[plain_cursor])
+            plain_cursor += 1
+    return Project(AttrList(out_positions), combined)
+
+
+def _collect_aggregate_calls(expression: ScalarExpr) -> List["AggregateCall"]:
+    """All :class:`AggregateCallExpr` occurrences, in tree order."""
+    from repro.expressions import Arith, BoolOp, Compare, Neg, Not
+
+    found: List = []
+
+    def walk(node: ScalarExpr) -> None:
+        if isinstance(node, AggregateCallExpr):
+            found.append(node.call)
+        elif isinstance(node, (Arith, Compare, BoolOp)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (Neg, Not)):
+            walk(node.operand)
+
+    walk(expression)
+    return found
+
+
+def _rewrite_having(
+    expression: ScalarExpr,
+    scope: "_Scope",
+    group_positions: List[int],
+    call_order: List[Tuple[str, Optional[str]]],
+) -> ScalarExpr:
+    """Rebase a HAVING condition onto the grouped result's schema."""
+    from repro.expressions import Arith, BoolOp, Compare, Neg, Not
+
+    group_count = len(group_positions)
+
+    def rebase(node: ScalarExpr) -> ScalarExpr:
+        if isinstance(node, AggregateCallExpr):
+            key = (node.call.function.upper(), node.call.argument)
+            return AttrRef(group_count + 1 + call_order.index(key))
+        if isinstance(node, AttrRef):
+            if isinstance(node.ref, int):
+                raise SQLTranslationError(
+                    "positional references are ambiguous in HAVING; use names"
+                )
+            position = scope.resolve(str(node.ref))
+            if position not in group_positions:
+                raise SQLTranslationError(
+                    f"HAVING references {node.ref!r}, which is not a "
+                    f"grouping attribute; aggregate it instead"
+                )
+            return AttrRef(group_positions.index(position) + 1)
+        if isinstance(node, Arith):
+            return Arith(node.op, rebase(node.left), rebase(node.right))
+        if isinstance(node, Compare):
+            return Compare(node.op, rebase(node.left), rebase(node.right))
+        if isinstance(node, BoolOp):
+            return BoolOp(node.op, rebase(node.left), rebase(node.right))
+        if isinstance(node, Neg):
+            return Neg(rebase(node.operand))
+        if isinstance(node, Not):
+            return Not(rebase(node.operand))
+        return node  # constants
+
+    return rebase(expression)
+
+
+def _contains_in_predicate(expression: ScalarExpr) -> bool:
+    """True when an :class:`InPredicate` occurs anywhere in the tree."""
+    from repro.expressions import Arith, BoolOp, Compare, Neg, Not
+
+    if isinstance(expression, InPredicate):
+        return True
+    if isinstance(expression, (Arith, Compare, BoolOp)):
+        return _contains_in_predicate(expression.left) or _contains_in_predicate(
+            expression.right
+        )
+    if isinstance(expression, (Neg, Not)):
+        return _contains_in_predicate(expression.operand)
+    return False
+
+
+def _apply_in_predicate(
+    source: AlgebraExpr,
+    predicate: InPredicate,
+    scope: "_Scope",
+    db_schema: DatabaseSchema,
+) -> AlgebraExpr:
+    """Rewrite ``expr [NOT] IN (subquery)`` into a (anti-)semi-join.
+
+    IN: join the source against the *deduplicated* single-column
+    subquery result and project the source columns back — δ guarantees
+    at most one match per tuple, so multiplicities are preserved
+    exactly.  NOT IN: subtract the matching tuples (the semi-join keeps
+    their full multiplicity, so the monus removes them entirely).
+    """
+    subquery = translate_query(predicate.query, db_schema)
+    if subquery.schema.degree != 1:
+        raise SQLTranslationError(
+            "IN (subquery) requires a single-column subquery, got "
+            f"{subquery.schema.degree} columns"
+        )
+    operand = scope.positional(predicate.operand)
+    width = source.schema.degree
+    from repro.expressions import Compare
+    from repro.expressions.rewrite import shift_refs
+
+    condition = Compare("=", operand, AttrRef(width + 1))
+    matching = Project(
+        AttrList(list(range(1, width + 1))),
+        Join(source, Unique(subquery), condition),
+    )
+    if predicate.negated:
+        from repro.algebra import Difference
+
+        return Difference(source, matching)
+    return matching
+
+
+def translate_select(query: SelectQuery, db_schema: DatabaseSchema) -> AlgebraExpr:
+    """Translate a parsed SELECT into an algebra expression."""
+    from repro.expressions import split_conjuncts
+
+    source, scope = _from_product(query.tables, db_schema)
+    if query.where is not None:
+        plain: List[ScalarExpr] = []
+        in_predicates: List[InPredicate] = []
+        for conjunct in split_conjuncts(query.where):
+            if isinstance(conjunct, InPredicate):
+                in_predicates.append(conjunct)
+            elif _contains_in_predicate(conjunct):
+                raise SQLTranslationError(
+                    "IN (subquery) is only supported as a top-level "
+                    "WHERE conjunct (not under OR / NOT)"
+                )
+            else:
+                plain.append(conjunct)
+        if plain:
+            source = Select(scope.positional(conjoin(plain)), source)
+        for predicate in in_predicates:
+            source = _apply_in_predicate(source, predicate, scope, db_schema)
+
+    has_aggregates = any(item.is_aggregate for item in query.items)
+    if query.having is not None and not (query.group_by or has_aggregates):
+        raise SQLTranslationError(
+            "HAVING requires GROUP BY or aggregate select items"
+        )
+    if query.group_by or has_aggregates:
+        if query.star:
+            raise SQLTranslationError("SELECT * cannot be combined with GROUP BY")
+        result = _grouped_select(query, source, scope)
+    elif query.star:
+        result = source
+    else:
+        expressions = []
+        names: List[Optional[str]] = []
+        for item in query.items:
+            assert item.expression is not None
+            positional = scope.positional(item.expression)
+            expressions.append(positional)
+            if item.alias is not None:
+                names.append(item.alias)
+            elif isinstance(item.expression, AttrRef):
+                bare = str(item.expression.ref).split(".")[-1]
+                names.append(bare)
+            else:
+                names.append(None)
+        result = ExtendedProject(expressions, source, names=names)
+
+    if query.distinct:
+        result = Unique(result)
+    return result
+
+
+def translate_query(
+    query: "SelectQuery | SetOperation", db_schema: DatabaseSchema
+) -> AlgebraExpr:
+    """Translate a (possibly compound) query.
+
+    Set operations carry SQL's ALL/non-ALL split, the modern residue of
+    exactly the bag/set distinction this paper formalised::
+
+        UNION ALL → ⊎          UNION     → δ(⊎)
+        EXCEPT ALL → −         EXCEPT    → δE1 − δE2
+        INTERSECT ALL → ∩      INTERSECT → δE1 ∩ δE2
+    """
+    if isinstance(query, SelectQuery):
+        return translate_select(query, db_schema)
+    if isinstance(query, SetOperation):
+        left = translate_query(query.left, db_schema)
+        right = translate_query(query.right, db_schema)
+        if not left.schema.compatible_with(right.schema):
+            raise SQLTranslationError(
+                f"set operation operands have incompatible schemas: "
+                f"{left.schema} vs {right.schema}"
+            )
+        from repro.algebra import Difference, Intersect
+        from repro.algebra import Union as UnionOp
+
+        if query.operator == "union":
+            combined: AlgebraExpr = UnionOp(left, right)
+            return combined if query.all else Unique(combined)
+        if query.operator == "except":
+            if query.all:
+                return Difference(left, right)
+            return Difference(Unique(left), Unique(right))
+        if query.operator == "intersect":
+            if query.all:
+                return Intersect(left, right)
+            return Intersect(Unique(left), Unique(right))
+        raise SQLTranslationError(f"unknown set operator {query.operator!r}")
+    raise SQLTranslationError(f"not a query: {type(query).__name__}")
+
+
+def translate_statement(
+    parsed, db_schema: DatabaseSchema
+) -> Statement | AlgebraExpr:
+    """Translate any parsed SQL statement.
+
+    SELECT queries become algebra expressions; INSERT / DELETE / UPDATE
+    become the corresponding Definition 4.1 statements.
+    """
+    if isinstance(parsed, (SelectQuery, SetOperation)):
+        return translate_query(parsed, db_schema)
+    if isinstance(parsed, InsertStatement):
+        schema = db_schema.get(parsed.table)
+        if parsed.rows is not None:
+            relation = Relation(schema, parsed.rows)
+            return Insert(parsed.table, LiteralRelation(relation))
+        assert parsed.query is not None
+        return Insert(parsed.table, translate_query(parsed.query, db_schema))
+    if isinstance(parsed, DeleteStatement):
+        schema = db_schema.get(parsed.table)
+        target: AlgebraExpr = RelationRef(parsed.table, schema)
+        if parsed.where is not None:
+            scope = _Scope([(parsed.table, schema)])
+            target = Select(scope.positional(parsed.where), target)
+        return Delete(parsed.table, target)
+    if isinstance(parsed, UpdateStatement):
+        schema = db_schema.get(parsed.table)
+        scope = _Scope([(parsed.table, schema)])
+        selector: AlgebraExpr = RelationRef(parsed.table, schema)
+        if parsed.where is not None:
+            selector = Select(scope.positional(parsed.where), selector)
+        assigned = {name: expression for name, expression in parsed.assignments}
+        unknown = set(assigned) - {
+            attribute.name for attribute in schema.attributes
+        }
+        if unknown:
+            raise SQLTranslationError(
+                f"SET clause names unknown attributes: {sorted(unknown)}"
+            )
+        entries: List[ScalarExpr] = []
+        for position, attribute in enumerate(schema.attributes, start=1):
+            if attribute.name in assigned:
+                entries.append(scope.positional(assigned[attribute.name]))
+            else:
+                entries.append(AttrRef(position))
+        return Update(parsed.table, selector, entries)
+    raise SQLTranslationError(f"unsupported parse tree {type(parsed).__name__}")
+
+
+def sql_to_algebra(text: str, db_schema: DatabaseSchema) -> AlgebraExpr:
+    """Parse and translate a (possibly compound) SELECT query."""
+    parsed = parse_sql(text)
+    if not isinstance(parsed, (SelectQuery, SetOperation)):
+        raise SQLTranslationError("expected a SELECT query")
+    return translate_query(parsed, db_schema)
+
+
+def sql_to_statement(text: str, db_schema: DatabaseSchema) -> Statement:
+    """Parse and translate an INSERT / DELETE / UPDATE statement."""
+    parsed = parse_sql(text)
+    translated = translate_statement(parsed, db_schema)
+    if not isinstance(translated, Statement):
+        raise SQLTranslationError(
+            "expected a data-manipulation statement, got a query; "
+            "use sql_to_algebra for SELECT"
+        )
+    return translated

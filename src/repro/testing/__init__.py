@@ -1,0 +1,5 @@
+"""Testing utilities: random expression generation for differential tests."""
+
+from repro.testing.exprgen import ExpressionGenerator, random_environment
+
+__all__ = ["ExpressionGenerator", "random_environment"]

@@ -1,0 +1,196 @@
+"""Random algebra-expression generation for differential testing.
+
+The strongest correctness argument this reproduction makes is
+*differential*: the reference evaluator (a transliteration of the
+paper's equations), the physical engine, and the optimizer must agree on
+arbitrary expressions, not just hand-picked ones.  This module generates
+random well-typed expression trees over integer relations so the test
+suite can fuzz that agreement.
+
+Generation is seed-deterministic and schema-directed: every node is
+built through the public constructors, so only well-typed trees are
+produced (construction performs full static checking).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.algebra import (
+    AlgebraExpr,
+    Difference,
+    GroupBy,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.algebra.extended import ExtendedProject
+from repro.expressions import parse_expression
+from repro.relation import Relation
+from repro.schema import AttrList
+from repro.workloads import random_int_relation
+
+__all__ = ["ExpressionGenerator", "random_environment"]
+
+
+def random_environment(
+    tables: int = 3,
+    size: int = 60,
+    degree: int = 2,
+    value_space: int = 6,
+    seed: int = 0,
+) -> Dict[str, Relation]:
+    """A set of small named integer relations with plenty of duplicates."""
+    return {
+        f"t{index}": random_int_relation(
+            size,
+            degree=degree,
+            value_space=value_space,
+            seed=seed + index,
+            name=f"t{index}",
+        )
+        for index in range(1, tables + 1)
+    }
+
+
+class ExpressionGenerator:
+    """Generates random well-typed algebra expressions over an environment.
+
+    The generator bounds result *degree* (wide products explode the
+    tuple space) and tree *depth*; all leaves are references into the
+    supplied environment, so generated expressions can be evaluated
+    against it directly.
+    """
+
+    def __init__(
+        self,
+        env: Dict[str, Relation],
+        seed: int = 0,
+        max_depth: int = 5,
+        max_degree: int = 6,
+    ) -> None:
+        self.env = env
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+        self.max_degree = max_degree
+        self._leaves: List[Tuple[str, Relation]] = sorted(env.items())
+
+    # -- scalar helpers ----------------------------------------------------
+
+    def random_condition(self, degree: int) -> str:
+        """A random boolean condition over a schema of ``degree`` int columns."""
+        rng = self.rng
+        comparisons = []
+        for _ in range(rng.randint(1, 2)):
+            left = f"%{rng.randint(1, degree)}"
+            operator = rng.choice(["=", "<>", "<", "<=", ">", ">="])
+            if rng.random() < 0.5:
+                right = f"%{rng.randint(1, degree)}"
+            else:
+                right = str(rng.randint(0, 6))
+            comparisons.append(f"{left} {operator} {right}")
+        connective = rng.choice([" and ", " or "])
+        return connective.join(comparisons)
+
+    def random_arithmetic(self, degree: int) -> str:
+        rng = self.rng
+        base = f"%{rng.randint(1, degree)}"
+        if rng.random() < 0.5:
+            return base
+        operator = rng.choice(["+", "-", "*"])
+        other = (
+            f"%{rng.randint(1, degree)}"
+            if rng.random() < 0.5
+            else str(rng.randint(0, 4))
+        )
+        return f"{base} {operator} {other}"
+
+    # -- tree generation ------------------------------------------------------
+
+    def leaf(self) -> AlgebraExpr:
+        name, relation = self.rng.choice(self._leaves)
+        return RelationRef(name, relation.schema)
+
+    def expression(self, depth: int = 0) -> AlgebraExpr:
+        """A random expression; deeper recursion gets likelier to stop."""
+        rng = self.rng
+        if depth >= self.max_depth or rng.random() < 0.2 + 0.1 * depth:
+            return self.leaf()
+        choice = rng.random()
+        if choice < 0.15:
+            return self._binary_compatible(Union, depth)
+        if choice < 0.27:
+            return self._binary_compatible(Difference, depth)
+        if choice < 0.37:
+            return self._binary_compatible(Intersect, depth)
+        if choice < 0.50:
+            return self._join_or_product(depth)
+        if choice < 0.65:
+            operand = self.expression(depth + 1)
+            return Select(
+                parse_expression(self.random_condition(operand.schema.degree)),
+                operand,
+            )
+        if choice < 0.78:
+            operand = self.expression(depth + 1)
+            width = rng.randint(1, operand.schema.degree)
+            positions = [
+                rng.randint(1, operand.schema.degree) for _ in range(width)
+            ]
+            return Project(AttrList(positions), operand)
+        if choice < 0.86:
+            operand = self.expression(depth + 1)
+            entries = [
+                self.random_arithmetic(operand.schema.degree)
+                for _ in range(rng.randint(1, 2))
+            ]
+            return ExtendedProject(entries, operand)
+        if choice < 0.93:
+            return Unique(self.expression(depth + 1))
+        operand = self.expression(depth + 1)
+        degree = operand.schema.degree
+        if degree >= 2 and rng.random() < 0.8:
+            group_col = rng.randint(1, degree)
+            param_col = rng.randint(1, degree)
+            aggregate = rng.choice(["CNT", "SUM", "MIN", "MAX"])
+            param = None if aggregate == "CNT" else param_col
+            return GroupBy([group_col], aggregate, param, operand)
+        return GroupBy(None, "CNT", None, operand)
+
+    def _binary_compatible(self, constructor, depth: int) -> AlgebraExpr:
+        """Two subtrees coerced to a common schema via projection."""
+        left = self.expression(depth + 1)
+        right = self.expression(depth + 1)
+        width = min(left.schema.degree, right.schema.degree)
+        width = self.rng.randint(1, width)
+        left_positions = self.rng.sample(
+            range(1, left.schema.degree + 1), width
+        )
+        right_positions = self.rng.sample(
+            range(1, right.schema.degree + 1), width
+        )
+        left = Project(AttrList(left_positions), left)
+        right = Project(AttrList(right_positions), right)
+        return constructor(left, right)
+
+    def _join_or_product(self, depth: int) -> AlgebraExpr:
+        left = self.expression(depth + 1)
+        right = self.expression(depth + 1)
+        combined_degree = left.schema.degree + right.schema.degree
+        if combined_degree > self.max_degree:
+            left = Project(AttrList([1]), left)
+            right = Project(AttrList([1]), right)
+            combined_degree = 2
+        if self.rng.random() < 0.6:
+            left_col = self.rng.randint(1, left.schema.degree)
+            right_col = left.schema.degree + self.rng.randint(
+                1, right.schema.degree
+            )
+            return Join(left, right, f"%{left_col} = %{right_col}")
+        return Product(left, right)

@@ -1,0 +1,5 @@
+"""Developer tooling: query explanation reports."""
+
+from repro.tools.explain import ExplainReport, explain
+
+__all__ = ["explain", "ExplainReport"]

@@ -1,0 +1,27 @@
+"""Workload generators for the examples, tests, and benches."""
+
+from repro.workloads.beer import (
+    BEER_SCHEMA,
+    BREWERY_SCHEMA,
+    BeerWorkload,
+    tiny_beer_database,
+)
+from repro.workloads.synthetic import (
+    int_schema,
+    join_chain_relations,
+    random_int_bag,
+    random_int_relation,
+    zipf_relation,
+)
+
+__all__ = [
+    "BEER_SCHEMA",
+    "BREWERY_SCHEMA",
+    "BeerWorkload",
+    "tiny_beer_database",
+    "int_schema",
+    "random_int_relation",
+    "random_int_bag",
+    "zipf_relation",
+    "join_chain_relations",
+]

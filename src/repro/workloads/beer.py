@@ -1,0 +1,175 @@
+"""Scale-up generator for the paper's beer / brewery example database.
+
+The paper's running example is::
+
+    beer    (name, brewery, alcperc)
+    brewery (name, city, country)
+
+This generator reproduces the example's *statistical shape* at any
+scale: many beers per brewery, beer names drawn from a pool much smaller
+than the number of beers (so projections on ``name`` produce duplicates,
+as Example 3.1 requires), a configurable share of outright duplicate
+tuples (distinct physical beers that agree on every attribute), and a
+small country set so Example 3.2's per-country aggregation has
+meaningfully sized groups.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.database import Database
+from repro.domains import REAL, STRING
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+__all__ = ["BEER_SCHEMA", "BREWERY_SCHEMA", "BeerWorkload", "tiny_beer_database"]
+
+BEER_SCHEMA = RelationSchema.of("beer", name=STRING, brewery=STRING, alcperc=REAL)
+BREWERY_SCHEMA = RelationSchema.of(
+    "brewery", name=STRING, city=STRING, country=STRING
+)
+
+_COUNTRIES = [
+    "Netherlands",
+    "Belgium",
+    "Germany",
+    "Czechia",
+    "Ireland",
+    "Denmark",
+]
+
+_NAME_STEMS = [
+    "Pils",
+    "Bock",
+    "Tripel",
+    "Dubbel",
+    "Lager",
+    "Stout",
+    "Witbier",
+    "Quadrupel",
+    "Saison",
+    "Alt",
+    "Kolsch",
+    "Porter",
+]
+
+_CITY_STEMS = [
+    "Enschede",
+    "Amsterdam",
+    "Leuven",
+    "Brugge",
+    "Munchen",
+    "Plzen",
+    "Dublin",
+    "Kobenhavn",
+    "Bamberg",
+    "Utrecht",
+]
+
+
+@dataclass
+class BeerWorkload:
+    """Deterministic generator for beer/brewery relations at scale.
+
+    Parameters shape the duplicate structure:
+
+    * ``beers`` / ``breweries`` — bag cardinalities;
+    * ``name_pool`` — number of distinct beer names; smaller pools mean
+      more duplicates after ``π_name`` (Example 3.1's point);
+    * ``duplicate_fraction`` — share of beer tuples that are exact
+      copies of an earlier tuple (true bag duplicates);
+    * ``netherlands_share`` — fraction of breweries located in the
+      Netherlands, controlling the selectivity of Example 3.1's filter.
+    """
+
+    beers: int = 1000
+    breweries: int = 50
+    name_pool: int = 40
+    duplicate_fraction: float = 0.2
+    netherlands_share: float = 0.4
+    seed: int = 1994
+
+    def brewery_rows(self) -> List[Tuple[str, str, str]]:
+        rng = random.Random(self.seed)
+        rows = []
+        for index in range(self.breweries):
+            name = f"Brouwerij-{index:04d}"
+            city = f"{rng.choice(_CITY_STEMS)}-{rng.randrange(100)}"
+            if rng.random() < self.netherlands_share:
+                country = "Netherlands"
+            else:
+                country = rng.choice(_COUNTRIES[1:])
+            rows.append((name, city, country))
+        return rows
+
+    def beer_rows(self) -> List[Tuple[str, str, float]]:
+        rng = random.Random(self.seed + 1)
+        names = [
+            f"{rng.choice(_NAME_STEMS)}-{index}" for index in range(self.name_pool)
+        ]
+        rows: List[Tuple[str, str, float]] = []
+        for _ in range(self.beers):
+            if rows and rng.random() < self.duplicate_fraction:
+                rows.append(rng.choice(rows))
+                continue
+            name = rng.choice(names)
+            brewery = f"Brouwerij-{rng.randrange(self.breweries):04d}"
+            alcperc = round(rng.uniform(0.5, 12.0), 1)
+            rows.append((name, brewery, alcperc))
+        return rows
+
+    def relations(self) -> Tuple[Relation, Relation]:
+        """The (beer, brewery) relation pair."""
+        return (
+            Relation(BEER_SCHEMA, self.beer_rows()),
+            Relation(BREWERY_SCHEMA, self.brewery_rows()),
+        )
+
+    def database(self) -> Database:
+        """A ready database with both relations installed."""
+        beer, brewery = self.relations()
+        database = Database()
+        database.create_relation(BEER_SCHEMA, beer)
+        database.create_relation(BREWERY_SCHEMA, brewery)
+        return database
+
+
+def tiny_beer_database() -> Database:
+    """The hand-sized instance used throughout the paper's examples.
+
+    Contents are chosen so that every example produces interesting
+    output: two Dutch breweries brew a beer with the same name (so
+    Example 3.1 yields a duplicate), and alcohol percentages differ per
+    country (so Example 3.2's averages are distinguishable).
+    """
+    database = Database()
+    database.create_relation(
+        BEER_SCHEMA,
+        Relation(
+            BEER_SCHEMA,
+            [
+                ("Pils", "Guineken", 4.5),
+                ("Pils", "Grolsch", 4.5),
+                ("Bock", "Grolsch", 6.5),
+                ("Tripel", "Westmalle", 9.5),
+                ("Dubbel", "Westmalle", 7.0),
+                ("Stout", "Guinness", 4.2),
+            ],
+        ),
+    )
+    database.create_relation(
+        BREWERY_SCHEMA,
+        Relation(
+            BREWERY_SCHEMA,
+            [
+                ("Guineken", "Amsterdam", "Netherlands"),
+                ("Grolsch", "Enschede", "Netherlands"),
+                ("Westmalle", "Malle", "Belgium"),
+                ("Guinness", "Dublin", "Ireland"),
+            ],
+        ),
+    )
+    return database

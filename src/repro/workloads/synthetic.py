@@ -1,0 +1,131 @@
+"""Synthetic relation generators with controllable duplication.
+
+The benches need bags whose duplicate structure is a dial: the paper's
+cost argument (duplicate removal is expensive, so a model that *forces*
+it — set semantics — pays throughout) only shows its shape when the
+duplication factor varies.  Generators here control:
+
+* bag cardinality;
+* distinct-value space per column (smaller space → more duplicates);
+* a Zipf-ish skew so some tuples are heavily duplicated, matching how
+  duplicates arise in practice (hot values, not uniform noise).
+
+All generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.domains import INTEGER
+from repro.multiset import Multiset
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+__all__ = [
+    "int_schema",
+    "random_int_relation",
+    "random_int_bag",
+    "zipf_relation",
+    "join_chain_relations",
+]
+
+
+def int_schema(degree: int, name: Optional[str] = None) -> RelationSchema:
+    """An all-integer schema ``(c1, ..., c<degree>)``."""
+    return RelationSchema(
+        name, [(f"c{index}", INTEGER) for index in range(1, degree + 1)]
+    )
+
+
+def random_int_relation(
+    size: int,
+    degree: int = 2,
+    value_space: int = 100,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Relation:
+    """A bag of ``size`` integer tuples drawn uniformly from a value space.
+
+    ``value_space ** degree`` distinct tuples exist, so duplicates appear
+    once ``size`` is comparable to that number — tune ``value_space``
+    down to force heavy duplication.
+    """
+    rng = random.Random(seed)
+    rows = [
+        tuple(rng.randrange(value_space) for _ in range(degree))
+        for _ in range(size)
+    ]
+    return Relation(int_schema(degree, name), rows)
+
+
+def random_int_bag(
+    size: int, value_space: int = 100, seed: int = 0
+) -> Multiset[int]:
+    """A plain bag of integers (for container-level property tests)."""
+    rng = random.Random(seed)
+    return Multiset(rng.randrange(value_space) for _ in range(size))
+
+
+def zipf_relation(
+    size: int,
+    degree: int = 2,
+    distinct: int = 100,
+    skew: float = 1.2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Relation:
+    """A bag whose tuple frequencies follow a Zipf-like distribution.
+
+    ``distinct`` candidate tuples get sampling weights ``1/rank^skew``;
+    higher ``skew`` concentrates multiplicity in a few hot tuples — the
+    regime where duplicate elimination is cheap to *store* but the
+    duplicates themselves dominate processing cost.
+    """
+    rng = random.Random(seed)
+    candidates: List[Tuple[int, ...]] = []
+    seen = set()
+    while len(candidates) < distinct:
+        row = tuple(rng.randrange(distinct * 10) for _ in range(degree))
+        if row not in seen:
+            seen.add(row)
+            candidates.append(row)
+    weights = [1.0 / (rank ** skew) for rank in range(1, distinct + 1)]
+    rows = rng.choices(candidates, weights=weights, k=size)
+    return Relation(int_schema(degree, name), rows)
+
+
+def join_chain_relations(
+    tables: int,
+    sizes: Sequence[int],
+    key_spaces: Sequence[int],
+    seed: int = 0,
+) -> List[Relation]:
+    """Relations ``R_i(key_i, key_{i+1})`` forming a join chain.
+
+    ``R_1 ⋈ R_2 ⋈ ... ⋈ R_n`` on ``R_i.key_{i+1} = R_{i+1}.key_{i+1}``
+    is the standard join-ordering workload (bench E4): with skewed sizes
+    and key spaces, association order changes intermediate cardinality by
+    orders of magnitude.
+    """
+    if len(sizes) != tables or len(key_spaces) != tables + 1:
+        raise ValueError(
+            "need one size per table and one key space per chain position"
+        )
+    rng = random.Random(seed)
+    relations = []
+    for index in range(tables):
+        schema = RelationSchema(
+            f"r{index + 1}",
+            [(f"k{index + 1}", INTEGER), (f"k{index + 2}", INTEGER)],
+        )
+        rows = [
+            (
+                rng.randrange(key_spaces[index]),
+                rng.randrange(key_spaces[index + 1]),
+            )
+            for _ in range(sizes[index])
+        ]
+        relations.append(Relation(schema, rows))
+    return relations

@@ -1,0 +1,35 @@
+"""XRA — the PRISMA/DB-style textual form of the extended algebra.
+
+The paper reports that "a variant of the language, called XRA, has been
+used as the primary database language" of PRISMA/DB.  This package gives
+the reproduction a complete textual language: a lexer, a schema-directed
+parser producing fully-typed algebra trees and Definition 4.1
+statements, and an interpreter with transaction brackets.
+"""
+
+from repro.xra.interp import ScriptResult, XRAInterpreter
+from repro.xra.lexer import tokenize_xra
+from repro.xra.parser import (
+    CreateRelation,
+    DeclareConstraint,
+    DropConstraint,
+    DropRelation,
+    ScriptItem,
+    StatementItem,
+    TransactionItem,
+    parse_script,
+)
+
+__all__ = [
+    "XRAInterpreter",
+    "ScriptResult",
+    "parse_script",
+    "tokenize_xra",
+    "CreateRelation",
+    "DropRelation",
+    "DeclareConstraint",
+    "DropConstraint",
+    "StatementItem",
+    "TransactionItem",
+    "ScriptItem",
+]

@@ -1,0 +1,119 @@
+"""Interpreter for XRA scripts.
+
+Runs a script against a :class:`~repro.database.Database`:
+
+* ``create`` / ``drop`` DDL takes effect immediately (schema evolution
+  sits outside the transaction model, as in PRISMA/DB practice);
+* a bare statement auto-commits as a singleton transaction;
+* a bracketed statement list runs atomically (Definition 4.3) — one
+  failing statement rolls the whole group back and the interpreter
+  reports the abort instead of half-applied state.
+
+Query (``?E``) outputs accumulate across the script in order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.algebra import AlgebraExpr
+from repro.database import Database
+from repro.errors import XRARuntimeError
+from repro.language import Transaction, TransactionResult
+from repro.optimizer import optimize
+from repro.relation import Relation
+from repro.xra.parser import (
+    CreateRelation,
+    DeclareConstraint,
+    DropConstraint,
+    DropRelation,
+    ScriptItem,
+    StatementItem,
+    TransactionItem,
+    parse_script,
+)
+
+__all__ = ["XRAInterpreter", "ScriptResult"]
+
+
+class ScriptResult:
+    """Everything a script produced."""
+
+    __slots__ = ("outputs", "transactions")
+
+    def __init__(self) -> None:
+        #: Results of ``?E`` statements, in script order.
+        self.outputs: List[Relation] = []
+        #: One result per executed (bare or bracketed) transaction.
+        self.transactions: List[TransactionResult] = []
+
+    @property
+    def committed(self) -> bool:
+        """True when every transaction in the script committed."""
+        return all(result.committed for result in self.transactions)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.committed else "had aborts"
+        return (
+            f"<ScriptResult {len(self.transactions)} transaction(s), "
+            f"{len(self.outputs)} output(s), {status}>"
+        )
+
+
+class XRAInterpreter:
+    """Executes XRA scripts against a database."""
+
+    def __init__(
+        self,
+        database: Database,
+        use_physical_engine: bool = True,
+        use_optimizer: bool = True,
+        constraints: Sequence[object] = (),
+    ) -> None:
+        self.database = database
+        self.use_physical_engine = use_physical_engine
+        self.constraints = list(constraints)
+        self._optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = (
+            optimize if use_optimizer else None
+        )
+
+    def run(self, text: str) -> ScriptResult:
+        """Parse and execute a whole script."""
+        items = parse_script(text, self.database.schema.get)
+        result = ScriptResult()
+        for item in items:
+            self._run_item(item, result)
+        return result
+
+    def _run_item(self, item: ScriptItem, result: ScriptResult) -> None:
+        if isinstance(item, CreateRelation):
+            self.database.create_relation(item.schema)
+            return
+        if isinstance(item, DropRelation):
+            self.database.drop_relation(item.name)
+            return
+        if isinstance(item, DeclareConstraint):
+            self.constraints.append(item.constraint)
+            return
+        if isinstance(item, DropConstraint):
+            self.constraints = [
+                constraint
+                for constraint in self.constraints
+                if getattr(constraint, "name", None) != item.name
+            ]
+            return
+        if isinstance(item, StatementItem):
+            statements = [item.statement]
+        elif isinstance(item, TransactionItem):
+            statements = item.statements
+        else:  # pragma: no cover - parser produces only the above
+            raise XRARuntimeError(f"unknown script item {item!r}")
+        transaction = Transaction(statements)
+        outcome = transaction.run(
+            self.database,
+            use_physical_engine=self.use_physical_engine,
+            optimizer=self._optimizer,
+            constraints=self.constraints,
+        )
+        result.transactions.append(outcome)
+        result.outputs.extend(outcome.outputs)

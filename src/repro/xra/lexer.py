@@ -1,0 +1,91 @@
+"""Lexer for the XRA textual language.
+
+XRA was the primary database language of PRISMA/DB — "a variant of the
+language" of the paper.  Our concrete syntax is a faithful textual
+rendering of the paper's constructs (the original XRA grammar lives in a
+University of Twente memorandum that is not generally available, so the
+surface syntax here is this reproduction's own, documented in
+:mod:`repro.xra.parser`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from repro.errors import XRAParseError
+
+__all__ = ["XraToken", "tokenize_xra"]
+
+
+class XraToken(NamedTuple):
+    kind: str  # keyword | name | attr | int | real | string | op | eof
+    text: str
+    position: int
+
+
+KEYWORDS = {
+    "insert",
+    "delete",
+    "update",
+    "create",
+    "drop",
+    "constraint",
+    "key",
+    "ref",
+    "check",
+    "on",
+    "references",
+    "tuples",
+    "union",
+    "diff",
+    "product",
+    "inter",
+    "sel",
+    "proj",
+    "xproj",
+    "join",
+    "unique",
+    "groupby",
+    "closure",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<real>\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<attr>%\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op>:=|<>|!=|<=|>=|[=<>+\-*/()\[\]{},;?._:])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize_xra(text: str) -> List[XraToken]:
+    """Tokenize an XRA script (``--`` starts a line comment)."""
+    tokens: List[XraToken] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise XRAParseError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            token_text = match.group()
+            if kind == "name" and token_text.lower() in KEYWORDS:
+                tokens.append(XraToken("keyword", token_text.lower(), position))
+            else:
+                tokens.append(XraToken(kind, token_text, position))
+        position = match.end()
+    tokens.append(XraToken("eof", "", len(text)))
+    return tokens

@@ -1,0 +1,78 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.domains import INTEGER, REAL, STRING
+from repro.multiset import Multiset
+from repro.relation import Relation
+from repro.schema import RelationSchema
+from repro.workloads import tiny_beer_database
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: Small bags of small ints — the workhorse for multiplicity-law tests.
+int_bags = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=9),
+    values=st.integers(min_value=1, max_value=5),
+    max_size=8,
+).map(Multiset)
+
+#: Bags of (int, int) tuples usable as 2-column relations.
+pair_bags = st.dictionaries(
+    keys=st.tuples(
+        st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5)
+    ),
+    values=st.integers(min_value=1, max_value=4),
+    max_size=10,
+).map(Multiset)
+
+
+def relation_strategy(degree: int = 2, max_value: int = 5, max_size: int = 10):
+    """Relations over an all-integer schema of the given degree."""
+    schema = RelationSchema(
+        None, [(f"c{index}", INTEGER) for index in range(1, degree + 1)]
+    )
+    tuples = st.tuples(
+        *[st.integers(min_value=0, max_value=max_value) for _ in range(degree)]
+    )
+    return st.dictionaries(
+        keys=tuples, values=st.integers(min_value=1, max_value=4), max_size=max_size
+    ).map(lambda counts: Relation.from_multiset(schema, Multiset(counts)))
+
+
+int_relations = relation_strategy()
+int_relations_deg1 = relation_strategy(degree=1)
+int_relations_deg3 = relation_strategy(degree=3)
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def beer_db():
+    """The paper's hand-sized beer/brewery database."""
+    return tiny_beer_database()
+
+
+@pytest.fixture
+def beer_schema():
+    return RelationSchema.of("beer", name=STRING, brewery=STRING, alcperc=REAL)
+
+
+@pytest.fixture
+def brewery_schema():
+    return RelationSchema.of("brewery", name=STRING, city=STRING, country=STRING)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1994)

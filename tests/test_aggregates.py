@@ -1,0 +1,211 @@
+"""Unit tests for aggregate functions (Definition 3.3)."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.aggregates import (
+    AVG,
+    CNT,
+    MAX,
+    MEDIAN,
+    MIN,
+    STDEV,
+    SUM,
+    VAR,
+    resolve_aggregate,
+)
+from repro.domains import INTEGER, MONEY, REAL, STRING
+from repro.errors import EmptyAggregateError, ExpressionTypeError
+from repro.multiset import Multiset
+from repro.schema import RelationSchema
+
+NUM_SCHEMA = RelationSchema.of("t", v=REAL)
+INT_SCHEMA = RelationSchema.of("t", v=INTEGER)
+STR_SCHEMA = RelationSchema.of("t", v=STRING)
+MONEY_SCHEMA = RelationSchema.of("t", v=MONEY)
+
+
+class TestCount:
+    def test_counts_duplicates(self):
+        assert CNT.compute(Multiset({1: 3, 2: 1})) == 4
+
+    def test_empty_is_zero_not_error(self):
+        # CNT is total: it is 0 on the empty bag.
+        assert CNT.compute(Multiset()) == 0
+
+    def test_dummy_parameter(self):
+        # "included only for reasons of syntactical uniformity"
+        CNT.check_input(NUM_SCHEMA, None)  # no error
+        CNT.check_input(STR_SCHEMA, 1)  # any attribute is fine
+
+    def test_output(self):
+        assert CNT.output_domain(NUM_SCHEMA, None) == INTEGER
+        assert CNT.output_name(None, NUM_SCHEMA) == "cnt"
+
+
+class TestSum:
+    def test_weighted_by_multiplicity(self):
+        # SUM_p E = sum of x.p * E(x)
+        assert SUM.compute(Multiset({2.0: 3, 5.0: 1})) == 11.0
+
+    def test_empty_sum_is_zero(self):
+        assert SUM.compute(Multiset()) == 0
+
+    def test_requires_numeric(self):
+        with pytest.raises(ExpressionTypeError):
+            SUM.check_input(STR_SCHEMA, 1)
+
+    def test_requires_parameter(self):
+        with pytest.raises(ExpressionTypeError):
+            SUM.check_input(NUM_SCHEMA, None)
+
+    def test_money_stays_exact(self):
+        total = SUM.compute(Multiset({Decimal("0.10"): 3}))
+        assert total == Decimal("0.30")
+
+    def test_output_domain_follows_attribute(self):
+        assert SUM.output_domain(INT_SCHEMA, 1) == INTEGER
+        assert SUM.output_domain(NUM_SCHEMA, 1) == REAL
+        assert SUM.output_domain(MONEY_SCHEMA, 1) == MONEY
+
+    def test_output_name(self):
+        assert SUM.output_name(1, NUM_SCHEMA) == "sum_v"
+
+
+class TestAverage:
+    def test_is_sum_over_count(self):
+        assert AVG.compute(Multiset({1.0: 1, 4.0: 1})) == 2.5
+
+    def test_multiplicity_matters(self):
+        # This asymmetry is Example 3.2's crux.
+        assert AVG.compute(Multiset({1.0: 3, 4.0: 1})) == 1.75
+
+    def test_partial_on_empty(self):
+        with pytest.raises(EmptyAggregateError):
+            AVG.compute(Multiset())
+
+    def test_money_average_quantized(self):
+        result = AVG.compute(Multiset({Decimal("1.00"): 1, Decimal("2.00"): 2}))
+        assert result == Decimal("1.67")
+
+    def test_output_domain(self):
+        assert AVG.output_domain(INT_SCHEMA, 1) == REAL
+        assert AVG.output_domain(MONEY_SCHEMA, 1) == MONEY
+
+
+class TestMinMax:
+    def test_min_max(self):
+        bag = Multiset({3: 1, 1: 5, 2: 1})
+        assert MIN.compute(bag) == 1
+        assert MAX.compute(bag) == 3
+
+    def test_partial_on_empty(self):
+        with pytest.raises(EmptyAggregateError):
+            MIN.compute(Multiset())
+        with pytest.raises(EmptyAggregateError):
+            MAX.compute(Multiset())
+
+    def test_ordered_requirement(self):
+        # Strings are ordered, so MIN/MAX are fine on them...
+        MIN.check_input(STR_SCHEMA, 1)
+        # ...and they keep the attribute's domain.
+        assert MIN.output_domain(STR_SCHEMA, 1) == STRING
+
+    def test_min_on_strings(self):
+        assert MIN.compute(Multiset({"pils": 1, "bock": 2})) == "bock"
+
+
+class TestStatisticalExtensions:
+    def test_variance_population(self):
+        bag = Multiset({2.0: 2, 4.0: 2})
+        assert VAR.compute(bag) == 1.0
+
+    def test_stdev(self):
+        bag = Multiset({2.0: 2, 4.0: 2})
+        assert STDEV.compute(bag) == 1.0
+
+    def test_variance_weighted(self):
+        assert VAR.compute(Multiset({0.0: 1, 3.0: 3})) == pytest.approx(
+            ((0 - 2.25) ** 2 + 3 * (3 - 2.25) ** 2) / 4
+        )
+
+    def test_median_odd(self):
+        assert MEDIAN.compute(Multiset({1.0: 1, 2.0: 1, 9.0: 1})) == 2.0
+
+    def test_median_even_averages(self):
+        assert MEDIAN.compute(Multiset({1.0: 1, 3.0: 1})) == 2.0
+
+    def test_median_respects_multiplicity(self):
+        assert MEDIAN.compute(Multiset({1.0: 3, 100.0: 1})) == 1.0
+
+    def test_all_partial_on_empty(self):
+        for aggregate in (VAR, STDEV, MEDIAN):
+            with pytest.raises(EmptyAggregateError):
+                aggregate.compute(Multiset())
+
+
+class TestResolve:
+    def test_by_name_case_insensitive(self):
+        assert resolve_aggregate("avg") is AVG
+        assert resolve_aggregate("CNT") is CNT
+
+    def test_sql_count_alias(self):
+        assert resolve_aggregate("COUNT") is CNT
+
+    def test_unknown(self):
+        with pytest.raises(ExpressionTypeError, match="known"):
+            resolve_aggregate("MODE")
+
+    def test_identity_semantics(self):
+        from repro.aggregates import Average
+
+        assert AVG == Average()
+        assert AVG != SUM
+        assert len({AVG, Average()}) == 1
+
+
+class TestCountDistinct:
+    def test_counts_support(self):
+        from repro.aggregates import CNTD
+
+        assert CNTD.compute(Multiset({1: 5, 2: 1})) == 2
+
+    def test_empty_is_zero(self):
+        from repro.aggregates import CNTD
+
+        assert CNTD.compute(Multiset()) == 0
+
+    def test_requires_parameter(self):
+        from repro.aggregates import CNTD
+
+        with pytest.raises(ExpressionTypeError):
+            CNTD.check_input(NUM_SCHEMA, None)
+        CNTD.check_input(STR_SCHEMA, 1)  # any domain works
+
+    def test_in_group_by(self):
+        from repro.aggregates import CNTD
+        from repro.relation import Relation
+        from repro.schema import RelationSchema
+        from repro.domains import STRING
+
+        schema = RelationSchema.of("s", k=STRING, v=STRING)
+        relation = Relation(
+            schema, [("a", "x"), ("a", "x"), ("a", "y"), ("b", "x")]
+        )
+        cnt = relation.group_by(["k"], resolve_aggregate("CNT"), None)
+        cntd = relation.group_by(["k"], CNTD, "v")
+        assert cnt.multiplicity(("a", 3)) == 1
+        assert cntd.multiplicity(("a", 2)) == 1  # bag CNT vs distinct CNTD
+
+    def test_resolvable_and_sql_usable(self):
+        from repro.aggregates import CNTD
+        from repro.sql import sql_to_algebra
+        from repro.workloads import tiny_beer_database
+        from repro.engine import evaluate
+
+        assert resolve_aggregate("cntd") is CNTD
+        db = tiny_beer_database()
+        expr = sql_to_algebra("SELECT CNTD(name) FROM beer", db.schema)
+        result = evaluate(expr, dict(db.as_env()))
+        assert list(result.pairs()) == [((5,), 1)]  # 6 beers, 5 names

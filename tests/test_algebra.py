@@ -1,0 +1,233 @@
+"""Unit tests for algebra AST construction, typing, and tree protocol."""
+
+import pytest
+
+from repro.aggregates import AVG, CNT
+from repro.algebra import (
+    Difference,
+    ExtendedProject,
+    GroupBy,
+    Intersect,
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+    render,
+    render_tree,
+)
+from repro.domains import INTEGER, REAL, STRING
+from repro.errors import (
+    ArityError,
+    ExpressionTypeError,
+    SchemaMismatchError,
+)
+from repro.relation import Relation
+from repro.schema import AttrList, RelationSchema
+
+BEER = RelationSchema.of("beer", name=STRING, brewery=STRING, alcperc=REAL)
+BREWERY = RelationSchema.of("brewery", name=STRING, city=STRING, country=STRING)
+
+
+def beer_ref():
+    return RelationRef("beer", BEER)
+
+
+def brewery_ref():
+    return RelationRef("brewery", BREWERY)
+
+
+class TestLeaves:
+    def test_relation_ref_schema(self):
+        ref = beer_ref()
+        assert ref.schema.name == "beer"
+        assert ref.schema.degree == 3
+        assert ref.children() == ()
+
+    def test_literal_relation(self):
+        relation = Relation(BEER, [("Pils", "Grolsch", 4.5)])
+        leaf = LiteralRelation(relation)
+        assert leaf.schema is relation.schema
+
+    def test_leaves_reject_children(self):
+        with pytest.raises(ValueError):
+            beer_ref().with_children([beer_ref()])
+
+
+class TestStaticChecks:
+    def test_union_needs_compatible_schemas(self):
+        with pytest.raises(SchemaMismatchError):
+            Union(beer_ref(), brewery_ref().project(["name"]))
+
+    def test_union_of_compatible_different_names_ok(self):
+        # Compatibility is by domains, not names (Section 2's remark).
+        other = RelationRef(
+            "other", RelationSchema.of("other", x=STRING, y=STRING, z=REAL)
+        )
+        union = Union(beer_ref(), other)
+        # Result takes the left operand's attribute names.
+        assert union.schema.names() == ("name", "brewery", "alcperc")
+
+    def test_union_checks_domains_not_just_degree(self):
+        # beer is (string, string, real), brewery (string, string, string).
+        with pytest.raises(SchemaMismatchError):
+            Union(beer_ref(), brewery_ref())
+
+    def test_difference_needs_compatible_schemas(self):
+        with pytest.raises(SchemaMismatchError):
+            Difference(beer_ref(), brewery_ref())
+
+    def test_intersect_needs_compatible_schemas(self):
+        with pytest.raises(SchemaMismatchError):
+            Intersect(beer_ref(), brewery_ref())
+
+    def test_select_condition_must_be_boolean(self):
+        with pytest.raises(ExpressionTypeError):
+            Select("alcperc * 2", beer_ref())
+
+    def test_select_condition_must_typecheck(self):
+        with pytest.raises(ExpressionTypeError):
+            Select("name > 1", beer_ref())
+
+    def test_join_condition_over_combined_schema(self):
+        join = Join(beer_ref(), brewery_ref(), "%2 = %4")
+        assert join.schema.degree == 6
+
+    def test_join_condition_out_of_range(self):
+        from repro.errors import AttributeResolutionError
+
+        with pytest.raises(AttributeResolutionError):
+            Join(beer_ref(), brewery_ref(), "%7 = %1")
+
+    def test_extended_project_needs_expressions(self):
+        with pytest.raises(ArityError):
+            ExtendedProject([], beer_ref())
+
+    def test_extended_project_names_arity(self):
+        with pytest.raises(ArityError):
+            ExtendedProject(["%1"], beer_ref(), names=["a", "b"])
+
+    def test_groupby_duplicate_attrs_rejected(self):
+        with pytest.raises(ValueError):
+            GroupBy(["name", "%1"], CNT, None, beer_ref())
+
+    def test_groupby_aggregate_typecheck(self):
+        with pytest.raises(ExpressionTypeError):
+            GroupBy(["name"], AVG, "brewery", beer_ref())  # AVG of a string
+
+
+class TestSchemaInference:
+    def test_product_schema_concatenates(self):
+        product = Product(beer_ref(), brewery_ref())
+        assert product.schema.degree == 6
+        assert product.schema.names()[:3] == ("name", "brewery", "alcperc")
+
+    def test_project_schema(self):
+        project = beer_ref().project(["alcperc", "name"])
+        assert project.schema.names() == ("alcperc", "name")
+
+    def test_extended_project_schema_and_names(self):
+        node = ExtendedProject(["%3 * 1.1", "%1"], beer_ref())
+        assert node.schema.attribute(1).domain == REAL
+        assert node.schema.attribute(1).name is None  # computed: anonymous
+        assert node.schema.attribute(2).name == "name"  # plain ref keeps name
+
+    def test_extended_project_explicit_names(self):
+        node = ExtendedProject(["%3 * 1.1"], beer_ref(), names=["boosted"])
+        assert node.schema.attribute(1).name == "boosted"
+
+    def test_groupby_schema(self):
+        node = GroupBy(["brewery"], AVG, "alcperc", beer_ref())
+        assert node.schema.names() == ("brewery", "avg_alcperc")
+        assert node.schema.attribute(2).domain == REAL
+
+    def test_groupby_empty_alpha_schema(self):
+        node = GroupBy(None, CNT, None, beer_ref())
+        assert node.schema.degree == 1
+        assert node.schema.attribute(1).domain == INTEGER
+
+    def test_unique_preserves_schema(self):
+        assert Unique(beer_ref()).schema == beer_ref().schema
+
+    def test_structure_preserving_check(self):
+        good = ExtendedProject(["%1", "%2", "%3 * 1.1"], beer_ref())
+        bad = ExtendedProject(["%1"], beer_ref())
+        assert good.is_structure_preserving()
+        assert not bad.is_structure_preserving()
+
+
+class TestTreeProtocol:
+    def test_children_and_rebuild(self):
+        expr = Select("alcperc > 5.0", beer_ref())
+        (child,) = expr.children()
+        rebuilt = expr.with_children([child])
+        assert rebuilt == expr
+
+    def test_node_count_and_depth(self):
+        expr = beer_ref().select("alcperc > 5.0").project(["name"])
+        assert expr.node_count() == 3
+        assert expr.depth() == 3
+
+    def test_structural_equality(self):
+        first = beer_ref().select("alcperc > 5.0")
+        second = beer_ref().select("alcperc > 5.0")
+        third = beer_ref().select("alcperc > 6.0")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+
+    def test_operator_sugar(self):
+        a, b = beer_ref(), beer_ref()
+        assert isinstance(a + b, Union)
+        assert isinstance(a - b, Difference)
+        assert isinstance(a * brewery_ref(), Product)
+        assert isinstance(a & b, Intersect)
+
+    def test_where_alias(self):
+        assert beer_ref().where("alcperc > 1.0") == beer_ref().select("alcperc > 1.0")
+
+
+class TestDerivedForms:
+    def test_intersect_derived_form_shape(self):
+        node = Intersect(beer_ref(), beer_ref())
+        derived = node.derived_form()
+        assert isinstance(derived, Difference)
+        assert isinstance(derived.right, Difference)
+
+    def test_join_derived_form_shape(self):
+        node = Join(beer_ref(), brewery_ref(), "%2 = %4")
+        derived = node.derived_form()
+        assert isinstance(derived, Select)
+        assert isinstance(derived.operand, Product)
+        assert derived.condition == node.condition
+
+
+class TestPretty:
+    def test_render_uses_paper_symbols(self):
+        expr = (
+            beer_ref()
+            .join(brewery_ref(), "%2 = %4")
+            .select("%6 = 'Netherlands'")
+            .project(["%1"])
+        )
+        text = render(expr)
+        assert "σ" in text and "π" in text and "⋈" in text
+
+    def test_render_delta_gamma(self):
+        expr = GroupBy(["brewery"], AVG, "alcperc", Unique(beer_ref()))
+        text = render(expr)
+        assert "δ" in text and "Γ" in text and "AVG" in text
+
+    def test_render_tree_indents(self):
+        expr = beer_ref().select("alcperc > 5.0").project(["name"])
+        lines = render_tree(expr).splitlines()
+        assert lines[0].startswith("project")
+        assert lines[1].startswith("  select")
+        assert lines[2].strip() == "beer"
+
+    def test_repr_is_render(self):
+        expr = Unique(beer_ref())
+        assert repr(expr) == render(expr)

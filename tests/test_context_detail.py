@@ -1,0 +1,92 @@
+"""Detail tests for the execution context and pretty rendering."""
+
+import pytest
+
+from repro.algebra import GroupBy, RelationRef, render, render_tree
+from repro.database import Database
+from repro.errors import UnknownRelationError
+from repro.language import ExecutionContext
+from repro.relation import Relation
+from repro.workloads import tiny_beer_database
+from repro.workloads.synthetic import int_schema
+
+
+class TestExecutionContext:
+    @pytest.fixture
+    def context(self):
+        db = tiny_beer_database()
+        return ExecutionContext(db.snapshot())
+
+    def test_environment_merges_temporaries(self, context):
+        relation = Relation(int_schema(1), [(1,)])
+        context.bind_temporary("tmp", relation)
+        env = context.environment()
+        assert "beer" in env and "tmp" in env
+
+    def test_get_prefers_temporaries(self, context):
+        # Temporaries and base names are disjoint, but resolution order
+        # still checks temporaries first.
+        relation = Relation(int_schema(1), [(1,)])
+        context.bind_temporary("scratch", relation)
+        assert context.get_relation("scratch") is not None
+
+    def test_set_unknown_raises(self, context):
+        with pytest.raises(UnknownRelationError):
+            context.set_relation("ghost", Relation(int_schema(1), [(1,)]))
+
+    def test_set_temporary_rebinding(self, context):
+        first = Relation(int_schema(1), [(1,)])
+        second = Relation(int_schema(1), [(2,)])
+        context.bind_temporary("x", first)
+        context.set_relation("x", second)
+        assert context.get_relation("x").multiplicity((2,)) == 1
+
+    def test_statistics_reflects_working_state(self, context):
+        catalog = context.statistics()
+        assert catalog.rows("beer") == 6.0
+
+    def test_optimizer_hook_applied(self):
+        db = tiny_beer_database()
+        calls = []
+
+        def spy(expr):
+            calls.append(expr)
+            return expr
+
+        context = ExecutionContext(db.snapshot(), optimizer=spy)
+        context.evaluate(RelationRef("beer", db["beer"].schema))
+        assert len(calls) == 1
+
+    def test_physical_flag_changes_engine_not_results(self):
+        db = tiny_beer_database()
+        expr = RelationRef("beer", db["beer"].schema).project(["name"])
+        physical = ExecutionContext(db.snapshot(), use_physical_engine=True)
+        reference = ExecutionContext(db.snapshot(), use_physical_engine=False)
+        assert physical.evaluate(expr) == reference.evaluate(expr)
+
+
+class TestRenderingCorners:
+    def test_render_whole_relation_groupby_underscore_param(self):
+        db = tiny_beer_database()
+        expr = GroupBy(None, "CNT", None, RelationRef("beer", db["beer"].schema))
+        text = render(expr)
+        assert "Γ[(), CNT, _]" in text
+
+    def test_render_tree_groupby_line(self):
+        db = tiny_beer_database()
+        expr = GroupBy(
+            ["brewery"], "AVG", "alcperc", RelationRef("beer", db["beer"].schema)
+        )
+        assert "groupby [(%2), AVG, %3]" in render_tree(expr)
+
+    def test_render_literal(self):
+        from repro.algebra import LiteralRelation
+
+        relation = Relation(int_schema(1), [(1,), (2,)])
+        assert render(LiteralRelation(relation)) == "lit[2]"
+
+    def test_render_difference_and_intersection_symbols(self):
+        db = tiny_beer_database()
+        beer = RelationRef("beer", db["beer"].schema)
+        assert "−" in render(beer - beer)
+        assert "∩" in render(beer & beer)

@@ -1,0 +1,172 @@
+"""Unit tests for the atomic domains (Definition 2.1)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.domains import (
+    BOOLEAN,
+    DATE,
+    INTEGER,
+    MONEY,
+    REAL,
+    STRING,
+    TIME,
+    TIMESTAMP,
+    DomainRegistry,
+    default_registry,
+    resolve_domain,
+)
+from repro.errors import DomainValueError, UnknownDomainError
+
+
+class TestIntegerDomain:
+    def test_contains(self):
+        assert INTEGER.contains(5)
+        assert not INTEGER.contains(5.0)
+        assert not INTEGER.contains(True)  # booleans are a separate domain
+
+    def test_normalize_accepts_integral_float(self):
+        assert INTEGER.normalize(5.0) == 5
+        assert type(INTEGER.normalize(5.0)) is int
+
+    def test_normalize_rejects_fractional(self):
+        with pytest.raises(DomainValueError):
+            INTEGER.normalize(5.5)
+
+    def test_normalize_rejects_string(self):
+        with pytest.raises(DomainValueError):
+            INTEGER.normalize("5")
+
+    def test_flags(self):
+        assert INTEGER.is_numeric and INTEGER.is_ordered
+
+
+class TestRealDomain:
+    def test_normalize_widens_int(self):
+        value = REAL.normalize(2)
+        assert value == 2.0 and type(value) is float
+
+    def test_rejects_bool(self):
+        with pytest.raises(DomainValueError):
+            REAL.normalize(True)
+
+
+class TestBooleanDomain:
+    def test_strict_membership(self):
+        assert BOOLEAN.contains(True)
+        assert not BOOLEAN.contains(1)
+
+    def test_rejects_int(self):
+        with pytest.raises(DomainValueError):
+            BOOLEAN.normalize(1)
+
+    def test_ordered_not_numeric(self):
+        assert BOOLEAN.is_ordered and not BOOLEAN.is_numeric
+
+
+class TestStringDomain:
+    def test_membership(self):
+        assert STRING.contains("beer")
+        assert not STRING.contains(1)
+
+    def test_ordered_not_numeric(self):
+        assert STRING.is_ordered and not STRING.is_numeric
+
+
+class TestTemporalDomains:
+    def test_date_from_iso(self):
+        assert DATE.normalize("1994-02-14") == datetime.date(1994, 2, 14)
+
+    def test_date_from_datetime(self):
+        stamp = datetime.datetime(1994, 2, 14, 9, 0)
+        assert DATE.normalize(stamp) == datetime.date(1994, 2, 14)
+
+    def test_date_rejects_garbage(self):
+        with pytest.raises(DomainValueError):
+            DATE.normalize("not-a-date")
+
+    def test_time_from_iso(self):
+        assert TIME.normalize("09:30") == datetime.time(9, 30)
+
+    def test_timestamp_from_date(self):
+        value = TIMESTAMP.normalize(datetime.date(1994, 2, 14))
+        assert value == datetime.datetime(1994, 2, 14, 0, 0)
+
+    def test_timestamp_from_iso(self):
+        assert TIMESTAMP.normalize("1994-02-14T09:00") == datetime.datetime(
+            1994, 2, 14, 9, 0
+        )
+
+    def test_all_ordered(self):
+        assert DATE.is_ordered and TIME.is_ordered and TIMESTAMP.is_ordered
+
+
+class TestMoneyDomain:
+    def test_exact_from_float_text_path(self):
+        # 1.10 must become exactly Decimal('1.10'), not the float value.
+        assert MONEY.normalize(1.10) == Decimal("1.10")
+
+    def test_from_int(self):
+        assert MONEY.normalize(3) == Decimal("3.00")
+
+    def test_from_string(self):
+        assert MONEY.normalize("12.5") == Decimal("12.50")
+
+    def test_quantized_to_cents(self):
+        assert MONEY.normalize(Decimal("1.999")) == Decimal("2.00")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(DomainValueError):
+            MONEY.normalize("twelve")
+
+    def test_numeric_and_ordered(self):
+        assert MONEY.is_numeric and MONEY.is_ordered
+
+
+class TestDomainIdentity:
+    def test_equality_by_name(self):
+        from repro.domains import IntegerDomain
+
+        assert INTEGER == IntegerDomain()
+        assert INTEGER != REAL
+
+    def test_hashable(self):
+        assert len({INTEGER, REAL, INTEGER}) == 2
+
+    def test_repr_is_name(self):
+        assert repr(INTEGER) == "integer"
+
+
+class TestRegistry:
+    def test_default_lookup(self):
+        assert resolve_domain("integer") is INTEGER
+        assert resolve_domain("INT") is INTEGER  # alias, case-insensitive
+        assert resolve_domain("varchar") is STRING
+        assert resolve_domain("decimal") is MONEY
+
+    def test_unknown_raises_with_listing(self):
+        with pytest.raises(UnknownDomainError, match="known domains"):
+            resolve_domain("quaternion")
+
+    def test_contains(self):
+        assert "real" in default_registry
+        assert "quaternion" not in default_registry
+
+    def test_custom_registry(self):
+        registry = DomainRegistry()
+        registry.register(INTEGER, aliases=("whole",))
+        assert registry.resolve("whole") is INTEGER
+        assert "real" not in registry
+
+    def test_names_sorted(self):
+        registry = DomainRegistry()
+        registry.register(REAL)
+        registry.register(INTEGER)
+        assert registry.names() == ["integer", "real"]
+
+    def test_sample_values_are_members(self):
+        for domain in (INTEGER, REAL, BOOLEAN, STRING, DATE, TIME, TIMESTAMP, MONEY):
+            for value in domain.sample_values():
+                assert domain.contains(value), (domain, value)

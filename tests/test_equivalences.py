@@ -1,0 +1,193 @@
+"""Property-based machine-checks of the paper's theorems (Section 3).
+
+Theorems 3.1-3.3 quantify over all multi-sets; hypothesis samples that
+space.  The δ/⊎ non-law is checked *as* a non-law: we verify the exact
+condition under which it fails.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import LiteralRelation
+from repro.optimizer import (
+    check_equivalence,
+    delta_max_union,
+    delta_over_union_claimed,
+    delta_over_union_valid,
+    intersect_as_difference,
+    intersect_associative,
+    join_as_select_product,
+    join_associative,
+    product_associative,
+    project_distributes_over_union,
+    select_distributes_over_union,
+    union_associative,
+)
+from tests.conftest import int_relations, int_relations_deg1
+
+conditions = st.sampled_from(
+    ["%1 = %2", "%1 < %2", "%1 + %2 > 4", "true", "false", "%1 = 2 or %2 = 3"]
+)
+
+attr_lists = st.sampled_from(["%1", "%2", "%1, %2", "%2, %1", "%1, %1"])
+
+join_conditions = st.sampled_from(["%2 = %3", "%1 < %4", "%2 + 1 = %3", "true"])
+
+
+def as_exprs(*relations):
+    return [LiteralRelation(relation) for relation in relations]
+
+
+class TestTheorem31:
+    @given(int_relations, int_relations)
+    def test_intersect_is_double_difference(self, r1, r2):
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(intersect_as_difference(e1, e2), {})
+
+    @given(int_relations, int_relations, join_conditions)
+    def test_join_is_select_product(self, r1, r2, condition):
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(join_as_select_product(e1, e2, condition), {})
+
+
+class TestTheorem32:
+    @given(int_relations, int_relations, conditions)
+    def test_select_distributes_over_union(self, r1, r2, condition):
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(
+            select_distributes_over_union(e1, e2, condition), {}
+        )
+
+    @given(int_relations, int_relations, attr_lists)
+    def test_project_distributes_over_union(self, r1, r2, attrs):
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(
+            project_distributes_over_union(e1, e2, attrs), {}
+        )
+
+
+class TestTheorem33:
+    @given(int_relations, int_relations, int_relations)
+    def test_product_associative(self, r1, r2, r3):
+        e1, e2, e3 = as_exprs(r1, r2, r3)
+        assert check_equivalence(product_associative(e1, e2, e3), {})
+
+    @given(int_relations, int_relations, int_relations)
+    def test_union_associative(self, r1, r2, r3):
+        e1, e2, e3 = as_exprs(r1, r2, r3)
+        assert check_equivalence(union_associative(e1, e2, e3), {})
+
+    @given(int_relations, int_relations, int_relations)
+    def test_intersect_associative(self, r1, r2, r3):
+        e1, e2, e3 = as_exprs(r1, r2, r3)
+        assert check_equivalence(intersect_associative(e1, e2, e3), {})
+
+    @given(int_relations, int_relations, int_relations)
+    def test_join_associative(self, r1, r2, r3):
+        e1, e2, e3 = as_exprs(r1, r2, r3)
+        # φ1 over E1 ⊕ E2 (cols 1-4), φ2 over E2 ⊕ E3 (cols 3-6).
+        pair = join_associative(e1, e2, e3, "%2 = %3", "%4 = %5")
+        assert check_equivalence(pair, {})
+
+    @given(int_relations, int_relations, int_relations)
+    def test_join_associative_with_arithmetic(self, r1, r2, r3):
+        pair = join_associative(
+            *as_exprs(r1, r2, r3), "%1 + %2 = %3", "%4 < %6"
+        )
+        assert check_equivalence(pair, {})
+
+    def test_join_associative_rejects_misplaced_condition(self):
+        import pytest
+
+        from repro.workloads import random_int_relation
+
+        e1, e2, e3 = as_exprs(
+            random_int_relation(3, seed=1),
+            random_int_relation(3, seed=2),
+            random_int_relation(3, seed=3),
+        )
+        with pytest.raises(ValueError):
+            join_associative(e1, e2, e3, "%1 = %5", "%3 = %4")  # φ1 touches E3
+        with pytest.raises(ValueError):
+            join_associative(e1, e2, e3, "%1 = %3", "%1 = %5")  # φ2 touches E1
+
+
+class TestDeltaUnionRelation:
+    @given(int_relations, int_relations)
+    def test_distribution_fails_exactly_on_overlap(self, r1, r2):
+        """δ(E1 ⊎ E2) = δE1 ⊎ δE2 holds iff the supports are disjoint."""
+        e1, e2 = as_exprs(r1, r2)
+        holds = check_equivalence(delta_over_union_claimed(e1, e2), {})
+        disjoint = not (r1.tuples.support() & r2.tuples.support())
+        assert holds == disjoint
+
+    def test_counterexample_exists(self):
+        """A concrete witness: any shared tuple breaks the distribution."""
+        from repro.relation import Relation
+        from repro.workloads.synthetic import int_schema
+
+        schema = int_schema(2)
+        shared = Relation(schema, [(1, 1)])
+        e1, e2 = as_exprs(shared, shared)
+        assert not check_equivalence(delta_over_union_claimed(e1, e2), {})
+
+    @given(int_relations, int_relations)
+    def test_valid_form_always_holds(self, r1, r2):
+        """δ(E1 ⊎ E2) = δ(δE1 ⊎ δE2) — the relation that does hold."""
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(delta_over_union_valid(e1, e2), {})
+
+    @given(int_relations, int_relations)
+    def test_max_union_form_always_holds(self, r1, r2):
+        """δ(E1 ⊎ E2) = δE1 ∪max δE2 at the container level."""
+        assert delta_max_union(r1, r2)
+
+
+class TestSingleColumnEdgeCases:
+    @given(int_relations_deg1, int_relations_deg1)
+    def test_theorems_on_degree_one(self, r1, r2):
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(intersect_as_difference(e1, e2), {})
+        assert check_equivalence(
+            select_distributes_over_union(e1, e2, "%1 > 2"), {}
+        )
+
+
+class TestCommutativityWithProjection:
+    """Commutativity is absent from Theorem 3.3 (it permutes columns);
+    the π-repaired versions hold and are property-checked here."""
+
+    @given(int_relations, int_relations)
+    def test_product_commutes_modulo_projection(self, r1, r2):
+        from repro.optimizer import product_commutative_with_projection
+
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(
+            product_commutative_with_projection(e1, e2), {}
+        )
+
+    @given(int_relations, int_relations, join_conditions)
+    def test_join_commutes_modulo_projection(self, r1, r2, condition):
+        from repro.optimizer import join_commutative_with_projection
+
+        e1, e2 = as_exprs(r1, r2)
+        assert check_equivalence(
+            join_commutative_with_projection(e1, e2, condition), {}
+        )
+
+    def test_plain_commutativity_fails_positionally(self):
+        """Without the projection the *contents* permute — why the paper
+        cannot state E1 × E2 = E2 × E1 in a positional model."""
+        from repro.algebra import Product
+        from repro.engine import evaluate
+        from repro.relation import Relation
+        from repro.workloads.synthetic import int_schema
+
+        r1 = Relation(int_schema(1), [(1,)])
+        r2 = Relation(int_schema(1), [(2,)])
+        e1, e2 = as_exprs(r1, r2)
+        forward = evaluate(Product(e1, e2), {})
+        backward = evaluate(Product(e2, e1), {})
+        assert forward.multiplicity((1, 2)) == 1
+        assert backward.multiplicity((2, 1)) == 1
+        assert forward != backward

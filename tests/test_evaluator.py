@@ -1,0 +1,158 @@
+"""Semantics tests for the reference evaluator, per operator definition.
+
+Each test spells out the multiplicity equation it checks, so the file
+doubles as an executable restatement of Definitions 3.1, 3.2, and 3.4.
+"""
+
+import pytest
+
+from repro.algebra import (
+    GroupBy,
+    Intersect,
+    Join,
+    LiteralRelation,
+    Product,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.domains import INTEGER, STRING
+from repro.engine import evaluate
+from repro.errors import UnknownRelationError
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+S = RelationSchema.of("s", k=INTEGER, v=STRING)
+
+
+def rel(*rows):
+    return Relation(S, rows)
+
+
+def lit_expr(*rows):
+    return LiteralRelation(rel(*rows))
+
+
+class TestLeaves:
+    def test_relation_ref(self):
+        env = {"s": rel((1, "a"))}
+        assert evaluate(RelationRef("s", S), env) == rel((1, "a"))
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            evaluate(RelationRef("nope", S), {})
+
+    def test_literal(self):
+        assert evaluate(lit_expr((1, "a")), {}) == rel((1, "a"))
+
+
+class TestBasicOperators:
+    def test_union_adds(self):
+        # (E1 ⊎ E2)(x) = E1(x) + E2(x)
+        result = evaluate(
+            Union(lit_expr((1, "a"), (1, "a")), lit_expr((1, "a"), (2, "b"))), {}
+        )
+        assert result.multiplicity((1, "a")) == 3
+        assert result.multiplicity((2, "b")) == 1
+
+    def test_difference_monus(self):
+        # (E1 − E2)(x) = max(0, E1(x) − E2(x))
+        expr = lit_expr((1, "a"), (1, "a"), (2, "b")).difference(
+            lit_expr((1, "a"), (2, "b"), (2, "b"))
+        )
+        result = evaluate(expr, {})
+        assert result.multiplicity((1, "a")) == 1
+        assert result.multiplicity((2, "b")) == 0
+
+    def test_product_multiplies(self):
+        # (E1 × E3)(x ⊕ y) = E1(x) · E3(y)
+        left = lit_expr((1, "a"), (1, "a"))
+        right = lit_expr((1, "a"), (1, "a"), (1, "a"))
+        result = evaluate(Product(left, right), {})
+        assert result.multiplicity((1, "a", 1, "a")) == 6
+
+    def test_select_keeps_multiplicity(self):
+        # (σφ E)(x) = E(x) if φ(x) else 0
+        expr = Select("k = 1", lit_expr((1, "a"), (1, "a"), (2, "b")))
+        result = evaluate(expr, {})
+        assert result.multiplicity((1, "a")) == 2
+        assert (2, "b") not in result
+
+    def test_project_sums(self):
+        # (πα E)(y) = Σ_{αx = y} E(x)
+        expr = lit_expr((1, "a"), (2, "a"), (2, "a")).project(["v"])
+        result = evaluate(expr, {})
+        assert result.multiplicity(("a",)) == 3
+        assert len(result) == 3  # no duplicate elimination
+
+
+class TestStandardOperators:
+    def test_intersection_min(self):
+        expr = Intersect(
+            lit_expr((1, "a"), (1, "a"), (2, "b")), lit_expr((1, "a"), (3, "c"))
+        )
+        result = evaluate(expr, {})
+        assert result.multiplicity((1, "a")) == 1
+        assert result.distinct_count == 1
+
+    def test_join_multiplicities_multiply(self):
+        left = lit_expr((1, "a"), (1, "a"))
+        right = lit_expr((1, "x"), (1, "x"), (2, "y"))
+        result = evaluate(Join(left, right, "%1 = %3"), {})
+        assert result.multiplicity((1, "a", 1, "x")) == 4
+        assert len(result) == 4
+
+
+class TestExtendedOperators:
+    def test_extended_project_arithmetic(self):
+        expr = lit_expr((2, "a"), (2, "a")).extended_project(["k * 10", "v"])
+        result = evaluate(expr, {})
+        assert result.multiplicity((20, "a")) == 2
+
+    def test_extended_project_collision_sums(self):
+        # Distinct inputs mapping to the same output add multiplicities.
+        expr = lit_expr((1, "a"), (2, "a")).extended_project(["v"])
+        result = evaluate(expr, {})
+        assert result.multiplicity(("a",)) == 2
+
+    def test_unique(self):
+        result = evaluate(Unique(lit_expr((1, "a"), (1, "a"))), {})
+        assert result.multiplicity((1, "a")) == 1
+
+    def test_groupby(self):
+        expr = GroupBy(["v"], "CNT", None, lit_expr((1, "a"), (2, "a"), (3, "b")))
+        result = evaluate(expr, {})
+        assert result.multiplicity(("a", 2)) == 1
+        assert result.multiplicity(("b", 1)) == 1
+
+    def test_groupby_counts_duplicates(self):
+        expr = GroupBy(["v"], "CNT", None, lit_expr((1, "a"), (1, "a")))
+        result = evaluate(expr, {})
+        assert result.multiplicity(("a", 2)) == 1
+
+    def test_groupby_whole_relation(self):
+        expr = GroupBy(None, "SUM", "k", lit_expr((1, "a"), (1, "a"), (3, "b")))
+        result = evaluate(expr, {})
+        assert list(result.pairs()) == [((5,), 1)]
+
+    def test_groupby_empty_input_no_groups(self):
+        expr = GroupBy(["v"], "AVG", "k", LiteralRelation(Relation.empty(S)))
+        result = evaluate(expr, {})
+        assert not result  # no groups, no partial-aggregate trouble
+
+
+class TestComposition:
+    def test_nested_pipeline(self):
+        base = lit_expr((1, "a"), (1, "a"), (2, "b"), (3, "b"))
+        expr = Unique(base.select("k < 3")).project(["v"])
+        result = evaluate(expr, {})
+        assert result.multiplicity(("a",)) == 1
+        assert result.multiplicity(("b",)) == 1
+
+    def test_environment_shared_across_refs(self):
+        env = {"s": rel((1, "a"), (2, "b"))}
+        ref = RelationRef("s", S)
+        expr = Union(ref, ref)
+        result = evaluate(expr, env)
+        assert result.multiplicity((1, "a")) == 2

@@ -1,0 +1,254 @@
+"""Unit tests for the scalar expression language (AST, parser, typing)."""
+
+import pytest
+
+from repro.domains import BOOLEAN, INTEGER, MONEY, REAL, STRING
+from repro.errors import (
+    DivisionByZeroError,
+    ExpressionParseError,
+    ExpressionTypeError,
+)
+from repro.expressions import (
+    Arith,
+    AttrRef,
+    BoolOp,
+    Compare,
+    Const,
+    Neg,
+    Not,
+    col,
+    lit,
+    parse_expression,
+    tokenize,
+)
+from repro.schema import RelationSchema
+
+SCHEMA = RelationSchema.of("beer", name=STRING, brewery=STRING, alcperc=REAL)
+ROW = ("Pils", "Guineken", 4.5)
+
+
+class TestConstants:
+    def test_infer_types(self):
+        assert lit(1).domain == INTEGER
+        assert lit(1.5).domain == REAL
+        assert lit(True).domain == BOOLEAN
+        assert lit("x").domain == STRING
+
+    def test_infer_decimal(self):
+        from decimal import Decimal
+
+        assert lit(Decimal("1.50")).domain == MONEY
+
+    def test_infer_unknown_rejected(self):
+        with pytest.raises(ExpressionTypeError):
+            lit(object())
+
+    def test_bind_ignores_row(self):
+        assert lit(42).bind(SCHEMA)(ROW) == 42
+
+    def test_no_references(self):
+        assert lit(1).references(SCHEMA) == frozenset()
+
+
+class TestAttrRef:
+    def test_positional_and_named(self):
+        assert col(3).bind(SCHEMA)(ROW) == 4.5
+        assert col("brewery").bind(SCHEMA)(ROW) == "Guineken"
+        assert col("%1").bind(SCHEMA)(ROW) == "Pils"
+
+    def test_infer_domain(self):
+        assert col("alcperc").infer_domain(SCHEMA) == REAL
+
+    def test_references(self):
+        assert col("alcperc").references(SCHEMA) == frozenset({3})
+
+
+class TestArithmetic:
+    def test_int_arithmetic_stays_int(self):
+        schema = RelationSchema.of("t", a=INTEGER, b=INTEGER)
+        expr = col("a") + col("b")
+        assert expr.infer_domain(schema) == INTEGER
+        assert expr.bind(schema)((2, 3)) == 5
+
+    def test_division_promotes_to_real(self):
+        schema = RelationSchema.of("t", a=INTEGER, b=INTEGER)
+        expr = col("a") / col("b")
+        assert expr.infer_domain(schema) == REAL
+        assert expr.bind(schema)((7, 2)) == 3.5
+
+    def test_real_contagion(self):
+        expr = col("alcperc") * lit(2)
+        assert expr.infer_domain(SCHEMA) == REAL
+        assert expr.bind(SCHEMA)(ROW) == 9.0
+
+    def test_money_arithmetic(self):
+        from decimal import Decimal
+
+        schema = RelationSchema.of("t", price=MONEY)
+        expr = col("price") * lit(2)
+        assert expr.infer_domain(schema) == MONEY
+        assert expr.bind(schema)((Decimal("1.25"),)) == Decimal("2.50")
+
+    def test_money_ratio_is_real(self):
+        schema = RelationSchema.of("t", a=MONEY, b=MONEY)
+        assert (col("a") / col("b")).infer_domain(schema) == REAL
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(ExpressionTypeError):
+            (col("name") + lit(1)).infer_domain(SCHEMA)
+
+    def test_division_by_zero(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        function = (lit(1) / col("a")).bind(schema)
+        with pytest.raises(DivisionByZeroError):
+            function((0,))
+
+    def test_negation(self):
+        expr = -col("alcperc")
+        assert expr.bind(SCHEMA)(ROW) == -4.5
+
+    def test_negation_needs_numeric(self):
+        with pytest.raises(ExpressionTypeError):
+            Neg(col("name")).infer_domain(SCHEMA)
+
+
+class TestComparison:
+    def test_all_operators(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        cases = {
+            "=": (5,),
+            "<>": (4,),
+            "<": (4,),
+            "<=": (5,),
+            ">": (6,),
+            ">=": (5,),
+        }
+        for op, row in cases.items():
+            assert Compare(op, col("a"), lit(5)).bind(schema)(row) is True
+
+    def test_cross_numeric_comparison(self):
+        assert Compare("=", col("alcperc"), lit(4)).infer_domain(SCHEMA) == BOOLEAN
+
+    def test_incomparable_domains(self):
+        with pytest.raises(ExpressionTypeError):
+            Compare("=", col("name"), lit(1)).infer_domain(SCHEMA)
+
+    def test_string_ordering_allowed(self):
+        expr = Compare("<", col("name"), lit("Q"))
+        assert expr.bind(SCHEMA)(ROW) is True
+
+    def test_references_union(self):
+        expr = Compare("=", col(1), col(2))
+        assert expr.references(SCHEMA) == frozenset({1, 2})
+
+
+class TestBooleans:
+    def test_and_or_not(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        true = Compare("=", col("a"), lit(1))
+        false = Compare("=", col("a"), lit(2))
+        assert BoolOp("and", true, true).bind(schema)((1,)) is True
+        assert BoolOp("and", true, false).bind(schema)((1,)) is False
+        assert BoolOp("or", false, true).bind(schema)((1,)) is True
+        assert Not(false).bind(schema)((1,)) is True
+
+    def test_non_boolean_operand_rejected(self):
+        with pytest.raises(ExpressionTypeError):
+            BoolOp("and", lit(1), lit(True)).infer_domain(SCHEMA)
+        with pytest.raises(ExpressionTypeError):
+            Not(lit(1)).infer_domain(SCHEMA)
+
+    def test_conjuncts_flatten(self):
+        a = Compare("=", col(1), lit("x"))
+        b = Compare("=", col(2), lit("y"))
+        c = Compare(">", col(3), lit(1.0))
+        expr = BoolOp("and", BoolOp("and", a, b), c)
+        assert expr.conjuncts() == (a, b, c)
+
+
+class TestParser:
+    def test_paper_update_expression(self):
+        expr = parse_expression("alcperc * 1.1")
+        assert expr.bind(SCHEMA)(ROW) == pytest.approx(4.95)
+
+    def test_paper_selection_condition(self):
+        expr = parse_expression("brewery = 'Guineken'")
+        assert expr.bind(SCHEMA)(ROW) is True
+
+    def test_positional_refs(self):
+        assert parse_expression("%3 > 4.0").bind(SCHEMA)(ROW) is True
+
+    def test_precedence_mul_over_add(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        assert parse_expression("1 + 2 * 3").bind(schema)((0,)) == 7
+
+    def test_precedence_and_over_or(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        expr = parse_expression("a = 1 or a = 2 and a = 3")
+        assert expr.bind(schema)((1,)) is True  # (a=1) or ((a=2) and (a=3))
+
+    def test_parentheses(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        assert parse_expression("(1 + 2) * 3").bind(schema)((0,)) == 9
+
+    def test_string_escape(self):
+        expr = parse_expression("name = 'O''Hara'")
+        schema = RelationSchema.of("t", name=STRING)
+        assert expr.bind(schema)(("O'Hara",)) is True
+
+    def test_not_keyword(self):
+        expr = parse_expression("not alcperc > 5.0")
+        assert expr.bind(SCHEMA)(ROW) is True
+
+    def test_qualified_name(self):
+        expr = parse_expression("beer.alcperc > 4.0")
+        assert expr.bind(SCHEMA)(ROW) is True
+
+    def test_booleans_and_unary_minus(self):
+        schema = RelationSchema.of("t", flag=BOOLEAN, v=INTEGER)
+        assert parse_expression("flag = true").bind(schema)((True, 0)) is True
+        assert parse_expression("-v < 0").bind(schema)((True, 3)) is True
+
+    def test_neq_spellings(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        assert parse_expression("a <> 1").bind(schema)((2,))
+        assert parse_expression("a != 1").bind(schema)((2,))
+
+    def test_scientific_notation(self):
+        schema = RelationSchema.of("t", a=REAL)
+        assert parse_expression("a < 1e3").bind(schema)((500.0,)) is True
+
+    def test_error_unknown_char(self):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("a # b")
+
+    def test_error_trailing_input(self):
+        with pytest.raises(ExpressionParseError, match="trailing"):
+            parse_expression("1 + 2 3")
+
+    def test_error_unbalanced_paren(self):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("(1 + 2")
+
+    def test_error_empty(self):
+        with pytest.raises(ExpressionParseError):
+            parse_expression("")
+
+    def test_tokenize_kinds(self):
+        kinds = [token.kind for token in tokenize("%1 = 'x' and 2.5")]
+        assert kinds == ["attr", "op", "string", "keyword", "real", "eof"]
+
+
+class TestStructuralEquality:
+    def test_parse_stable(self):
+        assert parse_expression("a + 1 = 2") == parse_expression("a + 1 = 2")
+        assert parse_expression("a + 1") != parse_expression("a + 2")
+
+    def test_hashable(self):
+        expressions = {parse_expression("x > 1"), parse_expression("x > 1")}
+        assert len(expressions) == 1
+
+    def test_repr_round_trips_through_parser(self):
+        expr = parse_expression("(a + 1) * 2 > 3 and not b = 'x'")
+        again = parse_expression(repr(expr))
+        assert again == expr

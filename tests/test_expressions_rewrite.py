@@ -1,0 +1,110 @@
+"""Unit tests for scalar-expression rewriting (the optimizer's toolbox)."""
+
+import pytest
+
+from repro.domains import INTEGER
+from repro.expressions import (
+    AttrRef,
+    col,
+    conjoin,
+    lit,
+    map_attr_refs,
+    parse_expression,
+    rebase,
+    resolve_refs,
+    shift_refs,
+    split_conjuncts,
+)
+from repro.schema import RelationSchema
+
+SCHEMA = RelationSchema.of("t", a=INTEGER, b=INTEGER, c=INTEGER, d=INTEGER)
+
+
+class TestResolveRefs:
+    def test_names_become_positions(self):
+        expr = resolve_refs(parse_expression("b + d > 1"), SCHEMA)
+        assert repr(expr) == "((%2 + %4) > 1)"
+
+    def test_idempotent_on_positions(self):
+        expr = parse_expression("%1 = %2")
+        assert resolve_refs(expr, SCHEMA) == expr
+
+
+class TestShiftRefs:
+    def test_shift(self):
+        expr = resolve_refs(parse_expression("a = d"), SCHEMA)
+        shifted = shift_refs(expr, 2)
+        assert repr(shifted) == "(%3 = %6)"
+
+    def test_negative_shift(self):
+        expr = parse_expression("%3 = %4")
+        assert repr(shift_refs(expr, -2)) == "(%1 = %2)"
+
+    def test_named_ref_rejected(self):
+        with pytest.raises(ValueError):
+            shift_refs(parse_expression("a = 1"), 1)
+
+
+class TestRebase:
+    def test_within_window(self):
+        # Condition on columns 3..4 rebased onto a 2-column operand.
+        expr = parse_expression("%3 = %4")
+        rebased = rebase(expr, SCHEMA, 3, 4)
+        assert repr(rebased) == "(%1 = %2)"
+
+    def test_outside_window_returns_none(self):
+        expr = parse_expression("%1 = %3")
+        assert rebase(expr, SCHEMA, 3, 4) is None
+
+    def test_constant_fits_any_window(self):
+        expr = parse_expression("1 = 1")
+        assert rebase(expr, SCHEMA, 3, 4) is not None
+
+    def test_named_refs_resolved_first(self):
+        expr = parse_expression("c > 0")
+        rebased = rebase(expr, SCHEMA, 3, 4)
+        assert repr(rebased) == "(%1 > 0)"
+
+
+class TestConjuncts:
+    def test_split_nested(self):
+        expr = parse_expression("a = 1 and b = 2 and c = 3")
+        parts = split_conjuncts(expr)
+        assert [repr(part) for part in parts] == ["(a = 1)", "(b = 2)", "(c = 3)"]
+
+    def test_split_non_conjunction(self):
+        expr = parse_expression("a = 1 or b = 2")
+        assert split_conjuncts(expr) == [expr]
+
+    def test_conjoin_round_trip(self):
+        parts = [parse_expression("a = 1"), parse_expression("b = 2")]
+        rebuilt = conjoin(parts)
+        assert split_conjuncts(rebuilt) == parts
+
+    def test_conjoin_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conjoin([])
+
+    def test_split_respects_or_boundaries(self):
+        expr = parse_expression("(a = 1 or b = 2) and c = 3")
+        parts = split_conjuncts(expr)
+        assert len(parts) == 2
+
+
+class TestMapAttrRefs:
+    def test_transform_applied_everywhere(self):
+        expr = parse_expression("a + b > a * 2")
+        counted = []
+
+        def record(ref: AttrRef) -> AttrRef:
+            counted.append(ref.ref)
+            return ref
+
+        map_attr_refs(expr, record)
+        assert sorted(counted) == ["a", "a", "b"]
+
+    def test_rebuilds_evaluate_identically(self):
+        expr = parse_expression("not (a = 1) and -b < c / 2")
+        rebuilt = map_attr_refs(expr, lambda ref: ref)
+        row = (1, -5, 10, 0)
+        assert rebuilt.bind(SCHEMA)(row) == expr.bind(SCHEMA)(row)

@@ -1,0 +1,246 @@
+"""Tests for the Section 5 extensions: closure, constraints, parallel ops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aggregates import CNT, SUM
+from repro.algebra import LiteralRelation, RelationRef
+from repro.database import Database
+from repro.engine import evaluate, execute
+from repro.errors import ConstraintViolationError, ExpressionTypeError
+from repro.extensions import (
+    DomainConstraint,
+    FragmentReport,
+    KeyConstraint,
+    ReferentialConstraint,
+    TransitiveClosure,
+    closure_by_iteration,
+    hash_partition,
+    parallel_distinct,
+    parallel_equijoin,
+    parallel_group_by,
+    parallel_project,
+    parallel_select,
+    transitive_closure_pairs,
+)
+from repro.domains import INTEGER, STRING
+from repro.language import Insert, Session, Transaction
+from repro.relation import Relation
+from repro.schema import RelationSchema
+from repro.workloads import random_int_relation, tiny_beer_database
+from tests.conftest import int_relations
+
+EDGE = RelationSchema.of("edge", src=STRING, dst=STRING)
+
+
+def edges(*pairs):
+    return Relation(EDGE, pairs)
+
+
+class TestTransitiveClosurePairs:
+    def test_chain(self):
+        closed = transitive_closure_pairs({("a", "b"), ("b", "c"), ("c", "d")})
+        assert ("a", "d") in closed
+        assert len(closed) == 6
+
+    def test_cycle(self):
+        closed = transitive_closure_pairs({("a", "b"), ("b", "a")})
+        assert ("a", "a") in closed
+        assert ("b", "b") in closed
+
+    def test_empty(self):
+        assert transitive_closure_pairs(set()) == set()
+
+    def test_disconnected(self):
+        closed = transitive_closure_pairs({("a", "b"), ("x", "y")})
+        assert len(closed) == 2
+
+
+class TestClosureOperator:
+    def test_as_algebra_node(self):
+        relation = edges(("a", "b"), ("b", "c"))
+        node = TransitiveClosure(LiteralRelation(relation), "src", "dst")
+        result = evaluate(node, {})
+        assert result.multiplicity(("a", "c")) == 1
+        assert len(result) == 3
+
+    def test_duplicate_free_result(self):
+        # Bag input with duplicated edges still yields multiplicity-1 pairs.
+        relation = edges(("a", "b"), ("a", "b"), ("b", "c"))
+        node = TransitiveClosure(LiteralRelation(relation), "src", "dst")
+        result = evaluate(node, {})
+        assert result.multiplicity(("a", "b")) == 1
+
+    def test_schema_from_endpoints(self):
+        relation = Relation(
+            RelationSchema.of("flight", frm=STRING, to=STRING, dist=INTEGER),
+            [("AMS", "BRU", 150)],
+        )
+        node = TransitiveClosure(LiteralRelation(relation), "frm", "to")
+        assert node.schema.degree == 2
+        assert node.schema.names() == ("frm", "to")
+
+    def test_mismatched_domains_rejected(self):
+        relation = Relation(
+            RelationSchema.of("x", a=STRING, b=INTEGER), [("p", 1)]
+        )
+        with pytest.raises(ExpressionTypeError):
+            TransitiveClosure(LiteralRelation(relation), "a", "b")
+
+    def test_physical_engine_supports_extension(self):
+        relation = edges(("a", "b"), ("b", "c"))
+        node = TransitiveClosure(LiteralRelation(relation), "src", "dst")
+        assert execute(node, {}) == evaluate(node, {})
+
+    def test_matches_iterated_join_formulation(self):
+        relation = edges(
+            ("a", "b"), ("b", "c"), ("c", "a"), ("d", "e"), ("e", "d")
+        )
+        node = TransitiveClosure(LiteralRelation(relation), "src", "dst")
+        assert evaluate(node, {}) == closure_by_iteration(relation, "src", "dst")
+
+    def test_tree_protocol(self):
+        relation = edges(("a", "b"))
+        node = TransitiveClosure(LiteralRelation(relation), "src", "dst")
+        rebuilt = node.with_children(list(node.children()))
+        assert rebuilt == node
+
+
+class TestConstraints:
+    def test_key_constraint_blocks_duplicates(self):
+        db = tiny_beer_database()
+        session = Session(
+            db,
+            constraints=[KeyConstraint("beer_pk", "beer", ["name", "brewery"])],
+        )
+        duplicate = LiteralRelation(
+            Relation(db["beer"].schema, [("Pils", "Guineken", 9.9)])
+        )
+        result = session.insert("beer", duplicate)
+        assert not result.committed
+        assert isinstance(result.error, ConstraintViolationError)
+        assert ("Pils", "Guineken", 9.9) not in db["beer"]
+
+    def test_key_constraint_bag_twist(self):
+        """A whole-tuple duplicate also violates the key."""
+        schema = RelationSchema.of("k", a=INTEGER)
+        db = Database()
+        db.create_relation(schema, Relation(schema, [(1,), (1,)]))
+        constraint = KeyConstraint("pk", "k", ["a"])
+        with pytest.raises(ConstraintViolationError):
+            constraint.check(db.snapshot())
+
+    def test_referential_constraint(self):
+        db = tiny_beer_database()
+        constraint = ReferentialConstraint(
+            "beer_brewery_fk", "beer", ["brewery"], "brewery", ["name"]
+        )
+        constraint.check(db.snapshot())  # holds initially
+        session = Session(db, constraints=[constraint])
+        orphan = LiteralRelation(
+            Relation(db["beer"].schema, [("Ghost", "Nowhere", 5.0)])
+        )
+        result = session.insert("beer", orphan)
+        assert not result.committed
+
+    def test_domain_constraint(self):
+        db = tiny_beer_database()
+        constraint = DomainConstraint("alc_pos", "beer", "alcperc > 0.0")
+        constraint.check(db.snapshot())
+        session = Session(db, constraints=[constraint])
+        bad = LiteralRelation(Relation(db["beer"].schema, [("Bad", "X", -0.1)]))
+        assert not session.insert("beer", bad).committed
+
+    def test_constraint_on_missing_relation_is_vacuous(self):
+        DomainConstraint("x", "ghost", "true").check({})
+
+    def test_transaction_runner_checks_constraints(self):
+        db = tiny_beer_database()
+        bad = LiteralRelation(Relation(db["beer"].schema, [("Bad", "X", -1.0)]))
+        result = Transaction([Insert("beer", bad)]).run(
+            db, constraints=[DomainConstraint("alc_pos", "beer", "alcperc > 0.0")]
+        )
+        assert not result.committed
+        assert db.logical_time == 0
+
+
+class TestHashPartition:
+    @given(int_relations, st.integers(min_value=1, max_value=5))
+    def test_fragments_reunite(self, relation, fragments):
+        parts = hash_partition(relation, None, fragments)
+        reunion = parts[0]
+        for part in parts[1:]:
+            reunion = reunion.union(part)
+        assert reunion == relation
+
+    @given(int_relations, st.integers(min_value=2, max_value=5))
+    def test_fragments_disjoint_supports(self, relation, fragments):
+        parts = hash_partition(relation, None, fragments)
+        seen = set()
+        for part in parts:
+            support = part.support()
+            assert not (seen & support)
+            seen |= support
+
+    def test_key_partitioning_coclusters(self):
+        relation = random_int_relation(200, degree=2, value_space=10, seed=3)
+        parts = hash_partition(relation, ["%1"], 4)
+        # Every distinct %1 value lives in exactly one fragment.
+        locations = {}
+        for index, part in enumerate(parts):
+            for row, _count in part.pairs():
+                assert locations.setdefault(row[0], index) == index
+
+    def test_zero_fragments_rejected(self):
+        with pytest.raises(ValueError):
+            hash_partition(random_int_relation(5), None, 0)
+
+
+class TestParallelOperators:
+    @given(int_relations, st.integers(min_value=1, max_value=4))
+    def test_parallel_select_exact(self, relation, fragments):
+        predicate = lambda row: row[0] > 2
+        assert parallel_select(relation, predicate, fragments) == relation.select(
+            predicate
+        )
+
+    @given(int_relations, st.integers(min_value=1, max_value=4))
+    def test_parallel_project_exact(self, relation, fragments):
+        assert parallel_project(relation, ["%2"], fragments) == relation.project(
+            ["%2"]
+        )
+
+    @given(int_relations, st.integers(min_value=1, max_value=4))
+    def test_parallel_distinct_exact(self, relation, fragments):
+        """Valid despite δ/⊎ non-distribution — fragments are disjoint."""
+        assert parallel_distinct(relation, fragments) == relation.distinct()
+
+    @given(int_relations, int_relations, st.integers(min_value=1, max_value=4))
+    def test_parallel_equijoin_exact(self, left, right, fragments):
+        result = parallel_equijoin(left, right, ["%1"], ["%1"], fragments)
+        serial = left.join(right, lambda row: row[0] == row[2])
+        assert result == serial
+
+    @given(int_relations, st.integers(min_value=1, max_value=4))
+    def test_parallel_group_by_exact(self, relation, fragments):
+        result = parallel_group_by(relation, ["%1"], SUM, "%2", fragments)
+        serial = relation.group_by(["%1"], SUM, "%2")
+        assert result == serial
+
+    def test_parallel_group_by_needs_attrs(self):
+        with pytest.raises(ValueError):
+            parallel_group_by(random_int_relation(5), [], CNT, None, 2)
+
+    def test_fragment_report_accounting(self):
+        relation = random_int_relation(1000, value_space=30, seed=9)
+        report = FragmentReport()
+        parallel_select(relation, lambda row: True, 4, report)
+        assert report.total_work == 1000
+        assert report.critical_path >= 250
+        assert 1.0 <= report.ideal_speedup <= 4.0
+
+    def test_empty_report(self):
+        report = FragmentReport()
+        assert report.critical_path == 0
+        assert report.ideal_speedup == 1.0

@@ -1,0 +1,111 @@
+"""Tests for equi-depth histograms and histogram-aware selectivity."""
+
+import pytest
+
+from repro.algebra import RelationRef, Select
+from repro.engine import StatisticsCatalog, estimate_cardinality
+from repro.engine.histograms import EquiDepthHistogram, HistogramCatalog
+from repro.relation import Relation
+from repro.workloads import random_int_relation, zipf_relation
+from repro.workloads.synthetic import int_schema
+
+
+class TestEquiDepthHistogram:
+    def test_build_uniform(self):
+        histogram = EquiDepthHistogram.build(list(range(100)), buckets=10)
+        assert histogram.total == 100
+        assert histogram.distinct == 100
+        assert len(histogram.bucket_counts) == 10
+        assert sum(histogram.bucket_counts) == 100
+
+    def test_empty(self):
+        histogram = EquiDepthHistogram.build([], buckets=8)
+        assert histogram.total == 0
+        assert histogram.selectivity("<", 5) == 0.0
+
+    def test_single_value(self):
+        histogram = EquiDepthHistogram.build([7] * 50, buckets=4)
+        assert histogram.distinct == 1
+        assert histogram.selectivity("=", 7) == 1.0
+
+    def test_range_selectivity_uniform(self):
+        histogram = EquiDepthHistogram.build(list(range(1000)), buckets=20)
+        assert histogram.selectivity("<", 500) == pytest.approx(0.5, abs=0.06)
+        assert histogram.selectivity("<", 100) == pytest.approx(0.1, abs=0.06)
+        assert histogram.selectivity(">", 900) == pytest.approx(0.1, abs=0.06)
+
+    def test_range_selectivity_skewed(self):
+        # 90% of the mass at small values: a median-split range predicate
+        # is far from the 1/3 default.
+        values = [1] * 900 + list(range(2, 102))
+        histogram = EquiDepthHistogram.build(values, buckets=16)
+        assert histogram.selectivity("<=", 1) > 0.8
+        assert histogram.selectivity(">", 1) < 0.2
+
+    def test_extremes(self):
+        histogram = EquiDepthHistogram.build(list(range(10)), buckets=5)
+        assert histogram.selectivity("<", -1) <= 0.2
+        assert histogram.selectivity("<", 100) == 1.0
+        assert histogram.selectivity(">", 100) == 0.0
+
+    def test_equality_uses_distinct(self):
+        histogram = EquiDepthHistogram.build([1, 1, 2, 2, 3, 3], buckets=3)
+        assert histogram.selectivity("=", 2) == pytest.approx(1 / 3)
+        assert histogram.selectivity("<>", 2) == pytest.approx(2 / 3)
+
+    def test_incomparable_constant_neutral(self):
+        histogram = EquiDepthHistogram.build([1, 2, 3], buckets=3)
+        assert histogram.selectivity("<", "banana") == 0.5
+
+
+class TestHistogramCatalog:
+    def test_from_env(self):
+        env = {"t": random_int_relation(200, degree=2, value_space=50, seed=1)}
+        catalog = HistogramCatalog.from_env(env)
+        assert catalog.get("t", 1) is not None
+        assert catalog.get("t", 2) is not None
+        assert catalog.get("t", 3) is None
+        assert catalog.get("missing", 1) is None
+
+    def test_multiplicity_weighted(self):
+        relation = Relation(int_schema(1), {(5,): 99, (100,): 1})
+        catalog = HistogramCatalog.from_env({"t": relation})
+        histogram = catalog.get("t", 1)
+        assert histogram.total == 100
+        assert histogram.selectivity("<=", 5) > 0.9
+
+
+class TestEstimatorIntegration:
+    def test_histograms_sharpen_range_estimates(self):
+        relation = zipf_relation(5000, degree=2, distinct=200, skew=1.5, seed=9)
+        env = {"z": relation.rename("z")}
+        plain = StatisticsCatalog.from_env(env)
+        enriched = StatisticsCatalog.from_env(env, with_histograms=True)
+        ref = RelationRef("z", relation.schema.renamed("z"))
+
+        # Pick a threshold below which most of the skewed mass falls.
+        values = sorted(row[0] for row in relation)
+        threshold = values[int(len(values) * 0.9)]
+        expr = Select(f"%1 <= {threshold}", ref)
+        actual = len(relation.select(lambda row: row[0] <= threshold))
+
+        plain_estimate = estimate_cardinality(expr, plain)
+        enriched_estimate = estimate_cardinality(expr, enriched)
+        assert abs(enriched_estimate - actual) < abs(plain_estimate - actual)
+
+    def test_mirrored_comparison(self):
+        relation = random_int_relation(1000, degree=1, value_space=100, seed=2)
+        env = {"t": relation.rename("t")}
+        enriched = StatisticsCatalog.from_env(env, with_histograms=True)
+        ref = RelationRef("t", relation.schema.renamed("t"))
+        forward = estimate_cardinality(Select("%1 < 50", ref), enriched)
+        mirrored = estimate_cardinality(Select("50 > %1", ref), enriched)
+        assert forward == pytest.approx(mirrored)
+
+    def test_without_histograms_estimates_unchanged(self):
+        relation = random_int_relation(100, degree=1, value_space=10, seed=3)
+        env = {"t": relation.rename("t")}
+        plain = StatisticsCatalog.from_env(env)
+        ref = RelationRef("t", relation.schema.renamed("t"))
+        estimate = estimate_cardinality(Select("%1 < 5", ref), plain)
+        assert estimate == pytest.approx(100 / 3)

@@ -1,0 +1,143 @@
+"""Tests for associativity-based join re-ordering (Theorem 3.3 applied)."""
+
+from hypothesis import given, settings
+
+from repro.algebra import Join, LiteralRelation, Product, RelationRef, Select
+from repro.engine import StatisticsCatalog, estimate_cost, evaluate
+from repro.optimizer import (
+    enumerate_associations,
+    flatten_join_cluster,
+    reorder_joins,
+)
+from repro.workloads import join_chain_relations, random_int_relation
+from tests.conftest import int_relations
+
+
+def refs_and_env(relations):
+    env = {}
+    refs = []
+    for relation in relations:
+        name = relation.schema.name
+        env[name] = relation
+        refs.append(RelationRef(name, relation.schema))
+    return refs, env
+
+
+def chain_expr(refs):
+    """Left-deep chain joined on consecutive key columns."""
+    expr = refs[0]
+    for ref in refs[1:]:
+        width = expr.schema.degree
+        expr = Join(expr, ref, f"%{width} = %{width + 1}")
+    return expr
+
+
+class TestFlatten:
+    def test_flatten_collects_leaves_in_order(self):
+        relations = join_chain_relations(3, [10, 10, 10], [5, 5, 5, 5], seed=1)
+        refs, _env = refs_and_env(relations)
+        expr = chain_expr(refs)
+        leaves, conjuncts = flatten_join_cluster(expr)
+        assert [leaf.schema.name for leaf in leaves] == ["r1", "r2", "r3"]
+        assert len(conjuncts) == 2
+
+    def test_flatten_none_for_non_join(self):
+        r = random_int_relation(5)
+        assert flatten_join_cluster(LiteralRelation(r)) is None
+
+    def test_flatten_handles_products(self):
+        relations = join_chain_relations(2, [5, 5], [3, 3, 3], seed=2)
+        refs, _env = refs_and_env(relations)
+        leaves, conjuncts = flatten_join_cluster(Product(refs[0], refs[1]))
+        assert len(leaves) == 2
+        assert conjuncts == []
+
+
+class TestEnumerate:
+    def test_catalan_counts(self):
+        assert len(enumerate_associations(2)) == 1
+        assert len(enumerate_associations(3)) == 2
+        assert len(enumerate_associations(4)) == 5
+        assert len(enumerate_associations(5)) == 14
+
+    def test_single_leaf(self):
+        assert enumerate_associations(1) == [0]
+
+
+class TestReorder:
+    def test_preserves_semantics_on_chain(self):
+        relations = join_chain_relations(
+            4, [60, 40, 20, 10], [10, 4, 50, 6, 8], seed=3
+        )
+        refs, env = refs_and_env(relations)
+        expr = chain_expr(refs)
+        catalog = StatisticsCatalog.from_env(env)
+        reordered = reorder_joins(expr, catalog)
+        assert evaluate(reordered, env) == evaluate(expr, env)
+
+    def test_never_costs_more_than_original(self):
+        relations = join_chain_relations(
+            4, [100, 10, 100, 5], [20, 3, 30, 3, 10], seed=4
+        )
+        refs, env = refs_and_env(relations)
+        expr = chain_expr(refs)
+        catalog = StatisticsCatalog.from_env(env)
+        reordered = reorder_joins(expr, catalog)
+        assert estimate_cost(reordered, catalog) <= estimate_cost(expr, catalog)
+
+    def test_column_order_preserved(self):
+        """Associativity must not permute columns (no commutativity)."""
+        relations = join_chain_relations(3, [10, 10, 10], [5, 5, 5, 5], seed=5)
+        refs, env = refs_and_env(relations)
+        expr = chain_expr(refs)
+        catalog = StatisticsCatalog.from_env(env)
+        reordered = reorder_joins(expr, catalog)
+        assert reordered.schema.names() == expr.schema.names()
+
+    def test_single_leaf_conditions_become_selections(self):
+        relations = join_chain_relations(2, [20, 20], [5, 5, 5], seed=6)
+        refs, env = refs_and_env(relations)
+        expr = Join(refs[0], refs[1], "%2 = %3 and %1 = 1")
+        catalog = StatisticsCatalog.from_env(env)
+        reordered = reorder_joins(expr, catalog)
+        assert evaluate(reordered, env) == evaluate(expr, env)
+
+        def has_select(node):
+            if isinstance(node, Select):
+                return True
+            return any(has_select(child) for child in node.children())
+
+        assert has_select(reordered)
+
+    def test_recurses_through_non_join_nodes(self):
+        relations = join_chain_relations(3, [10, 10, 10], [4, 4, 4, 4], seed=7)
+        refs, env = refs_and_env(relations)
+        expr = chain_expr(refs).project(["%1"])
+        catalog = StatisticsCatalog.from_env(env)
+        reordered = reorder_joins(expr, catalog)
+        assert evaluate(reordered, env) == evaluate(expr, env)
+
+    def test_wide_cluster_left_untouched(self):
+        relations = join_chain_relations(
+            3, [5, 5, 5], [3, 3, 3, 3], seed=8
+        )
+        refs, env = refs_and_env(relations)
+        expr = chain_expr(refs)
+        catalog = StatisticsCatalog.from_env(env)
+        untouched = reorder_joins(expr, catalog, max_leaves=2)
+        assert untouched == expr
+
+    @settings(max_examples=25)
+    @given(int_relations, int_relations, int_relations)
+    def test_property_semantics_preserved(self, r1, r2, r3):
+        env = {"a": r1.rename("a"), "b": r2.rename("b"), "c": r3.rename("c")}
+        refs = [
+            RelationRef(name, relation.schema.renamed(name))
+            for name, relation in env.items()
+        ]
+        expr = Join(
+            Join(refs[0], refs[1], "%2 = %3"), refs[2], "%4 = %5"
+        )
+        catalog = StatisticsCatalog.from_env(env)
+        reordered = reorder_joins(expr, catalog)
+        assert evaluate(reordered, env) == evaluate(expr, env)

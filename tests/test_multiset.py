@@ -1,0 +1,289 @@
+"""Unit tests for the multiset container (Definitions 2.2-2.4, 3.1)."""
+
+import pytest
+
+from repro.multiset import (
+    Multiset,
+    difference,
+    distinct,
+    intersection,
+    intersection_all,
+    is_submultiset,
+    max_union,
+    multiset_equal,
+    scale,
+    union,
+    union_all,
+)
+
+
+class TestConstruction:
+    def test_from_iterable_counts_duplicates(self):
+        bag = Multiset(["a", "b", "a", "a"])
+        assert bag("a") == 3
+        assert bag("b") == 1
+        assert bag("c") == 0
+
+    def test_from_mapping(self):
+        bag = Multiset({"x": 2, "y": 1})
+        assert bag("x") == 2
+        assert len(bag) == 3
+
+    def test_mapping_zero_counts_dropped(self):
+        bag = Multiset({"x": 0, "y": 1})
+        assert "x" not in bag
+        assert bag.support_size == 1
+
+    def test_mapping_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({"x": -1})
+
+    def test_non_int_count_rejected(self):
+        with pytest.raises(TypeError):
+            Multiset({"x": 1.5})
+
+    def test_bool_count_rejected(self):
+        with pytest.raises(TypeError):
+            Multiset({"x": True})
+
+    def test_from_pairs(self):
+        bag = Multiset.from_pairs([("a", 2), ("b", 1), ("a", 1)])
+        assert bag("a") == 3
+
+    def test_from_pairs_zero_dropped(self):
+        bag = Multiset.from_pairs([("a", 0)])
+        assert not bag
+
+    def test_empty(self):
+        bag = Multiset.empty()
+        assert len(bag) == 0
+        assert not bag
+
+    def test_copy_constructor(self):
+        original = Multiset(["a", "a"])
+        copied = Multiset(original)
+        assert copied == original
+        copied.add("b")
+        assert "b" not in original
+
+
+class TestAccess:
+    def test_call_is_multiplicity(self):
+        bag = Multiset(["x", "x"])
+        assert bag("x") == bag.multiplicity("x") == 2
+
+    def test_membership_definition_2_4(self):
+        # r in R  <=>  R(r) > 0
+        bag = Multiset(["x"])
+        assert "x" in bag
+        assert "y" not in bag
+
+    def test_len_counts_duplicates(self):
+        assert len(Multiset(["a", "a", "b"])) == 3
+
+    def test_support_size(self):
+        assert Multiset(["a", "a", "b"]).support_size == 2
+
+    def test_elements_repeats(self):
+        bag = Multiset({"a": 2, "b": 1})
+        assert sorted(bag.elements()) == ["a", "a", "b"]
+
+    def test_pairs_notation(self):
+        bag = Multiset({"a": 2})
+        assert list(bag.pairs()) == [("a", 2)]
+
+    def test_support_frozenset(self):
+        assert Multiset(["a", "a", "b"]).support() == frozenset({"a", "b"})
+
+    def test_iter_distinct(self):
+        assert sorted(iter(Multiset({"a": 5, "b": 1}))) == ["a", "b"]
+
+
+class TestComparisons:
+    def test_equality_by_multiplicity(self):
+        assert Multiset(["a", "a"]) == Multiset({"a": 2})
+        assert Multiset(["a"]) != Multiset({"a": 2})
+
+    def test_hash_consistency(self):
+        assert hash(Multiset(["a", "a"])) == hash(Multiset({"a": 2}))
+
+    def test_submultiset(self):
+        small = Multiset({"a": 1, "b": 1})
+        large = Multiset({"a": 2, "b": 1, "c": 1})
+        assert small.issubmultiset(large)
+        assert not large.issubmultiset(small)
+
+    def test_submultiset_is_multiplicity_wise(self):
+        # {a:2} is NOT a sub-multiset of {a:1, b:5} despite smaller support
+        assert not Multiset({"a": 2}).issubmultiset(Multiset({"a": 1, "b": 5}))
+
+    def test_operators_le_lt(self):
+        small = Multiset({"a": 1})
+        large = Multiset({"a": 2})
+        assert small <= large
+        assert small < large
+        assert large >= small
+        assert not (large < large)
+
+    def test_empty_is_submultiset_of_everything(self):
+        assert Multiset.empty() <= Multiset({"x": 1})
+        assert Multiset.empty() <= Multiset.empty()
+
+
+class TestBasicAlgebra:
+    def test_union_adds_multiplicities(self):
+        result = Multiset({"a": 2}).union(Multiset({"a": 3, "b": 1}))
+        assert result("a") == 5
+        assert result("b") == 1
+
+    def test_difference_is_monus(self):
+        result = Multiset({"a": 2, "b": 1}).difference(Multiset({"a": 5, "b": 1}))
+        assert result("a") == 0  # floored at zero, not negative
+        assert result("b") == 0
+        assert not result
+
+    def test_difference_partial_removal(self):
+        result = Multiset({"a": 5}).difference(Multiset({"a": 2}))
+        assert result("a") == 3
+
+    def test_intersection_is_min(self):
+        result = Multiset({"a": 3, "b": 1}).intersection(Multiset({"a": 2, "c": 1}))
+        assert result("a") == 2
+        assert "b" not in result
+        assert "c" not in result
+
+    def test_operator_sugar(self):
+        a = Multiset({"x": 2})
+        b = Multiset({"x": 1})
+        assert (a + b)("x") == 3
+        assert (a - b)("x") == 1
+        assert (a & b)("x") == 1
+        assert (a | b)("x") == 2  # max-union
+
+    def test_max_union(self):
+        result = Multiset({"a": 2, "b": 1}).max_union(Multiset({"a": 1, "c": 4}))
+        assert result("a") == 2
+        assert result("b") == 1
+        assert result("c") == 4
+
+    def test_distinct(self):
+        result = Multiset({"a": 5, "b": 1}).distinct()
+        assert result("a") == 1
+        assert result("b") == 1
+        assert result.support_size == 2
+
+    def test_scale(self):
+        result = Multiset({"a": 2}).scale(3)
+        assert result("a") == 6
+
+    def test_scale_zero_gives_empty(self):
+        assert not Multiset({"a": 2}).scale(0)
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({"a": 1}).scale(-1)
+
+    def test_scalar_mul_sugar(self):
+        assert (2 * Multiset({"a": 1}))("a") == 2
+        assert (Multiset({"a": 1}) * 2)("a") == 2
+
+
+class TestHigherOrder:
+    def test_filter_keeps_multiplicities(self):
+        bag = Multiset({1: 3, 2: 1, 3: 2})
+        result = bag.filter(lambda value: value % 2 == 1)
+        assert result(1) == 3
+        assert result(3) == 2
+        assert 2 not in result
+
+    def test_map_sums_multiplicities(self):
+        # The core of bag projection: non-injective map adds counts.
+        bag = Multiset({(1, "a"): 2, (1, "b"): 3, (2, "a"): 1})
+        result = bag.map(lambda pair: pair[0])
+        assert result(1) == 5
+        assert result(2) == 1
+
+    def test_product_multiplies_multiplicities(self):
+        left = Multiset({"a": 2})
+        right = Multiset({"x": 3})
+        result = left.product(right, lambda l, r: (l, r))
+        assert result(("a", "x")) == 6
+
+    def test_product_with_empty_is_empty(self):
+        assert not Multiset({"a": 1}).product(Multiset.empty(), lambda l, r: (l, r))
+
+
+class TestMutation:
+    def test_add(self):
+        bag = Multiset()
+        bag.add("x")
+        bag.add("x", 2)
+        assert bag("x") == 3
+        assert len(bag) == 3
+
+    def test_add_zero_noop(self):
+        bag = Multiset()
+        bag.add("x", 0)
+        assert "x" not in bag
+
+    def test_discard_partial(self):
+        bag = Multiset({"x": 3})
+        removed = bag.discard("x", 2)
+        assert removed == 2
+        assert bag("x") == 1
+
+    def test_discard_more_than_present(self):
+        bag = Multiset({"x": 1})
+        removed = bag.discard("x", 5)
+        assert removed == 1
+        assert "x" not in bag
+        assert len(bag) == 0
+
+    def test_discard_absent(self):
+        bag = Multiset()
+        assert bag.discard("x") == 0
+
+    def test_copy_is_independent(self):
+        bag = Multiset({"x": 1})
+        other = bag.copy()
+        other.add("x")
+        assert bag("x") == 1
+
+
+class TestFreeFunctions:
+    def test_union_all(self):
+        bags = [Multiset({"a": 1}), Multiset({"a": 2}), Multiset({"b": 1})]
+        result = union_all(bags)
+        assert result("a") == 3
+        assert result("b") == 1
+
+    def test_union_all_empty_input(self):
+        assert union_all([]) == Multiset.empty()
+
+    def test_intersection_all(self):
+        bags = [Multiset({"a": 3, "b": 1}), Multiset({"a": 2}), Multiset({"a": 1})]
+        assert intersection_all(bags) == Multiset({"a": 1})
+
+    def test_intersection_all_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            intersection_all([])
+
+    def test_free_functions_match_methods(self):
+        a = Multiset({"x": 2, "y": 1})
+        b = Multiset({"x": 1, "z": 3})
+        assert union(a, b) == a.union(b)
+        assert difference(a, b) == a.difference(b)
+        assert intersection(a, b) == a.intersection(b)
+        assert max_union(a, b) == a.max_union(b)
+        assert distinct(a) == a.distinct()
+        assert scale(a, 2) == a.scale(2)
+        assert is_submultiset(a, a.union(b))
+        assert multiset_equal(a, a.copy())
+
+
+class TestRepr:
+    def test_empty_repr(self):
+        assert repr(Multiset()) == "Multiset()"
+
+    def test_repr_shows_counts(self):
+        assert "2" in repr(Multiset({"a": 2}))

@@ -1,0 +1,206 @@
+"""Tests for the rewrite rules, the pipeline, and semantic preservation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.engine import StatisticsCatalog, estimate_cost, evaluate
+from repro.optimizer import (
+    MergeProjects,
+    MergeSelects,
+    PushProjectThroughUnion,
+    PushSelectThroughProduct,
+    PushSelectThroughProject,
+    PushSelectThroughUnion,
+    Rewriter,
+    SelectIntoJoin,
+    SelectProductToJoin,
+    SplitSelect,
+    optimize,
+)
+from repro.workloads import random_int_relation
+from tests.conftest import int_relations
+
+
+def lit(relation):
+    return LiteralRelation(relation)
+
+
+R1 = random_int_relation(20, value_space=5, seed=1, name="r1")
+R2 = random_int_relation(15, value_space=5, seed=2, name="r2")
+
+
+class TestIndividualRules:
+    def test_split_select(self):
+        expr = Select("%1 = 1 and %2 = 2", lit(R1))
+        rewritten = SplitSelect().apply(expr)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.operand, Select)
+
+    def test_split_select_no_match_on_simple_condition(self):
+        assert SplitSelect().apply(Select("%1 = 1", lit(R1))) is None
+
+    def test_merge_selects_inverse_of_split(self):
+        expr = Select("%1 = 1", Select("%2 = 2", lit(R1)))
+        merged = MergeSelects().apply(expr)
+        assert isinstance(merged, Select)
+        assert not isinstance(merged.operand, Select)
+        assert evaluate(merged, {}) == evaluate(expr, {})
+
+    def test_push_select_through_union(self):
+        expr = Select("%1 = 1", Union(lit(R1), lit(R1)))
+        rewritten = PushSelectThroughUnion().apply(expr)
+        assert isinstance(rewritten, Union)
+        assert isinstance(rewritten.left, Select)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_push_project_through_union(self):
+        expr = Project.__new__(Project)  # avoid confusion: use fluent form
+        expr = Union(lit(R1), lit(R1)).project(["%2"])
+        rewritten = PushProjectThroughUnion().apply(expr)
+        assert isinstance(rewritten, Union)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_push_select_through_product_left(self):
+        expr = Select("%1 = 1", Product(lit(R1), lit(R2)))
+        rewritten = PushSelectThroughProduct().apply(expr)
+        assert isinstance(rewritten, Product)
+        assert isinstance(rewritten.left, Select)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_push_select_through_product_right(self):
+        expr = Select("%3 = 1", Product(lit(R1), lit(R2)))
+        rewritten = PushSelectThroughProduct().apply(expr)
+        assert isinstance(rewritten.right, Select)
+        # The pushed condition is rebased to the right operand's columns.
+        assert repr(rewritten.right.condition) == "(%1 = 1)"
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_push_select_through_join_operand(self):
+        expr = Select("%4 = 2", Join(lit(R1), lit(R2), "%1 = %3"))
+        rewritten = PushSelectThroughProduct().apply(expr)
+        assert isinstance(rewritten, Join)
+        assert isinstance(rewritten.right, Select)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_push_select_spanning_both_sides_no_match(self):
+        expr = Select("%1 = %3", Product(lit(R1), lit(R2)))
+        assert PushSelectThroughProduct().apply(expr) is None
+
+    def test_push_select_through_project(self):
+        expr = Select("%1 = 2", lit(R1).project(["%2", "%1"]))
+        rewritten = PushSelectThroughProject().apply(expr)
+        assert isinstance(rewritten, Project)
+        assert isinstance(rewritten.operand, Select)
+        # %1 of the projection output is %2 of the input.
+        assert repr(rewritten.operand.condition) == "(%2 = 2)"
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_select_product_to_join(self):
+        expr = Select("%1 = %3", Product(lit(R1), lit(R2)))
+        rewritten = SelectProductToJoin().apply(expr)
+        assert isinstance(rewritten, Join)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_select_product_one_sided_not_joined(self):
+        expr = Select("%1 = 1", Product(lit(R1), lit(R2)))
+        assert SelectProductToJoin().apply(expr) is None
+
+    def test_select_into_join(self):
+        expr = Select("%2 < %4", Join(lit(R1), lit(R2), "%1 = %3"))
+        rewritten = SelectIntoJoin().apply(expr)
+        assert isinstance(rewritten, Join)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+    def test_merge_projects_composes_positions(self):
+        expr = lit(R1).project(["%2", "%1"]).project(["%2"])
+        rewritten = MergeProjects().apply(expr)
+        assert isinstance(rewritten, Project)
+        assert rewritten.positions == (1,)
+        assert evaluate(rewritten, {}) == evaluate(expr, {})
+
+
+class TestRewriter:
+    def test_fixpoint_reached(self):
+        rewriter = Rewriter([SplitSelect(), PushSelectThroughProduct()])
+        expr = Select("%1 = 1 and %3 = 2", Product(lit(R1), lit(R2)))
+        result = rewriter.rewrite(expr)
+        # Both conjuncts pushed to their operands; no top-level select left.
+        assert isinstance(result, Product)
+
+    def test_trace_records_rules(self):
+        trace = []
+        rewriter = Rewriter([SplitSelect()])
+        rewriter.rewrite(Select("%1 = 1 and %2 = 2", lit(R1)), trace)
+        assert trace and trace[0][0] == "split-select"
+
+    def test_max_passes_bounds_runaway(self):
+        class Flipper:
+            name = "flipper"
+
+            def apply(self, expr):
+                if isinstance(expr, Unique):
+                    return Unique(expr.operand)  # rewrites to equal node
+                return None
+
+        rewriter = Rewriter([Flipper()], max_passes=3)
+        # Terminates despite the rule always "succeeding".
+        rewriter.rewrite(Unique(lit(R1)))
+
+
+class TestPipeline:
+    def test_classic_pushdown_shape(self):
+        expr = Select(
+            "%1 = %3 and %2 = 1 and %4 = 2", Product(lit(R1), lit(R2))
+        )
+        optimized = optimize(expr)
+        # One join at the top, selections at the leaves.
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+        assert isinstance(optimized.right, Select)
+        assert evaluate(optimized, {}) == evaluate(expr, {})
+
+    def test_optimizer_never_moves_delta_through_union(self):
+        expr = Unique(Union(lit(R1), lit(R1)))
+        optimized = optimize(expr)
+        assert evaluate(optimized, {}) == evaluate(expr, {})
+        assert isinstance(optimized, Unique)  # delta stays put
+
+    def test_cost_based_pipeline_with_catalog(self):
+        env = {"r1": R1.rename("r1"), "r2": R2.rename("r2")}
+        catalog = StatisticsCatalog.from_env(env)
+        e1 = RelationRef("r1", R1.schema.renamed("r1"))
+        e2 = RelationRef("r2", R2.schema.renamed("r2"))
+        expr = Select("%1 = %3 and %2 = 0", Product(e1, e2))
+        optimized = optimize(expr, catalog)
+        assert evaluate(optimized, env) == evaluate(expr, env)
+        assert estimate_cost(optimized, catalog) <= estimate_cost(expr, catalog)
+
+
+class TestSemanticPreservationProperty:
+    @given(int_relations, int_relations, st.sampled_from(
+        ["%1 = %3", "%1 = %3 and %2 = 1", "%2 < %4 and %1 = %3", "%1 = 1 and %3 = 2"]
+    ))
+    def test_optimize_preserves_select_product(self, r1, r2, condition):
+        expr = Select(condition, Product(lit(r1), lit(r2)))
+        assert evaluate(optimize(expr), {}) == evaluate(expr, {})
+
+    @given(int_relations, int_relations)
+    def test_optimize_preserves_union_pipelines(self, r1, r2):
+        expr = Select("%1 > 1", Union(lit(r1), lit(r2))).project(["%2"])
+        assert evaluate(optimize(expr), {}) == evaluate(expr, {})
+
+    @given(int_relations)
+    def test_optimize_preserves_groupby(self, r):
+        expr = Select("%1 > 0", lit(r)).group_by(["%1"], "CNT", None)
+        assert evaluate(optimize(expr), {}) == evaluate(expr, {})

@@ -1,0 +1,170 @@
+"""The paper's worked examples, reproduced exactly.
+
+* Example 3.1 — names of beers brewed in the Netherlands, duplicates
+  preserved;
+* Example 3.2 — average alcohol percentage per country, with and without
+  the intermediate projection (equal under bag semantics, different —
+  and wrong — under set semantics), plus the SQL formulation;
+* Theorem 3.1 proof case split — the min/monus equality;
+* Example 4.1 — the Guineken +10% update, algebra and SQL forms.
+"""
+
+import pytest
+
+from repro.algebra import RelationRef, Select
+from repro.database import Database
+from repro.engine import evaluate, evaluate_set
+from repro.language import Session, Update
+from repro.sql import sql_to_algebra, sql_to_statement
+from repro.workloads import tiny_beer_database
+from repro.workloads.beer import BEER_SCHEMA, BREWERY_SCHEMA
+
+
+@pytest.fixture
+def db():
+    return tiny_beer_database()
+
+
+@pytest.fixture
+def env(db):
+    return {"beer": db["beer"], "brewery": db["brewery"]}
+
+
+def beer():
+    return RelationRef("beer", BEER_SCHEMA)
+
+
+def brewery():
+    return RelationRef("brewery", BREWERY_SCHEMA)
+
+
+class TestExample31:
+    """π_%1(σ_{%6='Netherlands'}(beer ⋈_{%2=%4} brewery))"""
+
+    def expression(self):
+        return (
+            beer()
+            .join(brewery(), "%2 = %4")
+            .select("%6 = 'Netherlands'")
+            .project(["%1"])
+        )
+
+    def test_result_contains_duplicates(self, env):
+        result = evaluate(self.expression(), env)
+        # Both Guineken and Grolsch brew a "Pils": the multiset contains
+        # the name twice — the paper's point about duplicate results.
+        assert result.multiplicity(("Pils",)) == 2
+        assert result.multiplicity(("Bock",)) == 1
+        assert ("Tripel",) not in result  # Belgian
+        assert len(result) == 3
+
+    def test_set_semantics_loses_the_duplicate(self, env):
+        result = evaluate_set(self.expression(), env)
+        assert result.multiplicity(("Pils",)) == 1  # information lost
+
+
+class TestExample32:
+    """Γ_{(country),AVG,alcperc}(beer ⋈ brewery) — two formulations."""
+
+    def direct(self):
+        return beer().join(brewery(), "%2 = %4").group_by(["%6"], "AVG", "%3")
+
+    def with_projection(self):
+        # "To reduce the size of intermediate results ... a projection
+        # operator may be inserted":
+        return (
+            beer()
+            .join(brewery(), "%2 = %4")
+            .project(["%3", "%6"])
+            .group_by(["%2"], "AVG", "%1")
+        )
+
+    def test_expected_averages(self, env):
+        result = evaluate(self.direct(), env)
+        # Netherlands: (4.5 + 4.5 + 6.5) / 3; Belgium: (9.5 + 7.0) / 2.
+        assert result.multiplicity(("Netherlands", 15.5 / 3)) == 1
+        assert result.multiplicity(("Belgium", 8.25)) == 1
+        assert result.multiplicity(("Ireland", 4.2)) == 1
+
+    def test_bag_semantics_both_formulations_agree(self, env):
+        assert evaluate(self.direct(), env) == evaluate(self.with_projection(), env)
+
+    def test_set_semantics_diverges_and_is_wrong(self, env):
+        """The paper: "the second expression produces a different (and
+        incorrect) result!" — the two Dutch 4.5% Pils collapse."""
+        direct = evaluate_set(self.direct(), env)
+        projected = evaluate_set(self.with_projection(), env)
+        assert direct != projected
+        # Set semantics averages {4.5, 6.5}, not {4.5, 4.5, 6.5}.
+        assert projected.multiplicity(("Netherlands", 5.5)) == 1
+        assert projected.multiplicity(("Netherlands", 15.5 / 3)) == 0
+
+    def test_sql_formulation_matches(self, db, env):
+        query = sql_to_algebra(
+            "SELECT country, AVG(alcperc) FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name GROUP BY country",
+            db.schema,
+        )
+        assert evaluate(query, env) == evaluate(self.direct(), env)
+
+
+class TestTheorem31ProofCases:
+    """The proof's case split: min via double monus, both orderings."""
+
+    def test_case_e1_leq_e2(self):
+        assert max(0, 2 - max(0, 2 - 5)) == min(2, 5)
+
+    def test_case_e1_gt_e2(self):
+        assert max(0, 5 - max(0, 5 - 2)) == min(5, 2)
+
+    def test_full_equivalence_on_example_data(self, env):
+        strong = Select("alcperc > 5.0", beer())
+        lhs = beer().intersection(strong)
+        rhs = beer().difference(beer().difference(strong))
+        assert evaluate(lhs, env) == evaluate(rhs, env)
+
+
+class TestExample41:
+    """update(beer, σ_{brewery='Guineken'} beer, (name, brewery, alcperc*1.1))"""
+
+    def test_algebra_form(self, db):
+        session = Session(db)
+        selector = Select("brewery = 'Guineken'", beer())
+        session.run([Update("beer", selector, ["%1", "%2", "%3 * 1.1"])])
+        result = db["beer"]
+        assert result.multiplicity(("Pils", "Guineken", 4.95)) == 1
+        assert ("Pils", "Guineken", 4.5) not in result
+        # Non-Guineken tuples untouched.
+        assert result.multiplicity(("Pils", "Grolsch", 4.5)) == 1
+        assert len(result) == 6
+
+    def test_sql_form_matches_algebra_form(self):
+        database_a = tiny_beer_database()
+        database_b = tiny_beer_database()
+        Session(database_a).run(
+            [
+                Update(
+                    "beer",
+                    Select("brewery = 'Guineken'", beer()),
+                    ["%1", "%2", "%3 * 1.1"],
+                )
+            ]
+        )
+        statement = sql_to_statement(
+            "UPDATE beer SET alcperc = alcperc * 1.1 WHERE brewery = 'Guineken'",
+            database_b.schema,
+        )
+        Session(database_b).run([statement])
+        assert database_a["beer"] == database_b["beer"]
+
+    def test_update_advances_logical_time(self, db):
+        session = Session(db)
+        before = db.logical_time
+        session.update(
+            "beer",
+            Select("brewery = 'Guineken'", beer()),
+            ["%1", "%2", "%3 * 1.1"],
+        )
+        assert db.logical_time == before + 1
+        transition = db.transitions[-1]
+        assert transition.changed_relations() == ["beer"]

@@ -1,0 +1,74 @@
+"""Tests for whole-database save/load."""
+
+import json
+
+import pytest
+
+from repro.database import Database, load_database, save_database
+from repro.errors import SchemaError
+from repro.language import Session
+from repro.workloads import BeerWorkload, tiny_beer_database
+
+
+class TestRoundTrip:
+    def test_contents_and_schema(self, tmp_path):
+        db = tiny_beer_database()
+        save_database(db, tmp_path / "saved")
+        loaded = load_database(tmp_path / "saved")
+        assert loaded.names() == db.names()
+        for name in db.names():
+            assert loaded[name] == db[name]
+            assert loaded.schema.get(name) == db.schema.get(name)
+
+    def test_logical_time_restored(self, tmp_path):
+        db = tiny_beer_database()
+        session = Session(db)
+        session.delete("beer", session.relation("beer"))
+        assert db.logical_time == 1
+        save_database(db, tmp_path / "saved")
+        loaded = load_database(tmp_path / "saved")
+        assert loaded.logical_time == 1
+
+    def test_multiplicities_survive(self, tmp_path):
+        db = BeerWorkload(beers=300, name_pool=5, duplicate_fraction=0.5).database()
+        save_database(db, tmp_path / "saved")
+        loaded = load_database(tmp_path / "saved")
+        assert loaded["beer"] == db["beer"]
+        assert loaded["beer"].distinct_count < len(loaded["beer"])
+
+    def test_loaded_database_is_usable(self, tmp_path):
+        db = tiny_beer_database()
+        save_database(db, tmp_path / "saved")
+        loaded = load_database(tmp_path / "saved")
+        session = Session(loaded)
+        result = session.query(session.relation("beer").project(["name"]))
+        assert result.multiplicity(("Pils",)) == 2
+
+    def test_empty_database(self, tmp_path):
+        save_database(Database(), tmp_path / "empty")
+        loaded = load_database(tmp_path / "empty")
+        assert loaded.names() == []
+
+
+class TestErrorHandling:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SchemaError, match="manifest"):
+            load_database(tmp_path)
+
+    def test_unknown_format(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": "something-else"})
+        )
+        with pytest.raises(SchemaError, match="format"):
+            load_database(tmp_path)
+
+    def test_manifest_relation_mismatch(self, tmp_path):
+        db = tiny_beer_database()
+        save_database(db, tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["relations"][0]["attributes"] = [
+            {"name": "only", "domain": "integer"}
+        ]
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SchemaError, match="does not match"):
+            load_database(tmp_path)

@@ -1,0 +1,104 @@
+"""Tests for the presentation-layer ordering and cursor."""
+
+import pytest
+
+from repro.domains import INTEGER, STRING
+from repro.presentation import Cursor, order_rows
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+SCHEMA = RelationSchema.of("t", country=STRING, score=INTEGER)
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        SCHEMA,
+        [
+            ("NL", 3),
+            ("NL", 3),  # duplicate — must appear twice in any ordering
+            ("BE", 9),
+            ("NL", 1),
+            ("BE", 2),
+        ],
+    )
+
+
+class TestOrderRows:
+    def test_single_key_ascending(self, relation):
+        rows = order_rows(relation, ["score"])
+        assert [row[1] for row in rows] == [1, 2, 3, 3, 9]
+
+    def test_single_key_descending(self, relation):
+        rows = order_rows(relation, [("score", True)])
+        assert [row[1] for row in rows] == [9, 3, 3, 2, 1]
+
+    def test_multi_key_mixed_directions(self, relation):
+        rows = order_rows(relation, ["country", ("score", True)])
+        assert rows == [
+            ("BE", 9),
+            ("BE", 2),
+            ("NL", 3),
+            ("NL", 3),
+            ("NL", 1),
+        ]
+
+    def test_duplicates_preserved(self, relation):
+        rows = order_rows(relation, ["score"])
+        assert len(rows) == 5  # bag cardinality, not support size
+
+    def test_positional_reference(self, relation):
+        rows = order_rows(relation, ["%2"])
+        assert rows[0][1] == 1
+
+    def test_ordering_never_enters_the_algebra(self, relation):
+        # order_rows returns a plain list, not a Relation or expression:
+        # there is deliberately nothing to compose further.
+        rows = order_rows(relation, ["score"])
+        assert isinstance(rows, list)
+
+
+class TestCursor:
+    def test_fetchone_sequence(self, relation):
+        cursor = Cursor(relation, order_by=["score"])
+        assert cursor.fetchone() == ("NL", 1)
+        assert cursor.fetchone() == ("BE", 2)
+        assert cursor.position == 2
+
+    def test_exhaustion_returns_none(self, relation):
+        cursor = Cursor(relation)
+        cursor.fetchall()
+        assert cursor.fetchone() is None
+
+    def test_fetchmany(self, relation):
+        cursor = Cursor(relation, order_by=["score"])
+        chunk = cursor.fetchmany(2)
+        assert len(chunk) == 2
+        assert len(cursor.fetchmany(100)) == 3  # short final chunk
+
+    def test_fetchmany_negative_rejected(self, relation):
+        with pytest.raises(ValueError):
+            Cursor(relation).fetchmany(-1)
+
+    def test_fetchall_and_rowcount(self, relation):
+        cursor = Cursor(relation)
+        assert cursor.rowcount == 5
+        assert len(cursor.fetchall()) == 5
+
+    def test_rewind(self, relation):
+        cursor = Cursor(relation, order_by=["score"])
+        first = cursor.fetchone()
+        cursor.fetchall()
+        cursor.rewind()
+        assert cursor.fetchone() == first
+
+    def test_iteration(self, relation):
+        cursor = Cursor(relation, order_by=["score"])
+        assert len(list(cursor)) == 5
+
+    def test_columns(self, relation):
+        cursor = Cursor(relation)
+        assert cursor.columns == ["country", "score"]
+
+    def test_default_order_deterministic(self, relation):
+        assert Cursor(relation).fetchall() == Cursor(relation).fetchall()

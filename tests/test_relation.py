@@ -1,0 +1,209 @@
+"""Unit tests for relations and their reference operators (Defs 2.2-2.4, 3.1-3.4)."""
+
+import pytest
+
+from repro.aggregates import AVG, CNT, MAX, MIN, SUM
+from repro.domains import INTEGER, REAL, STRING
+from repro.errors import EmptyAggregateError, SchemaMismatchError
+from repro.multiset import Multiset
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema.of("t", a=INTEGER, b=STRING)
+
+
+@pytest.fixture
+def r(schema):
+    return Relation(schema, [(1, "x"), (1, "x"), (2, "y")])
+
+
+class TestConstruction:
+    def test_rows_counted(self, r):
+        assert len(r) == 3
+        assert r.distinct_count == 2
+        assert r.multiplicity((1, "x")) == 2
+
+    def test_values_normalised(self, schema):
+        real_schema = RelationSchema.of("u", a=REAL)
+        relation = Relation(real_schema, [(1,), (1.0,)])
+        assert relation.multiplicity((1.0,)) == 2
+
+    def test_from_pairs(self, schema):
+        relation = Relation.from_pairs(schema, [((1, "x"), 5)])
+        assert relation.multiplicity((1, "x")) == 5
+
+    def test_from_mapping(self, schema):
+        relation = Relation(schema, {(1, "x"): 3})
+        assert relation.multiplicity((1, "x")) == 3
+
+    def test_empty(self, schema):
+        relation = Relation.empty(schema)
+        assert not relation
+        assert len(relation) == 0
+
+    def test_membership(self, r):
+        assert (1, "x") in r
+        assert (9, "z") not in r
+        assert ("wrong", "shape") not in r  # bad values are just absent
+
+    def test_iteration_repeats(self, r):
+        assert sorted(r) == [(1, "x"), (1, "x"), (2, "y")]
+
+    def test_rows_sorted_deterministic(self, r):
+        assert r.rows_sorted() == [(1, "x"), (1, "x"), (2, "y")]
+
+
+class TestComparisons:
+    def test_equality_ignores_attribute_names(self, r, schema):
+        other_schema = RelationSchema.of("u", p=INTEGER, q=STRING)
+        other = Relation(other_schema, [(1, "x"), (1, "x"), (2, "y")])
+        assert r == other
+
+    def test_inequality_on_multiplicity(self, r, schema):
+        other = Relation(schema, [(1, "x"), (2, "y")])
+        assert r != other
+
+    def test_incompatible_schemas_not_equal(self, r):
+        other = Relation(RelationSchema.of("u", a=INTEGER), [(1,)])
+        assert r != other
+
+    def test_submultiset(self, r, schema):
+        small = Relation(schema, [(1, "x")])
+        assert small.issubmultiset(r)
+        assert small <= r
+        assert not r.issubmultiset(small)
+
+    def test_submultiset_schema_checked(self, r):
+        other = Relation(RelationSchema.of("u", a=INTEGER), [(1,)])
+        with pytest.raises(SchemaMismatchError):
+            r.issubmultiset(other)
+
+    def test_hashable(self, r, schema):
+        same = Relation(schema, [(2, "y"), (1, "x"), (1, "x")])
+        assert hash(r) == hash(same)
+
+
+class TestBasicOperators:
+    def test_union_definition(self, r, schema):
+        other = Relation(schema, [(1, "x"), (3, "z")])
+        result = r.union(other)
+        assert result.multiplicity((1, "x")) == 3
+        assert result.multiplicity((3, "z")) == 1
+
+    def test_union_schema_mismatch(self, r):
+        other = Relation(RelationSchema.of("u", a=INTEGER), [(1,)])
+        with pytest.raises(SchemaMismatchError, match="union"):
+            r.union(other)
+
+    def test_difference_monus(self, r, schema):
+        other = Relation(schema, [(1, "x"), (1, "x"), (1, "x"), (2, "y")])
+        result = r.difference(other)
+        assert not result
+
+    def test_product_multiplies(self, r):
+        other = Relation(RelationSchema.of("u", c=INTEGER), [(7,), (7,)])
+        result = r.product(other)
+        assert result.schema.degree == 3
+        assert result.multiplicity((1, "x", 7)) == 4  # 2 * 2
+
+    def test_select_keeps_multiplicity(self, r):
+        result = r.select(lambda row: row[0] == 1)
+        assert result.multiplicity((1, "x")) == 2
+        assert len(result) == 2
+
+    def test_project_sums_multiplicities(self, r):
+        result = r.project(["a"])
+        assert result.multiplicity((1,)) == 2
+        assert result.multiplicity((2,)) == 1
+        assert len(result) == len(r)  # no dedup
+
+    def test_project_by_name_and_index(self, r):
+        assert r.project(["b", "%1"]).schema.names() == ("b", "a")
+
+
+class TestStandardOperators:
+    def test_intersection_is_min(self, r, schema):
+        other = Relation(schema, [(1, "x"), (9, "q")])
+        result = r.intersection(other)
+        assert result.multiplicity((1, "x")) == 1
+        assert (2, "y") not in result
+
+    def test_join_is_selected_product(self, r):
+        other = Relation(RelationSchema.of("u", c=INTEGER), [(1,), (2,)])
+        joined = r.join(other, lambda row: row[0] == row[2])
+        assert joined.multiplicity((1, "x", 1)) == 2
+        assert joined.multiplicity((2, "y", 2)) == 1
+        assert len(joined) == 3
+
+
+class TestExtendedOperators:
+    def test_extended_project(self, r):
+        out_schema = RelationSchema.anonymous([INTEGER])
+        result = r.extended_project([lambda row: row[0] * 10], out_schema)
+        assert result.multiplicity((10,)) == 2
+
+    def test_extended_project_arity_checked(self, r):
+        out_schema = RelationSchema.anonymous([INTEGER, INTEGER])
+        with pytest.raises(ValueError):
+            r.extended_project([lambda row: row[0]], out_schema)
+
+    def test_distinct(self, r):
+        result = r.distinct()
+        assert len(result) == 2
+        assert result.multiplicity((1, "x")) == 1
+
+    def test_group_by_with_attrs(self):
+        schema = RelationSchema.of("s", k=STRING, v=INTEGER)
+        relation = Relation(schema, [("a", 1), ("a", 1), ("a", 3), ("b", 10)])
+        result = relation.group_by(["k"], SUM, "v")
+        assert result.multiplicity(("a", 5)) == 1  # duplicates counted: 1+1+3
+        assert result.multiplicity(("b", 10)) == 1
+        assert result.schema.names() == ("k", "sum_v")
+
+    def test_group_by_empty_attrs_single_tuple(self, r):
+        result = r.group_by([], CNT, None)
+        assert list(result.pairs()) == [((3,), 1)]
+        assert result.schema.degree == 1
+
+    def test_group_by_duplicate_attrs_rejected(self, r):
+        with pytest.raises(ValueError):
+            r.group_by(["a", "%1"], CNT, None)
+
+    def test_group_by_avg_respects_multiplicity(self):
+        schema = RelationSchema.of("s", k=STRING, v=REAL)
+        relation = Relation(schema, [("a", 1.0), ("a", 1.0), ("a", 4.0)])
+        result = relation.group_by(["k"], AVG, "v")
+        assert result.multiplicity(("a", 2.0)) == 1  # (1+1+4)/3
+
+    def test_aggregate_scalar(self, r):
+        assert r.aggregate(CNT, None) == 3
+        assert r.aggregate(MIN, "a") == 1
+        assert r.aggregate(MAX, "a") == 2
+
+    def test_aggregate_empty_partial(self, schema):
+        empty = Relation.empty(schema)
+        assert empty.aggregate(CNT, None) == 0
+        with pytest.raises(EmptyAggregateError):
+            empty.aggregate(MIN, "a")
+
+
+class TestConvenience:
+    def test_rename(self, r):
+        assert r.rename("renamed").schema.name == "renamed"
+        assert r.rename("renamed") == r  # contents unchanged
+
+    def test_with_attribute_names(self, r):
+        renamed = r.with_attribute_names(["x", "y"])
+        assert renamed.schema.names() == ("x", "y")
+
+    def test_from_multiset_adopts(self, schema):
+        bag = Multiset({(1, "x"): 2})
+        relation = Relation.from_multiset(schema, bag)
+        assert relation.multiplicity((1, "x")) == 2
+
+    def test_repr(self, r):
+        assert "tuples=3" in repr(r)
+        assert "distinct=2" in repr(r)

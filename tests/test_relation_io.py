@@ -1,0 +1,103 @@
+"""Tests for relation I/O (CSV / JSON) and tabular formatting."""
+
+import pytest
+
+from repro.domains import BOOLEAN, INTEGER, REAL, STRING
+from repro.errors import SchemaError
+from repro.relation import (
+    Relation,
+    format_relation,
+    relation_from_csv,
+    relation_from_json,
+    relation_to_csv,
+    relation_to_json,
+)
+from repro.schema import RelationSchema
+
+SCHEMA = RelationSchema.of("t", k=INTEGER, flag=BOOLEAN, v=STRING, x=REAL)
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        SCHEMA,
+        [(1, True, "a", 1.5), (1, True, "a", 1.5), (2, False, "b", -2.0)],
+    )
+
+
+class TestCsv:
+    def test_round_trip(self, relation, tmp_path):
+        path = tmp_path / "t.csv"
+        relation_to_csv(relation, path)
+        loaded = relation_from_csv(path, name="t")
+        assert loaded == relation
+        assert loaded.schema.name == "t"
+
+    def test_duplicates_as_repeated_rows(self, relation, tmp_path):
+        path = tmp_path / "t.csv"
+        relation_to_csv(relation, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 rows (duplicate repeated)
+
+    def test_typed_header(self, relation, tmp_path):
+        path = tmp_path / "t.csv"
+        relation_to_csv(relation, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "k:integer,flag:boolean,v:string,x:real"
+
+    def test_missing_domain_suffix_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError, match="domain"):
+            relation_from_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            relation_from_csv(path)
+
+    def test_anonymous_columns(self, tmp_path):
+        path = tmp_path / "anon.csv"
+        path.write_text("%1:integer,%2:string\n1,x\n")
+        loaded = relation_from_csv(path)
+        assert loaded.schema.names() == (None, None)
+        assert loaded.multiplicity((1, "x")) == 1
+
+
+class TestJson:
+    def test_round_trip(self, relation, tmp_path):
+        path = tmp_path / "t.json"
+        relation_to_json(relation, path)
+        loaded = relation_from_json(path)
+        assert loaded == relation
+
+    def test_pair_form_is_compact(self, relation, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        relation_to_json(relation, path)
+        document = json.loads(path.read_text())
+        assert len(document["pairs"]) == 2  # distinct tuples, with counts
+        assert sorted(count for _row, count in document["pairs"]) == [1, 2]
+
+
+class TestFormat:
+    def test_plain_table(self, relation):
+        text = format_relation(relation)
+        assert "k" in text and "flag" in text
+        assert "(3 tuple(s), 2 distinct)" in text
+
+    def test_multiplicity_view(self, relation):
+        text = format_relation(relation, show_multiplicity=True)
+        assert "| 2" in text  # the duplicated row's count column
+
+    def test_truncation(self, relation):
+        text = format_relation(relation, max_rows=1)
+        assert "more row(s)" in text
+
+    def test_anonymous_headers_positional(self):
+        schema = RelationSchema.anonymous([INTEGER, STRING])
+        relation = Relation(schema, [(1, "x")])
+        text = format_relation(relation)
+        assert "%1" in text and "%2" in text

@@ -1,0 +1,118 @@
+"""Property tests lifting the bag laws to typed relations.
+
+The container laws (test_multiset_properties) concern raw bags; these
+check that the *relation* layer preserves them through schema plumbing,
+and add the laws that only exist at relation level (projection /
+selection interplay, group-by totals, product cardinalities).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aggregates import CNT, SUM
+from tests.conftest import int_relations, int_relations_deg3
+
+
+class TestLiftedBagLaws:
+    @given(int_relations, int_relations)
+    def test_union_commutes(self, r1, r2):
+        assert r1.union(r2) == r2.union(r1)
+
+    @given(int_relations, int_relations)
+    def test_min_via_double_monus(self, r1, r2):
+        assert r1.difference(r1.difference(r2)) == r1.intersection(r2)
+
+    @given(int_relations)
+    def test_distinct_fixpoint(self, r):
+        assert r.distinct().distinct() == r.distinct()
+
+    @given(int_relations, int_relations)
+    def test_union_cardinality(self, r1, r2):
+        assert len(r1.union(r2)) == len(r1) + len(r2)
+
+
+class TestProjectionLaws:
+    @given(int_relations)
+    def test_projection_preserves_cardinality(self, r):
+        assert len(r.project(["%1"])) == len(r)
+
+    @given(int_relations)
+    def test_full_projection_is_identity(self, r):
+        assert r.project(["%1", "%2"]) == r
+
+    @given(int_relations)
+    def test_projection_composes(self, r):
+        once = r.project(["%2", "%1"]).project(["%2"])
+        direct = r.project(["%1"])
+        assert once == direct
+
+    @given(int_relations)
+    def test_selection_projection_commute_when_independent(self, r):
+        # σ on %1 commutes with a π that keeps %1 in front.
+        keep = r.project(["%1"]).select(lambda row: row[0] > 2)
+        other = r.select(lambda row: row[0] > 2).project(["%1"])
+        assert keep == other
+
+
+class TestSelectionLaws:
+    @given(int_relations)
+    def test_selection_idempotent(self, r):
+        predicate = lambda row: row[0] != row[1]
+        assert r.select(predicate).select(predicate) == r.select(predicate)
+
+    @given(int_relations)
+    def test_selection_partition(self, r):
+        predicate = lambda row: row[0] > 2
+        inverse = lambda row: not predicate(row)
+        assert r.select(predicate).union(r.select(inverse)) == r
+
+    @given(int_relations)
+    def test_selection_monotone(self, r):
+        assert r.select(lambda row: row[0] > 2) <= r
+
+
+class TestProductLaws:
+    @given(int_relations, int_relations)
+    def test_product_cardinality_multiplies(self, r1, r2):
+        assert len(r1.product(r2)) == len(r1) * len(r2)
+
+    @given(int_relations)
+    def test_product_with_empty(self, r):
+        from repro.relation import Relation
+
+        empty = Relation.empty(r.schema)
+        assert not r.product(empty)
+        assert not empty.product(r)
+
+    @given(int_relations, int_relations)
+    def test_projection_undoes_product_up_to_scaling(self, r1, r2):
+        # π back onto the left columns yields r1 with every multiplicity
+        # scaled by |r2| — a direct consequence of the product equation.
+        projected = r1.product(r2).project(["%1", "%2"])
+        assert projected.tuples == r1.tuples.scale(len(r2))
+
+
+class TestGroupByLaws:
+    @given(int_relations)
+    def test_counts_per_group_sum_to_total(self, r):
+        grouped = r.group_by(["%1"], CNT, None)
+        total = sum(row[1] for row, _count in grouped.pairs())
+        assert total == len(r)
+
+    @given(int_relations)
+    def test_group_sums_add_to_whole_sum(self, r):
+        grouped = r.group_by(["%1"], SUM, "%2")
+        total = sum(row[1] for row, _count in grouped.pairs())
+        assert total == r.aggregate(SUM, "%2") if r else total == 0
+
+    @given(int_relations)
+    def test_one_group_per_distinct_key(self, r):
+        grouped = r.group_by(["%1"], CNT, None)
+        keys = {row[0] for row, _count in r.pairs()}
+        assert grouped.distinct_count == len(keys)
+
+    @given(int_relations_deg3)
+    def test_multi_attribute_grouping(self, r):
+        grouped = r.group_by(["%1", "%2"], CNT, None)
+        total = sum(row[2] for row, _count in grouped.pairs())
+        assert total == len(r)

@@ -1,0 +1,232 @@
+"""Unit tests for relation and database schemas (Definitions 2.2 / 2.5)."""
+
+import pytest
+
+from repro.domains import INTEGER, REAL, STRING
+from repro.errors import (
+    AttributeResolutionError,
+    DuplicateAttributeError,
+    DuplicateRelationError,
+    UnknownRelationError,
+)
+from repro.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+class TestAttribute:
+    def test_value_object(self):
+        assert Attribute("name", STRING) == Attribute("name", STRING)
+        assert Attribute("name", STRING) != Attribute("name", INTEGER)
+        assert Attribute("name", STRING) != Attribute("other", STRING)
+
+    def test_anonymous(self):
+        attribute = Attribute("x", INTEGER).anonymous()
+        assert attribute.name is None
+        assert attribute.domain == INTEGER
+
+    def test_renamed(self):
+        assert Attribute("x", INTEGER).renamed("y").name == "y"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("  ", INTEGER)
+
+    def test_non_domain_rejected(self):
+        with pytest.raises(TypeError):
+            Attribute("x", int)  # type: ignore[arg-type]
+
+    def test_hashable(self):
+        assert len({Attribute("x", INTEGER), Attribute("x", INTEGER)}) == 1
+
+
+class TestRelationSchemaConstruction:
+    def test_of_keyword_style(self):
+        schema = RelationSchema.of("beer", name=STRING, alcperc=REAL)
+        assert schema.name == "beer"
+        assert schema.degree == 2
+        assert schema.attribute(1).name == "name"
+        assert schema.attribute(2).domain == REAL
+
+    def test_of_allows_attribute_called_name(self):
+        # The positional-only first parameter must not clash with **attrs.
+        schema = RelationSchema.of("t", name=STRING)
+        assert schema.attribute(1).name == "name"
+
+    def test_anonymous(self):
+        schema = RelationSchema.anonymous([INTEGER, STRING])
+        assert schema.name is None
+        assert schema.names() == (None, None)
+
+    def test_tuple_form(self):
+        schema = RelationSchema("t", [("a", INTEGER), (None, REAL)])
+        assert schema.attribute(2).name is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("t", [])
+
+    def test_strict_accepts_proper(self):
+        schema = RelationSchema.of("t", a=INTEGER, b=REAL)
+        assert schema.strict() is schema
+
+    def test_strict_rejects_unnamed(self):
+        with pytest.raises(DuplicateAttributeError):
+            RelationSchema("t", [(None, INTEGER)]).strict()
+
+    def test_strict_rejects_duplicates(self):
+        schema = RelationSchema("t", [("a", INTEGER), ("a", REAL)])
+        with pytest.raises(DuplicateAttributeError):
+            schema.strict()
+
+
+class TestResolution:
+    def setup_method(self):
+        self.schema = RelationSchema.of("beer", name=STRING, brewery=STRING, alcperc=REAL)
+
+    def test_by_int(self):
+        assert self.schema.resolve(2) == 2
+
+    def test_by_percent_text(self):
+        assert self.schema.resolve("%3") == 3
+
+    def test_by_name(self):
+        assert self.schema.resolve("brewery") == 2
+
+    def test_by_qualified_name(self):
+        assert self.schema.resolve("beer.alcperc") == 3
+
+    def test_wrong_qualifier_rejected(self):
+        with pytest.raises(AttributeResolutionError):
+            self.schema.resolve("brewery.name")
+
+    def test_out_of_range(self):
+        with pytest.raises(AttributeResolutionError):
+            self.schema.resolve(4)
+        with pytest.raises(AttributeResolutionError):
+            self.schema.resolve(0)
+
+    def test_unknown_name(self):
+        with pytest.raises(AttributeResolutionError):
+            self.schema.resolve("country")
+
+    def test_malformed_percent(self):
+        with pytest.raises(AttributeResolutionError):
+            self.schema.resolve("%x")
+
+    def test_bool_not_an_index(self):
+        with pytest.raises(AttributeResolutionError):
+            self.schema.resolve(True)  # type: ignore[arg-type]
+
+    def test_resolve_all(self):
+        assert self.schema.resolve_all(["name", "%3"]) == (1, 3)
+
+    def test_ambiguous_name_unresolvable(self):
+        schema = RelationSchema("t", [("a", INTEGER), ("a", REAL)])
+        with pytest.raises(AttributeResolutionError):
+            schema.resolve("a")
+        # Positional addressing still works — the paper's whole point.
+        assert schema.resolve(2) == 2
+
+
+class TestSchemaOperators:
+    def test_concat_is_tuple_oplus(self):
+        left = RelationSchema.of("l", a=INTEGER)
+        right = RelationSchema.of("r", b=REAL)
+        combined = left.concat(right)
+        assert combined.degree == 2
+        assert combined.name is None
+        assert combined.names() == ("a", "b")
+
+    def test_concat_with_clash_keeps_positional(self):
+        left = RelationSchema.of("l", a=INTEGER)
+        right = RelationSchema.of("r", a=REAL)
+        combined = left.concat(right)
+        with pytest.raises(AttributeResolutionError):
+            combined.resolve("a")
+        assert combined.resolve(2) == 2
+
+    def test_project(self):
+        schema = RelationSchema.of("t", a=INTEGER, b=REAL, c=STRING)
+        projected = schema.project([3, 1])
+        assert projected.names() == ("c", "a")
+        assert projected.name is None
+
+    def test_project_allows_repetition(self):
+        schema = RelationSchema.of("t", a=INTEGER)
+        assert schema.project([1, 1]).degree == 2
+
+    def test_renamed(self):
+        schema = RelationSchema.of("t", a=INTEGER).renamed("u")
+        assert schema.name == "u"
+
+    def test_with_attribute_names(self):
+        schema = RelationSchema.of("t", a=INTEGER, b=REAL)
+        renamed = schema.with_attribute_names(["x", None])
+        assert renamed.names() == ("x", None)
+
+    def test_with_attribute_names_wrong_arity(self):
+        with pytest.raises(ValueError):
+            RelationSchema.of("t", a=INTEGER).with_attribute_names(["x", "y"])
+
+
+class TestCompatibility:
+    def test_compatible_ignores_names(self):
+        left = RelationSchema.of("l", a=INTEGER, b=REAL)
+        right = RelationSchema.of("r", x=INTEGER, y=REAL)
+        assert left.compatible_with(right)
+
+    def test_incompatible_domains(self):
+        left = RelationSchema.of("l", a=INTEGER)
+        right = RelationSchema.of("r", a=REAL)
+        assert not left.compatible_with(right)
+
+    def test_incompatible_degree(self):
+        left = RelationSchema.of("l", a=INTEGER)
+        right = RelationSchema.of("r", a=INTEGER, b=INTEGER)
+        assert not left.compatible_with(right)
+
+    def test_equality_includes_names(self):
+        assert RelationSchema.of("t", a=INTEGER) == RelationSchema.of("t", a=INTEGER)
+        assert RelationSchema.of("t", a=INTEGER) != RelationSchema.of("t", b=INTEGER)
+        assert RelationSchema.of("t", a=INTEGER) != RelationSchema.of("u", a=INTEGER)
+
+
+class TestDatabaseSchema:
+    def test_add_and_get(self):
+        db_schema = DatabaseSchema()
+        beer = RelationSchema.of("beer", name=STRING)
+        db_schema.add(beer)
+        assert db_schema.get("beer") is beer
+        assert db_schema["beer"] is beer
+        assert "beer" in db_schema
+
+    def test_add_unnamed_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema().add(RelationSchema.anonymous([INTEGER]))
+
+    def test_duplicate_rejected(self):
+        db_schema = DatabaseSchema([RelationSchema.of("t", a=INTEGER)])
+        with pytest.raises(DuplicateRelationError):
+            db_schema.add(RelationSchema.of("t", b=REAL))
+
+    def test_add_validates_strictness(self):
+        loose = RelationSchema("t", [("a", INTEGER), ("a", REAL)])
+        with pytest.raises(DuplicateAttributeError):
+            DatabaseSchema().add(loose)
+
+    def test_unknown_get(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseSchema().get("nope")
+
+    def test_remove(self):
+        db_schema = DatabaseSchema([RelationSchema.of("t", a=INTEGER)])
+        db_schema.remove("t")
+        assert "t" not in db_schema
+        with pytest.raises(UnknownRelationError):
+            db_schema.remove("t")
+
+    def test_names_sorted(self):
+        db_schema = DatabaseSchema(
+            [RelationSchema.of("zeta", a=INTEGER), RelationSchema.of("alpha", a=INTEGER)]
+        )
+        assert db_schema.names() == ["alpha", "zeta"]
+        assert len(db_schema) == 2

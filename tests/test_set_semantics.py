@@ -1,0 +1,77 @@
+"""Tests for the set-semantics foil evaluator (the paper's comparison model)."""
+
+import pytest
+from hypothesis import given
+
+from repro.algebra import (
+    GroupBy,
+    LiteralRelation,
+    Product,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.engine import evaluate, evaluate_set
+from repro.relation import Relation
+from repro.workloads.synthetic import int_schema
+from tests.conftest import int_relations
+
+
+def lit(relation):
+    return LiteralRelation(relation)
+
+
+class TestSetModelBehaviour:
+    def test_base_relations_deduplicated(self):
+        relation = Relation(int_schema(1), [(1,), (1,), (2,)])
+        result = evaluate_set(RelationRef("t", relation.schema), {"t": relation})
+        assert result.multiplicity((1,)) == 1
+
+    def test_projection_deduplicates(self):
+        relation = Relation(int_schema(2), [(1, 7), (2, 7)])
+        result = evaluate_set(lit(relation).project(["%2"]), {})
+        assert result.multiplicity((7,)) == 1
+
+    def test_union_is_max(self):
+        relation = Relation(int_schema(1), [(1,)])
+        result = evaluate_set(Union(lit(relation), lit(relation)), {})
+        assert result.multiplicity((1,)) == 1
+
+    def test_extended_projection_deduplicates(self):
+        relation = Relation(int_schema(2), [(1, 5), (2, 5)])
+        result = evaluate_set(lit(relation).extended_project(["%2 * 2"]), {})
+        assert result.multiplicity((10,)) == 1
+
+    @given(int_relations)
+    def test_all_results_are_sets(self, relation):
+        for expr in (
+            lit(relation).project(["%1"]),
+            Union(lit(relation), lit(relation)),
+            Select("%1 > 1", lit(relation)),
+            Product(lit(relation), lit(relation)),
+        ):
+            result = evaluate_set(expr, {})
+            assert all(count == 1 for _row, count in result.pairs())
+
+    @given(int_relations)
+    def test_agrees_with_bag_on_duplicate_free_pipelines(self, relation):
+        """On δ'd input and duplicate-safe operators both models agree."""
+        expr = Select("%1 > 1", Unique(lit(relation)))
+        assert evaluate_set(expr, {}) == evaluate(expr, {})
+
+    def test_aggregate_corruption(self):
+        """The general form of Example 3.2: projecting before aggregating
+        silently corrupts AVG under set semantics."""
+        relation = Relation(int_schema(2), [(1, 10), (2, 10), (3, 40)])
+        expr = GroupBy(None, "AVG", "%1", lit(relation).project(["%2"]))
+        bag_result = evaluate(expr, {})
+        set_result = evaluate_set(expr, {})
+        assert bag_result.multiplicity((20.0,)) == 1  # (10+10+40)/3
+        assert set_result.multiplicity((25.0,)) == 1  # (10+40)/2 — wrong!
+
+    def test_count_corruption(self):
+        relation = Relation(int_schema(2), [(1, 7), (2, 7), (3, 7)])
+        expr = GroupBy(None, "CNT", None, lit(relation).project(["%2"]))
+        assert list(evaluate(expr, {}).pairs()) == [((3,), 1)]
+        assert list(evaluate_set(expr, {}).pairs()) == [((1,), 1)]

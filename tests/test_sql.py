@@ -1,0 +1,283 @@
+"""Tests for the SQL front end: lexer, parser, translation, execution."""
+
+import pytest
+
+from repro.database import Database
+from repro.engine import evaluate
+from repro.errors import SQLParseError, SQLTranslationError
+from repro.language import Session
+from repro.sql import (
+    DeleteStatement,
+    InsertStatement,
+    SelectQuery,
+    UpdateStatement,
+    parse_sql,
+    sql_to_algebra,
+    sql_to_statement,
+    tokenize_sql,
+)
+from repro.workloads import tiny_beer_database
+
+
+@pytest.fixture
+def db():
+    return tiny_beer_database()
+
+
+@pytest.fixture
+def session(db):
+    return Session(db)
+
+
+class TestLexer:
+    def test_keywords_lowered_names_preserved(self):
+        tokens = tokenize_sql("SELECT Name FROM Beer")
+        assert tokens[0] == ("keyword", "select", 0)
+        assert tokens[1].text == "Name"
+
+    def test_string_with_escape(self):
+        tokens = tokenize_sql("'O''Hara'")
+        assert tokens[0].kind == "string"
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLParseError):
+            tokenize_sql("SELECT #")
+
+
+class TestParser:
+    def test_select_shape(self):
+        parsed = parse_sql(
+            "SELECT country, AVG(alcperc) FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name GROUP BY country"
+        )
+        assert isinstance(parsed, SelectQuery)
+        assert [table.name for table in parsed.tables] == ["beer", "brewery"]
+        assert parsed.group_by == ["country"]
+        assert parsed.items[1].aggregate.function == "AVG"
+
+    def test_select_star(self):
+        parsed = parse_sql("SELECT * FROM beer")
+        assert parsed.star
+
+    def test_distinct_flag(self):
+        assert parse_sql("SELECT DISTINCT name FROM beer").distinct
+
+    def test_count_star(self):
+        parsed = parse_sql("SELECT COUNT(*) FROM beer")
+        assert parsed.items[0].aggregate.argument is None
+
+    def test_alias(self):
+        parsed = parse_sql("SELECT alcperc * 2 AS double FROM beer")
+        assert parsed.items[0].alias == "double"
+
+    def test_insert_values(self):
+        parsed = parse_sql("INSERT INTO beer VALUES ('X', 'Y', 5.0), ('Z', 'W', -1.0)")
+        assert isinstance(parsed, InsertStatement)
+        assert parsed.rows == [("X", "Y", 5.0), ("Z", "W", -1.0)]
+
+    def test_insert_select(self):
+        parsed = parse_sql("INSERT INTO archive SELECT * FROM beer")
+        assert parsed.query is not None
+
+    def test_delete(self):
+        parsed = parse_sql("DELETE FROM beer WHERE alcperc > 6.0")
+        assert isinstance(parsed, DeleteStatement)
+
+    def test_update(self):
+        parsed = parse_sql("UPDATE beer SET alcperc = alcperc * 1.1")
+        assert isinstance(parsed, UpdateStatement)
+        assert parsed.assignments[0][0] == "alcperc"
+
+    def test_order_by_rejected_with_paper_reason(self):
+        with pytest.raises(SQLParseError, match="no ordering"):
+            parse_sql("SELECT name FROM beer ORDER BY name")
+
+    def test_having_parsed(self):
+        parsed = parse_sql(
+            "SELECT country, COUNT(*) FROM brewery GROUP BY country "
+            "HAVING COUNT(*) > 1"
+        )
+        assert parsed.having is not None
+
+    def test_trailing_garbage(self):
+        # ("extra" after a table would be an alias, so use a number.)
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT name FROM beer 42")
+
+    def test_semicolon_allowed(self):
+        parse_sql("SELECT name FROM beer;")
+
+    def test_non_statement(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("EXPLAIN SELECT 1")
+
+
+class TestTranslation:
+    def test_plain_select(self, db, session):
+        expr = sql_to_algebra("SELECT name FROM beer WHERE alcperc > 5.0", db.schema)
+        result = session.query(expr)
+        assert result.multiplicity(("Bock",)) == 1
+        assert result.multiplicity(("Tripel",)) == 1
+
+    def test_select_star_identity(self, db, session):
+        expr = sql_to_algebra("SELECT * FROM beer", db.schema)
+        assert session.query(expr) == db["beer"]
+
+    def test_projection_keeps_duplicates(self, db, session):
+        expr = sql_to_algebra("SELECT name FROM beer", db.schema)
+        assert session.query(expr).multiplicity(("Pils",)) == 2
+
+    def test_distinct(self, db, session):
+        expr = sql_to_algebra("SELECT DISTINCT name FROM beer", db.schema)
+        assert session.query(expr).multiplicity(("Pils",)) == 1
+
+    def test_computed_column_with_alias(self, db, session):
+        expr = sql_to_algebra("SELECT alcperc * 2 AS d FROM beer", db.schema)
+        assert expr.schema.attribute(1).name == "d"
+        assert session.query(expr).multiplicity((9.0,)) == 2
+
+    def test_qualified_disambiguation_required(self, db):
+        with pytest.raises(SQLTranslationError, match="ambiguous"):
+            sql_to_algebra("SELECT name FROM beer, brewery", db.schema)
+
+    def test_qualified_names_work(self, db, session):
+        expr = sql_to_algebra(
+            "SELECT beer.name FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name AND brewery.country = 'Belgium'",
+            db.schema,
+        )
+        result = session.query(expr)
+        assert result.multiplicity(("Tripel",)) == 1
+
+    def test_unknown_attribute(self, db):
+        with pytest.raises(SQLTranslationError, match="unknown attribute"):
+            sql_to_algebra("SELECT flavour FROM beer", db.schema)
+
+    def test_unknown_table(self, db):
+        from repro.errors import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            sql_to_algebra("SELECT x FROM nope", db.schema)
+
+    def test_whole_relation_aggregate(self, db, session):
+        expr = sql_to_algebra("SELECT COUNT(*) FROM beer", db.schema)
+        assert list(session.query(expr).pairs()) == [((6,), 1)]
+
+    def test_multiple_aggregates_via_join_composition(self, db, session):
+        expr = sql_to_algebra(
+            "SELECT country, COUNT(*), MAX(alcperc) FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name GROUP BY country",
+            db.schema,
+        )
+        result = session.query(expr)
+        assert result.multiplicity(("Netherlands", 3, 6.5)) == 1
+        assert result.multiplicity(("Belgium", 2, 9.5)) == 1
+
+    def test_multiple_whole_relation_aggregates(self, db, session):
+        expr = sql_to_algebra(
+            "SELECT MIN(alcperc), MAX(alcperc) FROM beer", db.schema
+        )
+        assert list(session.query(expr).pairs()) == [((4.2, 9.5), 1)]
+
+    def test_select_item_order_respected(self, db, session):
+        expr = sql_to_algebra(
+            "SELECT AVG(alcperc), country FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name GROUP BY country",
+            db.schema,
+        )
+        result = session.query(expr)
+        assert result.multiplicity((8.25, "Belgium")) == 1
+
+    def test_non_grouping_plain_item_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="not in GROUP BY"):
+            sql_to_algebra(
+                "SELECT city, AVG(alcperc) FROM beer, brewery "
+                "WHERE beer.brewery = brewery.name GROUP BY country",
+                db.schema,
+            )
+
+    def test_group_by_without_aggregate_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="DISTINCT"):
+            sql_to_algebra(
+                "SELECT country FROM brewery GROUP BY country", db.schema
+            )
+
+    def test_star_aggregate_non_count_rejected(self, db):
+        with pytest.raises(SQLTranslationError):
+            sql_to_algebra("SELECT SUM(*) FROM beer", db.schema)
+
+    def test_computed_group_item_rejected(self, db):
+        with pytest.raises(SQLTranslationError):
+            sql_to_algebra(
+                "SELECT country, alcperc + 1 , AVG(alcperc) FROM beer, brewery "
+                "WHERE beer.brewery = brewery.name GROUP BY country",
+                db.schema,
+            )
+
+
+class TestStatements:
+    def test_insert_values(self, db, session):
+        statement = sql_to_statement(
+            "INSERT INTO beer VALUES ('New', 'Grolsch', 5.5), ('New', 'Grolsch', 5.5)",
+            db.schema,
+        )
+        session.run([statement])
+        assert db["beer"].multiplicity(("New", "Grolsch", 5.5)) == 2
+
+    def test_insert_select(self, db, session):
+        statement = sql_to_statement(
+            "INSERT INTO beer SELECT * FROM beer", db.schema
+        )
+        session.run([statement])
+        assert db["beer"].multiplicity(("Pils", "Guineken", 4.5)) == 2
+
+    def test_delete_where(self, db, session):
+        statement = sql_to_statement(
+            "DELETE FROM beer WHERE brewery = 'Westmalle'", db.schema
+        )
+        session.run([statement])
+        assert len(db["beer"]) == 4
+
+    def test_delete_all(self, db, session):
+        statement = sql_to_statement("DELETE FROM beer", db.schema)
+        session.run([statement])
+        assert not db["beer"]
+
+    def test_update_set_unknown_attribute(self, db):
+        with pytest.raises(SQLTranslationError, match="unknown attributes"):
+            sql_to_statement("UPDATE beer SET colour = 'red'", db.schema)
+
+    def test_update_without_where_touches_all(self, db, session):
+        statement = sql_to_statement(
+            "UPDATE beer SET alcperc = 0.0", db.schema
+        )
+        session.run([statement])
+        assert all(row[2] == 0.0 for row in db["beer"].rows_sorted())
+
+    def test_select_via_sql_to_statement_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="SELECT"):
+            sql_to_statement("SELECT * FROM beer", db.schema)
+
+    def test_dml_via_sql_to_algebra_rejected(self, db):
+        with pytest.raises(SQLTranslationError):
+            sql_to_algebra("DELETE FROM beer", db.schema)
+
+
+class TestSemanticsAgainstAlgebra:
+    def test_where_translates_to_selection(self, db, session):
+        via_sql = session.query(
+            sql_to_algebra("SELECT name FROM beer WHERE alcperc >= 7.0", db.schema)
+        )
+        via_algebra = session.query(
+            session.relation("beer").select("alcperc >= 7.0").project(["name"])
+        )
+        # Extended projection vs basic projection: same multiset.
+        assert via_sql == via_algebra
+
+    def test_boolean_connectives(self, db, session):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer WHERE NOT (alcperc < 5.0) AND brewery <> 'Guinness'",
+            db.schema,
+        )
+        result = session.query(expr)
+        assert sorted(result.support()) == [("Bock",), ("Dubbel",), ("Tripel",)]

@@ -1,0 +1,373 @@
+"""Tests for SQL set operations and IN-subqueries.
+
+SQL's ALL / non-ALL split on UNION / EXCEPT / INTERSECT is the direct
+descendant of this paper's bag/set distinction; the translation maps it
+onto ⊎ / − / ∩ with δ exactly where the standard says duplicates go.
+"""
+
+import pytest
+
+from repro.engine import evaluate, execute
+from repro.errors import SQLParseError, SQLTranslationError
+from repro.language import Session
+from repro.sql import parse_sql, sql_to_algebra, sql_to_statement
+from repro.sql.ast import SetOperation
+from repro.workloads import tiny_beer_database
+
+
+@pytest.fixture
+def db():
+    return tiny_beer_database()
+
+
+@pytest.fixture
+def env(db):
+    return dict(db.as_env())
+
+
+class TestSetOperationParsing:
+    def test_union_all_flag(self):
+        parsed = parse_sql("SELECT name FROM a UNION ALL SELECT name FROM b")
+        assert isinstance(parsed, SetOperation)
+        assert parsed.operator == "union" and parsed.all
+
+    def test_left_associative_chain(self):
+        parsed = parse_sql(
+            "SELECT n FROM a UNION SELECT n FROM b EXCEPT SELECT n FROM c"
+        )
+        assert parsed.operator == "except"
+        assert isinstance(parsed.left, SetOperation)
+
+    def test_intersect_binds_tighter(self):
+        parsed = parse_sql(
+            "SELECT n FROM a UNION SELECT n FROM b INTERSECT SELECT n FROM c"
+        )
+        assert parsed.operator == "union"
+        assert isinstance(parsed.right, SetOperation)
+        assert parsed.right.operator == "intersect"
+
+    def test_parenthesised_compound(self):
+        parsed = parse_sql(
+            "(SELECT n FROM a UNION SELECT n FROM b) INTERSECT SELECT n FROM c"
+        )
+        assert parsed.operator == "intersect"
+        assert isinstance(parsed.left, SetOperation)
+
+
+class TestSetOperationSemantics:
+    def test_union_all_is_additive(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer UNION ALL SELECT name FROM brewery", db.schema
+        )
+        result = evaluate(expr, env)
+        assert len(result) == 10
+        assert result.multiplicity(("Pils",)) == 2
+
+    def test_union_deduplicates(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer UNION SELECT name FROM brewery", db.schema
+        )
+        result = evaluate(expr, env)
+        assert result.multiplicity(("Pils",)) == 1
+        assert all(count == 1 for _row, count in result.pairs())
+
+    def test_except_all_is_monus(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT brewery FROM beer EXCEPT ALL SELECT name FROM brewery",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        # Grolsch brews twice, its name appears once in brewery: 2−1=1.
+        assert result.multiplicity(("Grolsch",)) == 1
+        assert result.multiplicity(("Westmalle",)) == 1  # 2−1
+        assert ("Guinness",) not in result  # 1−1
+
+    def test_except_distinct(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT brewery FROM beer EXCEPT SELECT name FROM brewery",
+            db.schema,
+        )
+        # Every brewing brewery is in the brewery relation: empty result.
+        assert not evaluate(expr, env)
+
+    def test_intersect_all_is_min(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT brewery FROM beer INTERSECT ALL SELECT name FROM brewery",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert result.multiplicity(("Grolsch",)) == 1  # min(2, 1)
+
+    def test_intersect_distinct(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT brewery FROM beer INTERSECT SELECT name FROM brewery",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert all(count == 1 for _row, count in result.pairs())
+        assert result.distinct_count == 4
+
+    def test_incompatible_schemas_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="incompatible"):
+            sql_to_algebra(
+                "SELECT name FROM beer UNION ALL SELECT alcperc FROM beer",
+                db.schema,
+            )
+
+    def test_physical_engine_agrees(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer UNION SELECT name FROM brewery "
+            "EXCEPT ALL SELECT brewery FROM beer",
+            db.schema,
+        )
+        assert execute(expr, env) == evaluate(expr, env)
+
+    def test_insert_from_compound_query(self, db):
+        session = Session(db)
+        statement = sql_to_statement(
+            "INSERT INTO brewery SELECT * FROM brewery "
+            "UNION ALL SELECT * FROM brewery",
+            db.schema,
+        )
+        session.run([statement])
+        assert len(db["brewery"]) == 12  # 4 + 2·4
+
+
+class TestInSubqueries:
+    def test_in_preserves_multiplicities(self, db, env):
+        """Example 3.1 reformulated with IN — the Pils duplicate survives."""
+        expr = sql_to_algebra(
+            "SELECT name FROM beer WHERE brewery IN "
+            "(SELECT name FROM brewery WHERE country = 'Netherlands')",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert result.multiplicity(("Pils",)) == 2
+        assert result.multiplicity(("Bock",)) == 1
+        assert len(result) == 3
+
+    def test_not_in_is_exact_complement(self, db, env):
+        positive = sql_to_algebra(
+            "SELECT name FROM beer WHERE brewery IN "
+            "(SELECT name FROM brewery WHERE country = 'Netherlands')",
+            db.schema,
+        )
+        negative = sql_to_algebra(
+            "SELECT name FROM beer WHERE brewery NOT IN "
+            "(SELECT name FROM brewery WHERE country = 'Netherlands')",
+            db.schema,
+        )
+        everything = sql_to_algebra("SELECT name FROM beer", db.schema)
+        assert evaluate(positive, env).union(evaluate(negative, env)) == evaluate(
+            everything, env
+        )
+
+    def test_in_with_other_conjuncts(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer WHERE alcperc > 4.4 AND brewery IN "
+            "(SELECT name FROM brewery WHERE country = 'Netherlands')",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert len(result) == 3  # both Pils (4.5) and Bock (6.5)
+
+    def test_in_with_duplicated_subquery_rows_no_inflation(self, db, env):
+        # The subquery yields 'Grolsch' etc. once per *brewery*, but even a
+        # duplicated subquery result must not inflate outer multiplicities:
+        expr = sql_to_algebra(
+            "SELECT name FROM beer WHERE brewery IN "
+            "(SELECT brewery FROM beer)",  # duplicates galore
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert result == evaluate(
+            sql_to_algebra("SELECT name FROM beer", db.schema), env
+        )
+
+    def test_in_under_or_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="top-level"):
+            sql_to_algebra(
+                "SELECT name FROM beer WHERE alcperc > 9.0 OR brewery IN "
+                "(SELECT name FROM brewery)",
+                db.schema,
+            )
+
+    def test_multicolumn_subquery_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="single-column"):
+            sql_to_algebra(
+                "SELECT name FROM beer WHERE brewery IN "
+                "(SELECT name, city FROM brewery)",
+                db.schema,
+            )
+
+    def test_in_on_computed_operand(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer WHERE alcperc + 0.5 IN "
+            "(SELECT alcperc FROM beer)",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        # 6.5 = 7.0 − 0.5: Dubbel(7.0) matches via Bock's 6.5? No: we ask
+        # alcperc + 0.5 ∈ alcperc values; 4.5+0.5=5.0 no; 6.5+0.5=7.0 yes
+        # (Dubbel); 9.5+0.5 no; 7.0+0.5 no; 4.2+0.5 no.
+        assert sorted(result.support()) == [("Bock",)]
+
+    def test_physical_engine_agrees_on_semijoin(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT name FROM beer WHERE brewery NOT IN "
+            "(SELECT name FROM brewery WHERE country = 'Belgium')",
+            db.schema,
+        )
+        assert execute(expr, env) == evaluate(expr, env)
+
+
+class TestJoinSyntaxAndAliases:
+    def test_explicit_join_on(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT beer.name FROM beer JOIN brewery "
+            "ON beer.brewery = brewery.name WHERE country = 'Netherlands'",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert result.multiplicity(("Pils",)) == 2  # Example 3.1 again
+
+    def test_inner_join_spelling(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT b.name FROM beer AS b INNER JOIN brewery AS w "
+            "ON b.brewery = w.name",
+            db.schema,
+        )
+        assert len(evaluate(expr, env)) == 6
+
+    def test_join_on_equivalent_to_comma_where(self, db, env):
+        joined = sql_to_algebra(
+            "SELECT beer.name FROM beer JOIN brewery "
+            "ON beer.brewery = brewery.name",
+            db.schema,
+        )
+        comma = sql_to_algebra(
+            "SELECT beer.name FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name",
+            db.schema,
+        )
+        assert evaluate(joined, env) == evaluate(comma, env)
+
+    def test_self_join_with_aliases(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT b1.name, b2.name FROM beer b1, beer b2 "
+            "WHERE b1.brewery = b2.brewery AND b1.name <> b2.name",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert ("Pils", "Bock") in result
+        assert ("Tripel", "Dubbel") in result
+
+    def test_duplicate_unaliased_table_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="alias"):
+            sql_to_algebra("SELECT 1 FROM beer, beer", db.schema)
+
+    def test_alias_shadows_table_name_in_scope(self, db):
+        # Once aliased, the original qualifier no longer resolves.
+        with pytest.raises(SQLTranslationError, match="unknown attribute"):
+            sql_to_algebra(
+                "SELECT beer.name FROM beer b", db.schema
+            )
+
+    def test_chained_explicit_joins(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT b.name FROM beer b "
+            "JOIN brewery w ON b.brewery = w.name "
+            "JOIN brewery w2 ON w.country = w2.country",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        # Dutch beers pair with 2 Dutch breweries, etc.
+        assert result.multiplicity(("Bock",)) == 2
+
+    def test_engines_agree_on_self_join(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT b1.name FROM beer b1 JOIN beer b2 "
+            "ON b1.alcperc = b2.alcperc WHERE b1.brewery <> b2.brewery",
+            db.schema,
+        )
+        assert execute(expr, env) == evaluate(expr, env)
+
+
+class TestHaving:
+    def test_having_on_selected_aggregate(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT country, COUNT(*) FROM beer JOIN brewery "
+            "ON beer.brewery = brewery.name "
+            "GROUP BY country HAVING COUNT(*) > 1",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert result.multiplicity(("Netherlands", 3)) == 1
+        assert result.multiplicity(("Belgium", 2)) == 1
+        assert all(row[0] != "Ireland" for row in result.support())
+
+    def test_having_only_aggregate_not_in_select(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT country FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name "
+            "GROUP BY country HAVING MAX(alcperc) >= 9.0",
+            db.schema,
+        )
+        assert sorted(evaluate(expr, env).support()) == [("Belgium",)]
+
+    def test_having_mixes_grouping_attr_and_aggregate(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT country, AVG(alcperc) FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name "
+            "GROUP BY country HAVING AVG(alcperc) > 5.0 AND country <> 'Belgium'",
+            db.schema,
+        )
+        assert sorted(row[0] for row in evaluate(expr, env).support()) == [
+            "Netherlands"
+        ]
+
+    def test_having_whole_relation_aggregate(self, db, env):
+        kept = sql_to_algebra(
+            "SELECT COUNT(*) FROM beer HAVING COUNT(*) > 2", db.schema
+        )
+        dropped = sql_to_algebra(
+            "SELECT COUNT(*) FROM beer HAVING COUNT(*) > 100", db.schema
+        )
+        assert list(evaluate(kept, env).pairs()) == [((6,), 1)]
+        assert not evaluate(dropped, env)
+
+    def test_having_non_grouping_attribute_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="not a\n?.*grouping|grouping"):
+            sql_to_algebra(
+                "SELECT country, COUNT(*) FROM beer, brewery "
+                "WHERE beer.brewery = brewery.name "
+                "GROUP BY country HAVING city = 'Malle'",
+                db.schema,
+            )
+
+    def test_having_without_group_by_or_aggregates_rejected(self, db):
+        with pytest.raises(SQLTranslationError, match="HAVING requires"):
+            sql_to_algebra(
+                "SELECT name FROM beer HAVING name = 'Pils'", db.schema
+            )
+
+    def test_having_duplicate_calls_computed_once(self, db, env):
+        # COUNT(*) appears in the select list and twice in HAVING; the
+        # translation must reuse one Γ column, and the results agree.
+        expr = sql_to_algebra(
+            "SELECT country, COUNT(*) FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name "
+            "GROUP BY country HAVING COUNT(*) > 1 AND COUNT(*) < 5",
+            db.schema,
+        )
+        result = evaluate(expr, env)
+        assert {row[0] for row in result.support()} == {"Netherlands", "Belgium"}
+
+    def test_having_engines_agree(self, db, env):
+        expr = sql_to_algebra(
+            "SELECT country FROM beer, brewery "
+            "WHERE beer.brewery = brewery.name "
+            "GROUP BY country HAVING SUM(alcperc) > 10.0",
+            db.schema,
+        )
+        assert execute(expr, env) == evaluate(expr, env)

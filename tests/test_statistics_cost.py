@@ -1,0 +1,147 @@
+"""Tests for the statistics catalog, cardinality estimator, and cost model."""
+
+import pytest
+
+from repro.algebra import (
+    GroupBy,
+    Join,
+    Product,
+    RelationRef,
+    Select,
+    Union,
+    Unique,
+)
+from repro.engine import (
+    CostModel,
+    StatisticsCatalog,
+    TableStats,
+    estimate_cardinality,
+    estimate_cost,
+)
+from repro.relation import Relation
+from repro.workloads import random_int_relation
+from repro.workloads.synthetic import int_schema
+
+
+@pytest.fixture
+def env():
+    return {
+        "big": random_int_relation(1000, value_space=50, seed=1, name="big"),
+        "small": random_int_relation(10, value_space=5, seed=2, name="small"),
+    }
+
+
+@pytest.fixture
+def catalog(env):
+    return StatisticsCatalog.from_env(env)
+
+
+def ref(env, name):
+    return RelationRef(name, env[name].schema.renamed(name))
+
+
+class TestTableStats:
+    def test_from_relation_exact(self):
+        relation = Relation(int_schema(2), [(1, 1), (1, 2), (1, 2)])
+        stats = TableStats.from_relation(relation)
+        assert stats.row_count == 3
+        assert stats.distinct_values == {1: 1, 2: 2}
+
+    def test_catalog_rows(self, catalog):
+        assert catalog.rows("big") == 1000.0
+        assert catalog.rows("unknown") == 1000.0  # default
+
+    def test_catalog_distinct(self, catalog):
+        assert catalog.distinct("small", 1) is not None
+        assert catalog.distinct("unknown", 1) is None
+
+
+class TestCardinality:
+    def test_base_relation(self, env, catalog):
+        assert estimate_cardinality(ref(env, "big"), catalog) == 1000.0
+
+    def test_union_adds(self, env, catalog):
+        expr = Union(ref(env, "big"), ref(env, "big"))
+        assert estimate_cardinality(expr, catalog) == 2000.0
+
+    def test_product_multiplies(self, env, catalog):
+        expr = Product(ref(env, "big"), ref(env, "small"))
+        assert estimate_cardinality(expr, catalog) == 10000.0
+
+    def test_projection_preserves_cardinality(self, env, catalog):
+        """Bag semantics: |π(E)| = |E| exactly — no guessing needed."""
+        expr = ref(env, "big").project(["%1"])
+        assert estimate_cardinality(expr, catalog) == 1000.0
+
+    def test_equality_selection_uses_distinct_counts(self, env, catalog):
+        expr = Select("%1 = 3", ref(env, "big"))
+        distinct = catalog.distinct("big", 1)
+        assert estimate_cardinality(expr, catalog) == pytest.approx(
+            1000.0 / distinct
+        )
+
+    def test_range_selection_default(self, env, catalog):
+        expr = Select("%1 < 3", ref(env, "big"))
+        assert estimate_cardinality(expr, catalog) == pytest.approx(1000.0 / 3)
+
+    def test_conjunction_multiplies_selectivities(self, env, catalog):
+        single = Select("%1 < 3", ref(env, "big"))
+        double = Select("%1 < 3 and %2 < 3", ref(env, "big"))
+        assert estimate_cardinality(double, catalog) < estimate_cardinality(
+            single, catalog
+        )
+
+    def test_join_below_product(self, env, catalog):
+        join = Join(ref(env, "big"), ref(env, "small"), "%1 = %3")
+        product = Product(ref(env, "big"), ref(env, "small"))
+        assert estimate_cardinality(join, catalog) < estimate_cardinality(
+            product, catalog
+        )
+
+    def test_unique_shrinks(self, env, catalog):
+        expr = Unique(ref(env, "big"))
+        assert estimate_cardinality(expr, catalog) < 1000.0
+
+    def test_groupby_uses_distinct_when_known(self, env, catalog):
+        expr = GroupBy(["%1"], "CNT", None, ref(env, "small"))
+        distinct = catalog.distinct("small", 1)
+        assert estimate_cardinality(expr, catalog) == float(distinct)
+
+    def test_groupby_empty_alpha_is_one(self, env, catalog):
+        expr = GroupBy(None, "CNT", None, ref(env, "big"))
+        assert estimate_cardinality(expr, catalog) == 1.0
+
+    def test_constant_conditions(self, env, catalog):
+        assert estimate_cardinality(
+            Select("true", ref(env, "big")), catalog
+        ) == 1000.0
+        assert estimate_cardinality(
+            Select("false", ref(env, "big")), catalog
+        ) == 0.0
+
+
+class TestCost:
+    def test_pushdown_is_cheaper(self, env, catalog):
+        unpushed = Select("%1 = 3", Product(ref(env, "big"), ref(env, "small")))
+        pushed = Product(
+            Select("%1 = 3", ref(env, "big")), ref(env, "small")
+        )
+        assert estimate_cost(pushed, catalog) < estimate_cost(unpushed, catalog)
+
+    def test_hash_join_cheaper_than_theta(self, env, catalog):
+        equi = Join(ref(env, "big"), ref(env, "small"), "%1 = %3")
+        theta = Join(ref(env, "big"), ref(env, "small"), "%1 < %3")
+        assert estimate_cost(equi, catalog) < estimate_cost(theta, catalog)
+
+    def test_small_build_side_reflected(self, env, catalog):
+        model = CostModel(hash_build_weight=10.0)
+        small_build = Join(ref(env, "big"), ref(env, "small"), "%1 = %3")
+        big_build = Join(ref(env, "small"), ref(env, "big"), "%1 = %3")
+        assert estimate_cost(small_build, catalog, model) < estimate_cost(
+            big_build, catalog, model
+        )
+
+    def test_cost_monotone_in_tree_size(self, env, catalog):
+        base = ref(env, "big")
+        bigger = Unique(Select("%1 > 1", base))
+        assert estimate_cost(bigger, catalog) > estimate_cost(base, catalog)

@@ -1,0 +1,117 @@
+"""Property-style fuzzing of transaction atomicity (Definition 4.3).
+
+Random statement sequences with a failure injected at a random position:
+the database must afterwards be *exactly* the pre-state — no partial
+effects, no logical-time advance, no stray temporaries.  Committed runs
+must advance time by exactly one and drop all temporaries.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import LiteralRelation, RelationRef, Select
+from repro.database import Database
+from repro.errors import TransactionAbort
+from repro.language import Assign, Delete, Insert, Query, Transaction, Update
+from repro.relation import Relation
+from repro.workloads.synthetic import int_schema
+
+SCHEMA = int_schema(2, name="t")
+
+
+def fresh_database(seed):
+    rng = random.Random(seed)
+    rows = [(rng.randrange(6), rng.randrange(6)) for _ in range(30)]
+    db = Database()
+    db.create_relation(SCHEMA, Relation(SCHEMA, rows))
+    return db
+
+
+def random_statement(rng, temp_counter):
+    """One random statement against relation ``t``."""
+    ref = RelationRef("t", SCHEMA)
+    literal = LiteralRelation(
+        Relation(SCHEMA, [(rng.randrange(6), rng.randrange(6))])
+    )
+    kind = rng.randrange(5)
+    if kind == 0:
+        return Insert("t", literal)
+    if kind == 1:
+        return Delete("t", Select(f"%1 = {rng.randrange(6)}", ref))
+    if kind == 2:
+        return Update(
+            "t",
+            Select(f"%2 = {rng.randrange(6)}", ref),
+            ["%1 + 1", "%2"],
+        )
+    if kind == 3:
+        return Assign(f"tmp{next(temp_counter)}", ref)
+    return Query(ref)
+
+
+class FailingStatement:
+    def execute(self, _context):
+        raise TransactionAbort("injected failure")
+
+
+def counter():
+    value = 0
+    while True:
+        yield value
+        value += 1
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_aborted_transactions_leave_no_trace(seed):
+    rng = random.Random(seed)
+    db = fresh_database(seed)
+    pre_state = db.snapshot()
+    pre_time = db.logical_time
+
+    temp_counter = counter()
+    statements = [
+        random_statement(rng, temp_counter) for _ in range(rng.randint(1, 6))
+    ]
+    position = rng.randint(0, len(statements))
+    statements.insert(position, FailingStatement())
+
+    result = Transaction(statements).run(db)
+    assert not result.committed
+    assert db.snapshot() == pre_state
+    assert db.logical_time == pre_time
+    assert db.names() == ["t"]  # no temporaries leaked
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_committed_transactions_are_single_transitions(seed):
+    rng = random.Random(seed + 1000)
+    db = fresh_database(seed)
+    pre_time = db.logical_time
+
+    temp_counter = counter()
+    statements = [
+        random_statement(rng, temp_counter) for _ in range(rng.randint(1, 6))
+    ]
+    result = Transaction(statements).run(db, record_intermediate_states=True)
+    assert result.committed
+    assert db.logical_time == pre_time + 1
+    assert db.names() == ["t"]
+    # One intermediate state per statement plus the initial one.
+    assert len(result.intermediate_states) == len(statements) + 1
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_replaying_on_pre_state_is_deterministic(seed):
+    """Same statements on equal states give equal post-states."""
+    rng_a = random.Random(seed + 2000)
+    db_a = fresh_database(seed)
+    db_b = fresh_database(seed)
+
+    temp_counter = counter()
+    statements = [
+        random_statement(rng_a, temp_counter) for _ in range(4)
+    ]
+    Transaction(statements).run(db_a)
+    Transaction(statements).run(db_b)
+    assert db_a.snapshot() == db_b.snapshot()

@@ -1,0 +1,85 @@
+"""Unit tests for tuple operations (Definition 2.4)."""
+
+import pytest
+
+from repro.domains import INTEGER, REAL, STRING
+from repro.errors import AttributeResolutionError, DomainValueError
+from repro.schema import RelationSchema
+from repro.tuples import (
+    attr_value,
+    concat_tuples,
+    degree,
+    make_row,
+    project_tuple,
+    validate_tuple,
+)
+
+
+class TestAccess:
+    def test_attr_value_is_one_based(self):
+        # r.i in the paper's notation
+        row = ("Pils", "Grolsch", 4.5)
+        assert attr_value(row, 1) == "Pils"
+        assert attr_value(row, 3) == 4.5
+
+    def test_attr_value_out_of_range(self):
+        with pytest.raises(AttributeResolutionError):
+            attr_value(("a",), 2)
+        with pytest.raises(AttributeResolutionError):
+            attr_value(("a",), 0)
+
+    def test_degree_is_hash_r(self):
+        assert degree(("a", "b", "c")) == 3
+        assert degree(()) == 0
+
+
+class TestProjection:
+    def test_alpha_projection(self):
+        row = ("Pils", "Grolsch", 4.5)
+        assert project_tuple(row, [3, 1]) == (4.5, "Pils")
+
+    def test_projection_repetition_allowed(self):
+        # The definition only demands 1 <= i_j <= #r.
+        assert project_tuple(("x", "y"), [1, 1, 2]) == ("x", "x", "y")
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(AttributeResolutionError):
+            project_tuple(("x",), [2])
+
+
+class TestConcatenation:
+    def test_oplus(self):
+        assert concat_tuples(("a", 1), (2.5,)) == ("a", 1, 2.5)
+
+    def test_oplus_with_empty(self):
+        assert concat_tuples((), ("x",)) == ("x",)
+
+    def test_order_matters(self):
+        assert concat_tuples(("a",), ("b",)) != concat_tuples(("b",), ("a",))
+
+
+class TestValidation:
+    def setup_method(self):
+        self.schema = RelationSchema.of("t", a=INTEGER, b=REAL, c=STRING)
+
+    def test_normalises_values(self):
+        row = validate_tuple([1, 2, "x"], self.schema)
+        assert row == (1, 2.0, "x")
+        assert type(row[1]) is float
+
+    def test_wrong_degree(self):
+        with pytest.raises(DomainValueError):
+            validate_tuple([1, 2.0], self.schema)
+
+    def test_wrong_domain(self):
+        with pytest.raises(DomainValueError):
+            validate_tuple(["x", 2.0, "y"], self.schema)
+
+    def test_make_row(self):
+        assert make_row(iter([1, 2])) == (1, 2)
+
+    def test_equality_after_normalisation(self):
+        # Definition 2.4 tuple equality: corresponding attributes equal.
+        first = validate_tuple([1, 2, "x"], self.schema)
+        second = validate_tuple([1, 2.0, "x"], self.schema)
+        assert first == second

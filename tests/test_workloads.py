@@ -1,0 +1,115 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    BeerWorkload,
+    int_schema,
+    join_chain_relations,
+    random_int_bag,
+    random_int_relation,
+    tiny_beer_database,
+    zipf_relation,
+)
+
+
+class TestTinyBeerDatabase:
+    def test_contents_support_example_31(self):
+        db = tiny_beer_database()
+        # Two Dutch breweries brew a beer called "Pils" — required for the
+        # duplicate in Example 3.1.
+        dutch_breweries = {
+            row[0]
+            for row in db["brewery"].rows_sorted()
+            if row[2] == "Netherlands"
+        }
+        pils_brewers = {
+            row[1] for row in db["beer"].rows_sorted() if row[0] == "Pils"
+        }
+        assert len(pils_brewers & dutch_breweries) == 2
+
+    def test_fresh_instance_each_call(self):
+        first = tiny_beer_database()
+        second = tiny_beer_database()
+        first.set("beer", first["beer"].difference(first["beer"]))
+        assert len(second["beer"]) == 6
+
+
+class TestBeerWorkload:
+    def test_deterministic(self):
+        first = BeerWorkload(beers=100, breweries=10, seed=7).relations()
+        second = BeerWorkload(beers=100, breweries=10, seed=7).relations()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+
+    def test_seed_changes_data(self):
+        first = BeerWorkload(beers=100, seed=1).relations()[0]
+        second = BeerWorkload(beers=100, seed=2).relations()[0]
+        assert first != second
+
+    def test_cardinalities(self):
+        beer, brewery = BeerWorkload(beers=500, breweries=25).relations()
+        assert len(beer) == 500
+        assert len(brewery) == 25
+
+    def test_duplicates_present(self):
+        beer, _brewery = BeerWorkload(
+            beers=500, duplicate_fraction=0.5, name_pool=5
+        ).relations()
+        assert beer.distinct_count < len(beer)
+
+    def test_netherlands_share_respected(self):
+        _beer, brewery = BeerWorkload(
+            breweries=200, netherlands_share=1.0
+        ).relations()
+        assert all(row[2] == "Netherlands" for row in brewery.rows_sorted())
+
+    def test_database_helper(self):
+        db = BeerWorkload(beers=50, breweries=5).database()
+        assert set(db.names()) == {"beer", "brewery"}
+
+    def test_foreign_keys_resolve(self):
+        beer, brewery = BeerWorkload(beers=200, breweries=20).relations()
+        brewery_names = {row[0] for row in brewery.rows_sorted()}
+        assert all(row[1] in brewery_names for row in beer.rows_sorted())
+
+
+class TestSyntheticGenerators:
+    def test_random_relation_shape(self):
+        relation = random_int_relation(100, degree=3, value_space=4, seed=1)
+        assert len(relation) == 100
+        assert relation.schema.degree == 3
+
+    def test_small_value_space_forces_duplicates(self):
+        relation = random_int_relation(100, degree=1, value_space=2, seed=1)
+        assert relation.distinct_count <= 2
+
+    def test_random_bag(self):
+        bag = random_int_bag(50, value_space=5, seed=2)
+        assert len(bag) == 50
+
+    def test_zipf_skew(self):
+        relation = zipf_relation(2000, distinct=50, skew=1.5, seed=3)
+        counts = sorted(
+            (count for _row, count in relation.pairs()), reverse=True
+        )
+        # The hottest tuple dominates the coldest by a wide margin.
+        assert counts[0] > 10 * counts[-1]
+
+    def test_zipf_deterministic(self):
+        assert zipf_relation(100, seed=4) == zipf_relation(100, seed=4)
+
+    def test_join_chain_shapes(self):
+        relations = join_chain_relations(3, [10, 20, 30], [5, 5, 5, 5], seed=5)
+        assert [len(relation) for relation in relations] == [10, 20, 30]
+        assert relations[0].schema.names() == ("k1", "k2")
+        assert relations[2].schema.names() == ("k3", "k4")
+
+    def test_join_chain_validates_arities(self):
+        with pytest.raises(ValueError):
+            join_chain_relations(2, [10], [5, 5, 5])
+
+    def test_int_schema_names(self):
+        schema = int_schema(2, name="x")
+        assert schema.name == "x"
+        assert schema.names() == ("c1", "c2")
