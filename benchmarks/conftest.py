@@ -4,14 +4,73 @@ Each ``bench_eN_*.py`` module regenerates one experiment row/series; the
 pytest-benchmark table is the measured series, and shape assertions
 inside the bench bodies pin the qualitative outcome (who wins, what is
 equal, what diverges).  EXPERIMENTS.md records paper-vs-measured.
+
+Besides the human-readable table, every bench run also emits
+machine-readable results: one ``BENCH_<experiment>.json`` file per bench
+module (under ``benchmarks/results/``, or ``$BENCH_RESULTS_DIR``), each
+a list of ``{"name", "group", "n", "seconds", ...}`` records — so
+successive PRs can diff the perf trajectory without scraping terminal
+output.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.algebra import RelationRef
 from repro.workloads import BeerWorkload, join_chain_relations, zipf_relation
+
+
+def _bench_record(bench) -> dict:
+    """One benchmark's stats as a flat JSON record.
+
+    ``n`` is the number of timed rounds; ``seconds`` the mean per-round
+    wall time (min/stddev ride along for noise estimation).
+    """
+    # Across pytest-benchmark versions, bench.stats is either the Stats
+    # object itself or a Metadata wrapper holding one in .stats.
+    stats = getattr(bench.stats, "stats", bench.stats)
+    return {
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "group": bench.group,
+        "n": stats.rounds,
+        "seconds": stats.mean,
+        "min_seconds": stats.min,
+        "stddev_seconds": stats.stddev,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_*.json result files, one per bench module."""
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    by_module: dict[str, list] = {}
+    for bench in benchmark_session.benchmarks:
+        if bench.stats is None:  # skipped / errored bench
+            continue
+        # fullname looks like 'benchmarks/bench_e5_example31.py::test_x'.
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        module = module.removeprefix("bench_")
+        by_module.setdefault(module, []).append(_bench_record(bench))
+    if not by_module:
+        return
+    results_dir = Path(
+        os.environ.get(
+            "BENCH_RESULTS_DIR", Path(__file__).parent / "results"
+        )
+    )
+    results_dir.mkdir(parents=True, exist_ok=True)
+    for module, records in sorted(by_module.items()):
+        path = results_dir / f"BENCH_{module}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 @pytest.fixture(scope="module")

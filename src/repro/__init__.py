@@ -81,6 +81,7 @@ from repro.language import (
     Update,
 )
 from repro.multiset import Multiset
+from repro import obs
 from repro.optimizer import optimize
 from repro.relation import Relation, format_relation
 from repro.schema import Attribute, AttrList, DatabaseSchema, RelationSchema
@@ -167,6 +168,8 @@ __all__ = [
     "sql_to_algebra",
     "sql_to_statement",
     "XRAInterpreter",
+    # observability
+    "obs",
     # errors
     "ReproError",
 ]

@@ -18,6 +18,14 @@ start with a dot:
                           tree, and physical plan
     .profile EXPRESSION   run an XRA query with per-operator counters
                           (pairs / rows / ms per plan node)
+    .trace on [PATH]      enable tracing + metrics; spans stream as
+                          JSON lines to PATH (default repro-trace.jsonl)
+    .trace off            disable tracing (closes the trace file)
+    .metrics              session metrics: queries, per-operator rows
+                          and pairs, optimizer rule hits, transactions
+    .slowlog [SECONDS]    show statements at/above the slow threshold;
+                          with SECONDS, set the threshold instead
+    .slowlog all          show the full query log (recent entries)
     .load NAME PATH       load a typed-header CSV file as relation NAME
     .save NAME PATH       save relation NAME as CSV
     .time                 show the database's logical time
@@ -34,13 +42,14 @@ from repro.algebra import render, render_tree
 from repro.database import Database
 from repro.engine import StatisticsCatalog, plan
 from repro.errors import ReproError
+from repro import obs
 from repro.optimizer import optimize
 from repro.relation import format_relation, relation_from_csv, relation_to_csv
 from repro.sql import sql_to_algebra, sql_to_statement
 from repro.sql.ast import SelectQuery
 from repro.sql.parser import parse_sql
 from repro.sql.translate import translate_statement
-from repro.language import Session, Transaction
+from repro.language import Session
 from repro.xra import XRAInterpreter
 from repro.xra.parser import StatementItem, TransactionItem, parse_script
 
@@ -53,6 +62,9 @@ class Shell:
     PROMPT = "xra> "
     CONTINUATION = "...> "
 
+    #: Default slow-query threshold (seconds) for the .slowlog command.
+    SLOW_THRESHOLD = 1.0
+
     def __init__(
         self,
         database: Optional[Database] = None,
@@ -61,10 +73,12 @@ class Shell:
     ) -> None:
         self.database = database or Database()
         self.interpreter = XRAInterpreter(self.database)
-        self.session = Session(self.database)
+        self.query_log = obs.QueryLog(slow_threshold=self.SLOW_THRESHOLD)
+        self.session = Session(self.database, query_log=self.query_log)
         self.out = out
         self.err = err
         self._buffer: List[str] = []
+        self._trace_path: Optional[str] = None
 
     # -- output helpers -------------------------------------------------
 
@@ -124,11 +138,22 @@ class Shell:
     # -- execution -------------------------------------------------------------------
 
     def execute_xra(self, text: str) -> None:
+        import time
+
+        started = time.perf_counter()
         try:
             result = self.interpreter.run(text)
         except ReproError as error:
             self.print_error(error)
             return
+        stripped = " ".join(text.split())
+        self.query_log.record(
+            kind="xra",
+            text=stripped if len(stripped) <= 200 else stripped[:197] + "...",
+            seconds=time.perf_counter() - started,
+            rows=sum(len(output) for output in result.outputs),
+            logical_time=self.database.logical_time,
+        )
         for output in result.outputs:
             self.show_relation(output)
         aborted = [r for r in result.transactions if not r.committed]
@@ -142,7 +167,9 @@ class Shell:
             if isinstance(parsed, SelectQuery):
                 self.show_relation(self.session.query(translated))
             else:
-                outcome = Transaction([translated]).run(self.database)
+                # Through the session so the statement lands in the
+                # query log and runs with the session's engine/optimizer.
+                outcome = self.session.run([translated])
                 if outcome.committed:
                     self.print(f"ok (t={self.database.logical_time})")
                 else:
@@ -192,8 +219,66 @@ class Shell:
         if command == ".time":
             self.print(f"logical time: {self.database.logical_time}")
             return None
+        if command == ".trace":
+            self.trace_command(argument)
+            return None
+        if command == ".metrics":
+            self.metrics_command()
+            return None
+        if command == ".slowlog":
+            self.slowlog_command(argument)
+            return None
         self.print(f"unknown command {command!r}; try .help")
         return None
+
+    # -- observability commands -------------------------------------------------
+
+    def trace_command(self, argument: str) -> None:
+        """``.trace on [PATH]`` / ``.trace off``."""
+        mode, _, path = argument.partition(" ")
+        if mode == "on":
+            path = path.strip() or "repro-trace.jsonl"
+            try:
+                sink = obs.JsonLinesSink(path)
+                obs.enable(sink=sink)
+            except OSError as error:
+                self.print_error(error)
+                return
+            self._trace_path = path
+            self.print(f"tracing on -> {path}")
+            return
+        if mode == "off":
+            obs.disable()
+            if self._trace_path is not None:
+                self.print(f"tracing off (trace in {self._trace_path})")
+                self._trace_path = None
+            else:
+                self.print("tracing off")
+            return
+        status = "on" if obs.enabled() else "off"
+        self.print(f"tracing is {status}; usage: .trace on [PATH] | .trace off")
+
+    def metrics_command(self) -> None:
+        """``.metrics`` — the session's accumulated counters."""
+        self.print(obs.render_summary(obs.metrics(), obs.tracer()))
+        if not obs.enabled():
+            self.print("(observability is off; .trace on to start collecting)")
+
+    def slowlog_command(self, argument: str) -> None:
+        """``.slowlog [SECONDS | all]`` — inspect or configure the log."""
+        argument = argument.strip()
+        if argument and argument != "all":
+            try:
+                threshold = float(argument)
+            except ValueError:
+                self.print_error(
+                    ReproError("usage: .slowlog [SECONDS | all]")
+                )
+                return
+            self.query_log.slow_threshold = threshold
+            self.print(f"slow-query threshold set to {threshold:g}s")
+            return
+        self.print(self.query_log.render(slow_only=argument != "all"))
 
     def explain(self, text: str) -> None:
         """Logical tree, optimized tree, physical plan of one XRA query."""
@@ -291,19 +376,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--sql", action="store_true", help="treat the script file as SQL"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable tracing; stream spans as JSON lines to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics summary on exit",
+    )
+    parser.add_argument(
+        "--slow-log",
+        metavar="SECONDS",
+        type=float,
+        help="slow-query threshold in seconds (default 1.0)",
+    )
     options = parser.parse_args(argv)
 
     shell = Shell()
-    if options.script:
-        with open(options.script, encoding="utf-8") as handle:
-            text = handle.read()
-        if options.sql:
-            for statement in filter(str.strip, text.split(";")):
-                shell.execute_sql(statement)
-        else:
-            shell.execute_xra(text)
-        return 0
-    return shell.run(sys.stdin)
+    if options.trace:
+        shell.trace_command(f"on {options.trace}")
+    if options.slow_log is not None:
+        shell.query_log.slow_threshold = options.slow_log
+    try:
+        if options.script:
+            with open(options.script, encoding="utf-8") as handle:
+                text = handle.read()
+            if options.sql:
+                for statement in filter(str.strip, text.split(";")):
+                    shell.execute_sql(statement)
+            else:
+                shell.execute_xra(text)
+            return 0
+        return shell.run(sys.stdin)
+    finally:
+        if options.metrics:
+            shell.metrics_command()
+        if options.trace:
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

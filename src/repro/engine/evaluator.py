@@ -32,6 +32,7 @@ from repro.algebra import (
     Unique,
 )
 from repro.errors import EvaluationError, UnknownRelationError
+from repro import obs
 from repro.relation import Relation
 
 __all__ = ["evaluate", "Environment"]
@@ -41,7 +42,25 @@ Environment = Mapping[str, Relation]
 
 
 def evaluate(expr: AlgebraExpr, env: Environment) -> Relation:
-    """Evaluate ``expr`` against ``env`` with literal bag semantics."""
+    """Evaluate ``expr`` against ``env`` with literal bag semantics.
+
+    While observability is enabled, every node contributes to the
+    ``operator.rows`` / ``operator.pairs`` counters (labelled with the
+    logical operator and ``engine=reference``) — since π and ⊎ preserve
+    bag cardinality exactly, those counters double as correctness
+    cross-checks against the physical engine's numbers.
+    """
+    if not obs.enabled():
+        return _evaluate_node(expr, env)
+    result = _evaluate_node(expr, env)
+    op = type(expr).__name__
+    obs.add("operator.rows", len(result), op=op, engine="reference")
+    obs.add("operator.pairs", result.distinct_count, op=op, engine="reference")
+    return result
+
+
+def _evaluate_node(expr: AlgebraExpr, env: Environment) -> Relation:
+    """One node's multiplicity equation (recursion re-enters ``evaluate``)."""
     if isinstance(expr, RelationRef):
         try:
             relation = env[expr.name]

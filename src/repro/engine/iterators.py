@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from repro.aggregates import AggregateFunction
 from repro.multiset import Multiset
+from repro import obs
 from repro.relation import Relation
 from repro.schema import RelationSchema
 from repro.tuples import Row
@@ -79,6 +80,21 @@ class PhysicalOp:
     def label(self) -> str:
         """Operator label for explain output."""
         return type(self).__name__.removesuffix("Op").lower()
+
+    def op_class(self) -> str:
+        """Kebab-case operator class (``HashJoinOp`` -> ``hash-join``).
+
+        The label the profiler and the metrics layer key per-operator
+        counters by — class-level, unlike :meth:`label`, which may embed
+        instance detail (relation names, predicates).
+        """
+        name = type(self).__name__.removesuffix("Op")
+        parts: List[str] = []
+        for char in name:
+            if char.isupper() and parts:
+                parts.append("-")
+            parts.append(char.lower())
+        return "".join(parts)
 
     def explain(self, indent: int = 0) -> str:
         """Indented physical plan rendering."""
@@ -457,4 +473,7 @@ class GroupByOp(PhysicalOp):
 def collect(op: PhysicalOp, env: Dict[str, Relation]) -> Relation:
     """Execute ``op`` and materialise the stream into a relation."""
     counts = consolidate(op.execute(env))
+    if obs.enabled():
+        obs.add("engine.collected.pairs", len(counts))
+        obs.add("engine.collected.rows", sum(counts.values()))
     return Relation.from_multiset(op.schema, Multiset(counts))

@@ -49,6 +49,7 @@ from repro.engine.iterators import (
     UnionOp,
 )
 from repro.errors import EvaluationError
+from repro import obs
 from repro.expressions import (
     Compare,
     ScalarExpr,
@@ -204,7 +205,33 @@ class _ExtensionOp(PhysicalOp):
 
 
 def execute(expr: AlgebraExpr, env: dict[str, Relation]) -> Relation:
-    """Plan and run ``expr`` on the physical engine."""
+    """Plan and run ``expr`` on the physical engine.
+
+    While observability is enabled (:mod:`repro.obs`), the plan and
+    execute stages run under trace spans and the plan is wrapped with
+    the operator profiler, so the execute span carries per-operator
+    row/pair counts and the ``operator.*`` metrics accumulate.  Disabled
+    (the default), this is the bare plan-and-collect path.
+    """
     from repro.engine.iterators import collect
 
-    return collect(plan(expr), env)
+    if not obs.enabled():
+        return collect(plan(expr), env)
+
+    from repro.engine.profiler import ProfileReport, profile_plan
+
+    with obs.span("plan") as plan_span:
+        physical = plan(expr)
+        plan_span.set(shape=physical.explain())
+    with obs.span("execute") as execute_span:
+        instrumented, profiles = profile_plan(physical)
+        result = collect(instrumented, env)
+        report = ProfileReport(profiles)
+        report.emit_metrics(obs.metrics())
+        execute_span.set(
+            operators=report.operator_records(),
+            rows=len(result),
+            pairs=result.distinct_count,
+        )
+    obs.add("engine.executions")
+    return result

@@ -27,11 +27,13 @@ and fully tested.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.aggregates import AggregateFunction
 from repro.multiset import Multiset
+from repro import obs
 from repro.relation import Relation
 from repro.schema import AttrRefLike
 from repro.tuples import Row
@@ -108,6 +110,36 @@ def _recombine(parts: List[Relation]) -> Relation:
     return result
 
 
+@contextmanager
+def _instrument(
+    op: str, fragments: int, report: Optional[FragmentReport]
+) -> Iterator[Optional[FragmentReport]]:
+    """Span + per-fragment metrics around one parallel operator.
+
+    Yields the report the operator should fill: the caller's, or — so
+    the metrics see fragment sizes even when the caller passed none — a
+    private one while observability is enabled, or None (unchanged
+    zero-cost path) when it is disabled.
+    """
+    if not obs.enabled():
+        yield report
+        return
+    effective = report if report is not None else FragmentReport()
+    with obs.span(f"parallel.{op}", fragments=fragments) as span:
+        yield effective
+        span.set(
+            total_work=effective.total_work,
+            critical_path=effective.critical_path,
+            ideal_speedup=round(effective.ideal_speedup, 3),
+        )
+    obs.add("parallel.ops", op=op)
+    obs.add("parallel.fragments", len(effective.input_sizes), op=op)
+    for size in effective.input_sizes:
+        obs.observe("parallel.fragment_rows_in", size, op=op)
+    for size in effective.output_sizes:
+        obs.observe("parallel.fragment_rows_out", size, op=op)
+
+
 def parallel_select(
     relation: Relation,
     predicate: Callable[[Row], bool],
@@ -115,15 +147,16 @@ def parallel_select(
     report: Optional[FragmentReport] = None,
 ) -> Relation:
     """σ per fragment, then ⊎ — justified by Theorem 3.2."""
-    parts = hash_partition(relation, None, fragments)
-    outputs = []
-    for part in parts:
-        output = part.select(predicate)
-        outputs.append(output)
-        if report is not None:
-            report.input_sizes.append(len(part))
-            report.output_sizes.append(len(output))
-    return _recombine(outputs)
+    with _instrument("select", fragments, report) as report:
+        parts = hash_partition(relation, None, fragments)
+        outputs = []
+        for part in parts:
+            output = part.select(predicate)
+            outputs.append(output)
+            if report is not None:
+                report.input_sizes.append(len(part))
+                report.output_sizes.append(len(output))
+        return _recombine(outputs)
 
 
 def parallel_project(
@@ -133,15 +166,16 @@ def parallel_project(
     report: Optional[FragmentReport] = None,
 ) -> Relation:
     """π per fragment, then ⊎ — justified by Theorem 3.2."""
-    parts = hash_partition(relation, None, fragments)
-    outputs = []
-    for part in parts:
-        output = part.project(attrs)
-        outputs.append(output)
-        if report is not None:
-            report.input_sizes.append(len(part))
-            report.output_sizes.append(len(output))
-    return _recombine(outputs)
+    with _instrument("project", fragments, report) as report:
+        parts = hash_partition(relation, None, fragments)
+        outputs = []
+        for part in parts:
+            output = part.project(attrs)
+            outputs.append(output)
+            if report is not None:
+                report.input_sizes.append(len(part))
+                report.output_sizes.append(len(output))
+        return _recombine(outputs)
 
 
 def parallel_equijoin(
@@ -157,28 +191,29 @@ def parallel_equijoin(
     Tuples that join always share a key, hence a fragment; joining
     fragment-wise and recombining with ⊎ yields the exact bag join.
     """
-    left_positions = left.schema.resolve_all(left_attrs)
-    right_positions = right.schema.resolve_all(right_attrs)
-    left_parts = hash_partition(left, left_attrs, fragments)
-    right_parts = hash_partition(right, right_attrs, fragments)
+    with _instrument("equijoin", fragments, report) as report:
+        left_positions = left.schema.resolve_all(left_attrs)
+        right_positions = right.schema.resolve_all(right_attrs)
+        left_parts = hash_partition(left, left_attrs, fragments)
+        right_parts = hash_partition(right, right_attrs, fragments)
 
-    def matches(row: Row) -> bool:
-        width = left.schema.degree
-        return all(
-            row[left_position - 1] == row[width + right_position - 1]
-            for left_position, right_position in zip(
-                left_positions, right_positions
+        def matches(row: Row) -> bool:
+            width = left.schema.degree
+            return all(
+                row[left_position - 1] == row[width + right_position - 1]
+                for left_position, right_position in zip(
+                    left_positions, right_positions
+                )
             )
-        )
 
-    outputs = []
-    for left_part, right_part in zip(left_parts, right_parts):
-        output = left_part.join(right_part, matches)
-        outputs.append(output)
-        if report is not None:
-            report.input_sizes.append(len(left_part) + len(right_part))
-            report.output_sizes.append(len(output))
-    return _recombine(outputs)
+        outputs = []
+        for left_part, right_part in zip(left_parts, right_parts):
+            output = left_part.join(right_part, matches)
+            outputs.append(output)
+            if report is not None:
+                report.input_sizes.append(len(left_part) + len(right_part))
+                report.output_sizes.append(len(output))
+        return _recombine(outputs)
 
 
 def parallel_group_by(
@@ -197,24 +232,25 @@ def parallel_group_by(
     """
     if not attrs:
         raise ValueError("parallel group-by needs grouping attributes")
-    parts = hash_partition(relation, attrs, fragments)
-    outputs = []
-    for part in parts:
-        if not part:
+    with _instrument("group_by", fragments, report) as report:
+        parts = hash_partition(relation, attrs, fragments)
+        outputs = []
+        for part in parts:
+            if not part:
+                if report is not None:
+                    report.input_sizes.append(0)
+                    report.output_sizes.append(0)
+                continue
+            output = part.group_by(list(attrs), aggregate, param)
+            outputs.append(output)
             if report is not None:
-                report.input_sizes.append(0)
-                report.output_sizes.append(0)
-            continue
-        output = part.group_by(list(attrs), aggregate, param)
-        outputs.append(output)
-        if report is not None:
-            report.input_sizes.append(len(part))
-            report.output_sizes.append(len(output))
-    if not outputs:
-        # All fragments empty: the grouped result is empty.
-        sample = parts[0].group_by(list(attrs), aggregate, param)
-        return sample
-    return _recombine(outputs)
+                report.input_sizes.append(len(part))
+                report.output_sizes.append(len(output))
+        if not outputs:
+            # All fragments empty: the grouped result is empty.
+            sample = parts[0].group_by(list(attrs), aggregate, param)
+            return sample
+        return _recombine(outputs)
 
 
 def parallel_distinct(
@@ -228,12 +264,13 @@ def parallel_distinct(
     supports — the general δ/⊎ distribution fails (Section 3.3), and the
     test suite demonstrates both facts side by side.
     """
-    parts = hash_partition(relation, None, fragments)
-    outputs = []
-    for part in parts:
-        output = part.distinct()
-        outputs.append(output)
-        if report is not None:
-            report.input_sizes.append(len(part))
-            report.output_sizes.append(len(output))
-    return _recombine(outputs)
+    with _instrument("distinct", fragments, report) as report:
+        parts = hash_partition(relation, None, fragments)
+        outputs = []
+        for part in parts:
+            output = part.distinct()
+            outputs.append(output)
+            if report is not None:
+                report.input_sizes.append(len(part))
+                report.output_sizes.append(len(output))
+        return _recombine(outputs)

@@ -12,19 +12,29 @@ physical engine, optimizer on/off) and offers:
 
 The paper's advice — "transactions are the best level for database
 access in practice" — is what this module operationalises.
+
+A session optionally carries a :class:`~repro.obs.QueryLog`: every
+query and transaction run through it is then recorded with its wall
+time, plan shape, result cardinalities, and the logical time it ran at,
+and statements at/above the log's slow threshold are flagged (the CLI's
+``.slowlog``).  Without a log — the default — nothing is timed and the
+paths are as cheap as before.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence
 
-from repro.algebra import AlgebraExpr, RelationRef
+from repro.algebra import AlgebraExpr, RelationRef, render
 from repro.algebra.base import ConditionLike
 from repro.database import Database
 from repro.errors import TransactionAbort, TransactionError
 from repro.language.context import ExecutionContext
 from repro.language.statements import Assign, Delete, Insert, Query, Statement, Update
 from repro.language.transactions import Transaction, TransactionResult
+from repro import obs
+from repro.obs import QueryLog
 from repro.optimizer import optimize
 from repro.relation import Relation
 
@@ -40,6 +50,8 @@ class Session:
         use_physical_engine: bool = True,
         use_optimizer: bool = True,
         constraints: Sequence[object] = (),
+        query_log: Optional[QueryLog] = None,
+        slow_query_threshold: Optional[float] = None,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -47,6 +59,13 @@ class Session:
         self._optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = (
             optimize if use_optimizer else None
         )
+        #: Per-statement log; None disables logging entirely.
+        self.query_log = query_log
+        if slow_query_threshold is not None:
+            if self.query_log is None:
+                self.query_log = QueryLog(slow_threshold=slow_query_threshold)
+            else:
+                self.query_log.slow_threshold = slow_query_threshold
 
     # -- expression building ----------------------------------------------
 
@@ -58,24 +77,73 @@ class Session:
 
     def query(self, expr: AlgebraExpr) -> Relation:
         """Evaluate ``expr`` against the current state (no transaction)."""
-        context = ExecutionContext(
-            self.database.snapshot(),
-            use_physical_engine=self.use_physical_engine,
-            optimizer=self._optimizer,
-        )
-        return context.evaluate(expr)
+        log = self.query_log
+        if log is None and not obs.enabled():
+            context = ExecutionContext(
+                self.database.snapshot(),
+                use_physical_engine=self.use_physical_engine,
+                optimizer=self._optimizer,
+            )
+            return context.evaluate(expr)
+        started = time.perf_counter()
+        with obs.span(
+            "session.query", logical_time=self.database.logical_time
+        ) as span:
+            context = ExecutionContext(
+                self.database.snapshot(),
+                use_physical_engine=self.use_physical_engine,
+                optimizer=self._optimizer,
+            )
+            result = context.evaluate(expr)
+            if span.recording:
+                span.set(rows=len(result), pairs=result.distinct_count)
+        seconds = time.perf_counter() - started
+        obs.add("session.queries")
+        if log is not None:
+            # Plan shape: the physical plan captured by the trace when
+            # available (cost already paid), else the logical rendering.
+            plan_text = render(expr)
+            tracer = obs.tracer()
+            if tracer is not None:
+                plan_spans = [
+                    span for span in tracer.spans if span.name == "plan"
+                ]
+                if plan_spans:
+                    plan_text = plan_spans[-1].attrs.get("shape", plan_text)
+            log.record(
+                kind="query",
+                text=render(expr),
+                seconds=seconds,
+                plan=plan_text,
+                rows=len(result),
+                distinct=result.distinct_count,
+                logical_time=self.database.logical_time,
+            )
+        return result
 
     # -- auto-commit statements ------------------------------------------------
 
     def run(self, statements: Sequence[Statement]) -> TransactionResult:
         """Run ``statements`` as one transaction."""
         transaction = Transaction(statements)
-        return transaction.run(
+        log = self.query_log
+        started = time.perf_counter() if log is not None else 0.0
+        result = transaction.run(
             self.database,
             use_physical_engine=self.use_physical_engine,
             optimizer=self._optimizer,
             constraints=self.constraints,
         )
+        if log is not None:
+            text = "; ".join(repr(statement) for statement in statements)
+            log.record(
+                kind="commit" if result.committed else "abort",
+                text=text if len(text) <= 200 else text[:197] + "...",
+                seconds=time.perf_counter() - started,
+                rows=sum(len(output) for output in result.outputs),
+                logical_time=self.database.logical_time,
+            )
+        return result
 
     def insert(self, target: str, expression: AlgebraExpr) -> TransactionResult:
         return self.run([Insert(target, expression)])
@@ -170,10 +238,17 @@ class ActiveTransaction:
             )
         except TransactionAbort as abort:
             self._session.database.restore(self._pre_state)
+            obs.add("transactions.aborted")
             return TransactionResult(
                 False, self._context.outputs, abort, None, []
             )
-        transition = self._session.database.install(self._context.relations)
+        with obs.span(
+            "commit", logical_time=self._session.database.logical_time
+        ):
+            transition = self._session.database.install(
+                self._context.relations
+            )
+        obs.add("transactions.committed")
         return TransactionResult(
             True, self._context.outputs, None, transition, []
         )
@@ -198,4 +273,5 @@ class ActiveTransaction:
         # Any exception aborts; the database was never touched.
         self._finished = True
         self._session.database.restore(self._pre_state)
+        obs.add("transactions.aborted")
         return isinstance(exc_value, TransactionAbort)

@@ -26,6 +26,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from repro.algebra import AlgebraExpr
 from repro.database import Database, DatabaseTransition
 from repro.errors import TransactionAbort
+from repro import obs
 from repro.language.context import ExecutionContext
 from repro.language.programs import Program
 from repro.language.statements import Statement
@@ -98,23 +99,35 @@ class Transaction:
         intermediate_states: List[IntermediateState] = []
         if record_intermediate_states:
             intermediate_states.append((0, dict(context.environment())))
-        try:
-            for index, (statement, _ctx) in enumerate(
-                self.program.execute_stepwise(context), start=1
-            ):
-                if record_intermediate_states:
-                    intermediate_states.append((index, dict(context.environment())))
-            self._check_constraints(constraints, context)
-        except TransactionAbort as abort:
-            database.restore(pre_state)
-            return TransactionResult(
-                False, context.outputs, abort, None, intermediate_states
-            )
-        except Exception:
-            database.restore(pre_state)
-            raise
-        # Commit: the end bracket drops temporaries and installs D^{t+1}.
-        transition = database.install(context.relations)
+        with obs.span(
+            "transaction",
+            statements=len(self.program),
+            logical_time=database.logical_time,
+        ) as span:
+            try:
+                for index, (statement, _ctx) in enumerate(
+                    self.program.execute_stepwise(context), start=1
+                ):
+                    if record_intermediate_states:
+                        intermediate_states.append(
+                            (index, dict(context.environment()))
+                        )
+                self._check_constraints(constraints, context)
+            except TransactionAbort as abort:
+                database.restore(pre_state)
+                span.set(outcome="abort", reason=str(abort))
+                obs.add("transactions.aborted")
+                return TransactionResult(
+                    False, context.outputs, abort, None, intermediate_states
+                )
+            except Exception:
+                database.restore(pre_state)
+                raise
+            # Commit: the end bracket drops temporaries and installs D^{t+1}.
+            with obs.span("commit"):
+                transition = database.install(context.relations)
+            span.set(outcome="commit", committed_time=database.logical_time)
+            obs.add("transactions.committed")
         return TransactionResult(
             True, context.outputs, None, transition, intermediate_states
         )

@@ -1,0 +1,144 @@
+"""Unified observability: tracing + metrics for the whole query pipeline.
+
+This package is the single switchboard the rest of the system reports
+into.  It has three layers:
+
+* :mod:`repro.obs.trace` — nested, timestamped spans (parse, rewrite,
+  optimize, plan, execute, commit);
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  (queries run, rows/pairs per operator class, optimizer rule hits,
+  transaction commits/aborts, parallel fragment work);
+* :mod:`repro.obs.export` — a JSON-lines event log and plain-text
+  summaries; plus :mod:`repro.obs.querylog`, the per-statement slow
+  query log sessions write into.
+
+**Off by default, zero cost when off.**  The module-level facade keeps
+one optional active tracer; while it is ``None`` (the default),
+:func:`span` returns the shared no-op span and :func:`add` /
+:func:`observe` / :func:`gauge` return immediately, so the instrumented
+hot paths pay a single ``None`` check.  The tier-1 suite and the benches
+run entirely in this disabled mode.
+
+Usage::
+
+    from repro import obs
+
+    tracer = obs.enable()                 # in-memory spans + metrics
+    tracer = obs.enable(sink=JsonLinesSink("trace.jsonl"))  # + streaming
+    ...run queries...
+    print(obs.metrics().render())         # or .metrics in the CLI
+    print(tracer.render())
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.obs.export import JsonLinesSink, export_jsonl, render_summary
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QueryLog",
+    "QueryRecord",
+    "JsonLinesSink",
+    "export_jsonl",
+    "render_summary",
+    "enable",
+    "disable",
+    "enabled",
+    "tracer",
+    "metrics",
+    "span",
+    "add",
+    "observe",
+    "gauge",
+    "reset",
+]
+
+#: The active tracer; None means observability is disabled.
+_tracer: Optional[Tracer] = None
+#: The process-wide registry (kept across enable/disable cycles).
+_metrics = MetricsRegistry()
+
+
+def enable(sink: Optional[Any] = None, max_spans: int = 50_000) -> Tracer:
+    """Turn observability on; returns the (new) active tracer.
+
+    ``sink`` optionally streams spans as they close (see
+    :class:`JsonLinesSink`).  Re-enabling replaces the active tracer but
+    keeps the accumulated metrics.
+    """
+    global _tracer
+    _tracer = Tracer(sink=sink, max_spans=max_spans)
+    return _tracer
+
+
+def disable() -> None:
+    """Turn observability off (closing the tracer's sink, if any)."""
+    global _tracer
+    if _tracer is not None and _tracer.sink is not None:
+        close = getattr(_tracer.sink, "close", None)
+        if close is not None:
+            close()
+    _tracer = None
+
+
+def enabled() -> bool:
+    """True while a tracer is active."""
+    return _tracer is not None
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer, or None when disabled."""
+    return _tracer
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry (always available)."""
+    return _metrics
+
+
+def span(name: str, **attrs: Any) -> Union[Span, NullSpan]:
+    """Open a span on the active tracer, or the no-op span when off."""
+    active = _tracer
+    if active is None:
+        return NULL_SPAN
+    return active.span(name, **attrs)
+
+
+def add(name: str, amount: int = 1, **labels: Any) -> None:
+    """Increment a counter — only while observability is enabled."""
+    if _tracer is None:
+        return
+    _metrics.counter(name, **labels).inc(amount)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram observation — only while enabled."""
+    if _tracer is None:
+        return
+    _metrics.histogram(name, **labels).observe(value)
+
+
+def gauge(name: str, value: Any, **labels: Any) -> None:
+    """Set a gauge — only while enabled."""
+    if _tracer is None:
+        return
+    _metrics.gauge(name, **labels).set(value)
+
+
+def reset() -> None:
+    """Disable tracing and wipe the registry (test isolation helper)."""
+    disable()
+    _metrics.reset()

@@ -1,0 +1,113 @@
+"""Exporters: JSON-lines event log and plain-text summaries.
+
+Two consumption modes:
+
+* **streaming** — attach a :class:`JsonLinesSink` to the tracer and every
+  span is appended to the file the moment it closes (this is what the
+  CLI's ``.trace on PATH`` does);
+* **batch** — :func:`export_jsonl` dumps a finished tracer and/or a
+  metrics registry to a file in one go, and :func:`render_summary`
+  produces the human-readable text the CLI's ``.metrics`` shows.
+
+Every JSONL event is a flat object with an ``event`` discriminator
+(``"span"`` or ``"metric"``); span nesting is reconstructed from the
+``index``/``parent`` fields (spans stream in completion order, children
+before parents).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["JsonLinesSink", "export_jsonl", "render_summary"]
+
+
+def _default(value: Any) -> str:
+    """JSON fallback: render exotic attribute values as strings."""
+    return str(value)
+
+
+class JsonLinesSink:
+    """Appends one JSON object per emitted record to a file or stream.
+
+    Accepts a path (opened eagerly in write mode, so an unwritable
+    target fails at construction — where callers can report it — not
+    on the first span) or an open text handle (not closed by
+    :meth:`close` unless this sink opened it).  Records are flushed
+    per line so a crashed process still leaves a usable trace.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self.path: Optional[str] = target
+            self._handle: Optional[IO[str]] = open(
+                target, "w", encoding="utf-8"
+            )
+            self._owns_handle = True
+        else:
+            self.path = None
+            self._handle = target
+            self._owns_handle = False
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink already closed: {self!r}")
+        json.dump(record, self._handle, default=_default)
+        self._handle.write("\n")
+        self._handle.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        where = self.path or "<stream>"
+        return f"<JsonLinesSink {where} emitted={self.emitted}>"
+
+
+def export_jsonl(
+    target: Union[str, IO[str]],
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write recorded spans and/or metrics to ``target`` as JSON lines.
+
+    Spans are written in start order (parents before children — the
+    batch exporter can afford the sort the streaming sink cannot).
+    Returns the number of records written.
+    """
+    sink = JsonLinesSink(target)
+    written = 0
+    try:
+        if tracer is not None:
+            for span in tracer.ordered():
+                sink.emit(span.to_record())
+                written += 1
+        if metrics is not None:
+            for record in metrics.snapshot():
+                sink.emit(record)
+                written += 1
+    finally:
+        sink.close()
+    return written
+
+
+def render_summary(
+    metrics: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """The plain-text report behind the CLI's ``.metrics`` command."""
+    parts = [metrics.render()]
+    if tracer is not None and tracer.spans:
+        parts.append("")
+        parts.append(
+            f"trace: {len(tracer.spans)} span(s) recorded"
+            + (f", {tracer.dropped} dropped" if tracer.dropped else "")
+        )
+    return "\n".join(parts)

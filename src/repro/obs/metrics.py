@@ -1,0 +1,227 @@
+"""A metrics registry: counters, gauges, and histograms with labels.
+
+The registry is the aggregate side of observability — where the tracer
+answers "what did *this* statement do", the registry accumulates totals
+across a whole session: queries run, rows and pairs emitted per operator
+class, optimizer rule firings, transaction commits/aborts, per-fragment
+parallel work.
+
+Multiset semantics makes these counters unusually informative: π and ⊎
+preserve bag cardinality exactly (Theorem 3.2 territory), so the
+``operator.rows`` counters double as correctness cross-checks, not just
+performance telemetry.
+
+Metrics are keyed by ``(name, labels)`` where labels are keyword
+arguments (``registry.counter("operator.rows", op="hash-join")``); the
+same call always returns the same instrument, so call sites need no
+caching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: A metric key: (name, sorted (label, value) pairs).
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class _Instrument:
+    """Common identity for every metric kind."""
+
+    __slots__ = ("name", "labels")
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+
+    def label_text(self) -> str:
+        return ", ".join(f"{key}={value}" for key, value in self.labels)
+
+    def __repr__(self) -> str:
+        inner = f"{{{self.label_text()}}}" if self.labels else ""
+        return f"<{type(self).__name__} {self.name}{inner} {self.describe()}>"
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return ""
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def describe(self) -> str:
+        return str(self.value)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def describe(self) -> str:
+        return str(self.value)
+
+
+class Histogram(_Instrument):
+    """Streaming summary of observations: count/sum/min/max/mean.
+
+    Deliberately bucket-free — the use cases here (fragment sizes, span
+    durations) need orders of magnitude, not quantile precision, and a
+    fixed-size summary keeps observation O(1) with no memory growth.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def describe(self) -> str:
+        if not self.count:
+            return "empty"
+        return (
+            f"n={self.count} mean={self.mean:.4g} "
+            f"min={self.min:.4g} max={self.max:.4g}"
+        )
+
+
+class MetricsRegistry:
+    """All instruments of one observability scope, keyed by name+labels."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[MetricKey, _Instrument] = {}
+
+    # -- instrument access ----------------------------------------------
+
+    def _get(self, factory: type, name: str, labels: Dict[str, Any]) -> Any:
+        key: MetricKey = (
+            name,
+            tuple(sorted((k, str(v)) for k, v in labels.items())),
+        )
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- inspection -----------------------------------------------------
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        """Instruments sorted by (name, labels) — stable render order."""
+        return iter(
+            instrument
+            for _key, instrument in sorted(self._instruments.items())
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """The current value of a counter/gauge, or None if absent."""
+        key: MetricKey = (
+            name,
+            tuple(sorted((k, str(v)) for k, v in labels.items())),
+        )
+        instrument = self._instruments.get(key)
+        return getattr(instrument, "value", None)
+
+    def total(self, name: str) -> int:
+        """Sum of every counter with the given name across all labels."""
+        return sum(
+            instrument.value
+            for instrument in self._instruments.values()
+            if instrument.name == name and isinstance(instrument, Counter)
+        )
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-friendly records, one per instrument (sorted)."""
+        records: List[Dict[str, Any]] = []
+        for instrument in self:
+            record: Dict[str, Any] = {
+                "event": "metric",
+                "kind": instrument.kind,
+                "name": instrument.name,
+            }
+            if instrument.labels:
+                record["labels"] = dict(instrument.labels)
+            if isinstance(instrument, Histogram):
+                record.update(
+                    count=instrument.count,
+                    sum=instrument.total,
+                    min=instrument.min,
+                    max=instrument.max,
+                    mean=instrument.mean,
+                )
+            else:
+                record["value"] = instrument.value
+            records.append(record)
+        return records
+
+    def render(self) -> str:
+        """Plain-text summary table, grouped and sorted by metric name."""
+        if not self._instruments:
+            return "(no metrics recorded)"
+        lines = [f"{'metric':<46} {'value':>24}", "-" * 71]
+        for instrument in self:
+            label = instrument.name
+            if instrument.labels:
+                label += f"{{{instrument.label_text()}}}"
+            lines.append(f"{label:<46} {instrument.describe():>24}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Forget every instrument (the registry object stays usable)."""
+        self._instruments.clear()

@@ -1,0 +1,169 @@
+"""Per-statement query log with a configurable slow-query threshold.
+
+A :class:`QueryLog` is a bounded ring of :class:`QueryRecord` entries —
+what ran, how long it took, the shape of its plan, the cardinalities it
+produced, and at which logical time ``t`` it executed.  A session wired
+with a log (see :class:`repro.language.Session`) records every query and
+transaction it runs; the CLI's ``.slowlog`` command reads the log back.
+
+The *slow threshold* classifies entries as they arrive: a record whose
+wall time meets or exceeds ``slow_threshold`` seconds is flagged (and
+counted), which is how a long-running shell spots the statements worth
+optimizing without keeping every trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["QueryRecord", "QueryLog"]
+
+
+class QueryRecord:
+    """One executed statement, as remembered by the log."""
+
+    __slots__ = (
+        "kind", "text", "seconds", "plan", "rows", "distinct",
+        "logical_time", "slow",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        text: str,
+        seconds: float,
+        plan: Optional[str],
+        rows: Optional[int],
+        distinct: Optional[int],
+        logical_time: Optional[int],
+        slow: bool,
+    ) -> None:
+        self.kind = kind
+        self.text = text
+        self.seconds = seconds
+        self.plan = plan
+        self.rows = rows
+        self.distinct = distinct
+        self.logical_time = logical_time
+        self.slow = slow
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-friendly form (one JSONL event)."""
+        record: Dict[str, Any] = {
+            "event": "query",
+            "kind": self.kind,
+            "text": self.text,
+            "seconds": self.seconds,
+            "slow": self.slow,
+        }
+        if self.plan is not None:
+            record["plan"] = self.plan
+        if self.rows is not None:
+            record["rows"] = self.rows
+        if self.distinct is not None:
+            record["distinct"] = self.distinct
+        if self.logical_time is not None:
+            record["logical_time"] = self.logical_time
+        return record
+
+    def __repr__(self) -> str:
+        flag = " SLOW" if self.slow else ""
+        return (
+            f"<QueryRecord {self.kind} {self.seconds * 1000:.2f}ms"
+            f"{flag} {self.text!r}>"
+        )
+
+
+class QueryLog:
+    """A bounded, in-order log of executed statements."""
+
+    def __init__(
+        self,
+        slow_threshold: Optional[float] = None,
+        capacity: int = 1000,
+    ) -> None:
+        #: Seconds at/above which a statement counts as slow (None: never).
+        self.slow_threshold = slow_threshold
+        self.records: Deque[QueryRecord] = deque(maxlen=capacity)
+        #: Total statements ever recorded (survives ring eviction).
+        self.recorded = 0
+        #: Total slow statements ever recorded.
+        self.slow_count = 0
+
+    def record(
+        self,
+        kind: str,
+        text: str,
+        seconds: float,
+        plan: Optional[str] = None,
+        rows: Optional[int] = None,
+        distinct: Optional[int] = None,
+        logical_time: Optional[int] = None,
+    ) -> QueryRecord:
+        """Append one entry; classifies it against the slow threshold."""
+        slow = (
+            self.slow_threshold is not None
+            and seconds >= self.slow_threshold
+        )
+        entry = QueryRecord(
+            kind, text, seconds, plan, rows, distinct, logical_time, slow
+        )
+        self.records.append(entry)
+        self.recorded += 1
+        if slow:
+            self.slow_count += 1
+        return entry
+
+    def slow(self) -> List[QueryRecord]:
+        """The retained entries flagged slow, oldest first."""
+        return [record for record in self.records if record.slow]
+
+    def tail(self, limit: int = 20) -> List[QueryRecord]:
+        """The most recent ``limit`` entries, oldest first."""
+        return list(self.records)[-limit:]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.recorded = 0
+        self.slow_count = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self.records)
+
+    def render(self, slow_only: bool = False, limit: int = 20) -> str:
+        """Plain-text table of the (slow) log, most recent last."""
+        entries = self.slow() if slow_only else self.tail(limit)
+        if slow_only:
+            entries = entries[-limit:]
+        threshold = (
+            f"{self.slow_threshold:g}s"
+            if self.slow_threshold is not None
+            else "off"
+        )
+        header = (
+            f"query log: {self.recorded} recorded, "
+            f"{self.slow_count} slow (threshold {threshold})"
+        )
+        if not entries:
+            return header + "\n(no matching entries)"
+        lines = [
+            header,
+            f"{'t':>4} {'ms':>9} {'rows':>8} {'kind':<12} text",
+            "-" * 72,
+        ]
+        for entry in entries:
+            time_text = (
+                str(entry.logical_time) if entry.logical_time is not None else "-"
+            )
+            rows_text = str(entry.rows) if entry.rows is not None else "-"
+            flag = "*" if entry.slow else " "
+            text = entry.text if len(entry.text) <= 48 else entry.text[:45] + "..."
+            lines.append(
+                f"{time_text:>4} {entry.seconds * 1000:>9.2f} {rows_text:>8} "
+                f"{entry.kind:<12}{flag}{text}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Span tracing: nested, timestamped intervals over the query pipeline.
+
+A :class:`Tracer` records *spans* — named wall-clock intervals opened as
+context managers — and keeps their nesting structure (every span knows
+its depth and its parent).  The pipeline instrumentation opens spans for
+lex/parse, rewrite, optimize, plan, execute, and commit, so one traced
+statement yields a small tree mirroring the stages it went through.
+
+Spans carry free-form attributes (``span.set(rows=42)``); the execute
+span, for instance, records per-operator row/pair counts, and
+transaction spans record the database's logical time, anchoring the
+trace against the state sequence ``D^t -> D^{t+1}`` of Definition 2.6.
+
+Zero cost when disabled: the module-level facade in :mod:`repro.obs`
+hands out the :data:`NULL_SPAN` singleton whenever no tracer is active,
+so an instrumented call site pays one ``None`` check and an empty
+``with`` block.  Guard any non-trivial attribute computation with
+``span.recording``::
+
+    with obs.span("execute") as span:
+        result = run()
+        if span.recording:
+            span.set(rows=len(result))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+
+class Span:
+    """One named, timed interval inside a trace."""
+
+    __slots__ = ("_tracer", "name", "attrs", "index", "parent_index",
+                 "depth", "started", "ended")
+
+    #: Real spans record; call sites may guard expensive attrs on this.
+    recording = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        index: int,
+        parent_index: Optional[int],
+        depth: int,
+        started: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        #: Start-order position in the trace (stable, 0-based).
+        self.index = index
+        #: Index of the enclosing span, None at the trace root.
+        self.parent_index = parent_index
+        self.depth = depth
+        self.started = started
+        self.ended: Optional[float] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed wall time (up to now while the span is still open)."""
+        end = self.ended if self.ended is not None else self._tracer._clock()
+        return end - self.started
+
+    def to_record(self) -> Dict[str, Any]:
+        """The span as a flat JSON-friendly dict (one JSONL event)."""
+        record: Dict[str, Any] = {
+            "event": "span",
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent_index,
+            "depth": self.depth,
+            "start": self.started,
+            "seconds": self.seconds,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, _exc_value, _traceback) -> bool:
+        self._tracer._finish(self, exc_type)
+        return False
+
+    def __repr__(self) -> str:
+        state = f"{self.seconds * 1000:.2f}ms" if self.ended else "open"
+        return f"<Span {self.name!r} depth={self.depth} {state}>"
+
+
+class NullSpan:
+    """The disabled tracer's span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    recording = False
+    name = ""
+    attrs: Dict[str, Any] = {}
+    seconds = 0.0
+
+    def set(self, **_attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc_value, _traceback) -> bool:
+        return False
+
+
+#: Shared no-op span; ``repro.obs.span`` returns it while tracing is off.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Records a tree of spans, optionally streaming them to a sink.
+
+    ``sink`` is any object with an ``emit(record: dict)`` method (see
+    :class:`repro.obs.export.JsonLinesSink`); each span is emitted when
+    it *closes*, so a streamed trace lists children before parents —
+    consumers rebuild nesting from the ``index``/``parent`` fields.
+
+    ``max_spans`` caps in-memory retention (long interactive sessions
+    must not grow without bound); the sink still sees every span.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        sink: Optional[Any] = None,
+        max_spans: int = 50_000,
+    ) -> None:
+        self._clock = clock
+        self.sink = sink
+        self.max_spans = max_spans
+        #: Finished spans in completion order (children first).
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_index = 0
+        #: Spans dropped once the in-memory cap was reached.
+        self.dropped = 0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (number of open spans)."""
+        return len(self._stack)
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a new span nested under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            self,
+            name,
+            index=self._next_index,
+            parent_index=parent.index if parent is not None else None,
+            depth=len(self._stack),
+            started=self._clock(),
+            attrs=dict(attrs),
+        )
+        self._next_index += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span, exc_type: Optional[type]) -> None:
+        span.ended = self._clock()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        # Pop to (and including) the span; tolerates a missed __exit__
+        # in between, e.g. a generator abandoned mid-stream.
+        while self._stack:
+            open_span = self._stack.pop()
+            if open_span is span:
+                break
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        if self.sink is not None:
+            self.sink.emit(span.to_record())
+
+    def ordered(self) -> List[Span]:
+        """Finished spans in start order (parents before children)."""
+        return sorted(self.spans, key=lambda span: span.index)
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with the given name, in start order."""
+        return [span for span in self.ordered() if span.name == name]
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans are unaffected)."""
+        self.spans.clear()
+        self.dropped = 0
+
+    def render(self) -> str:
+        """A plain-text tree of the recorded spans."""
+        lines = [f"{'span':<44} {'ms':>9}"]
+        lines.append("-" * 54)
+        for span in self.ordered():
+            label = "  " * span.depth + span.name
+            lines.append(f"{label:<44} {span.seconds * 1000:>9.2f}")
+        if self.dropped:
+            lines.append(f"... {self.dropped} span(s) dropped (cap reached)")
+        return "\n".join(lines)

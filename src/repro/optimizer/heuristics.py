@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.algebra import AlgebraExpr
+from repro import obs
 from repro.engine import StatisticsCatalog
 from repro.optimizer.join_order import reorder_joins
 from repro.optimizer.rewriter import Rewriter, RewriteTrace
@@ -71,11 +72,27 @@ def optimize(
     The result is logically equivalent to ``expr`` — the property-test
     suite checks ``evaluate(optimize(e)) == evaluate(e)`` on random
     expressions, which is the operational content of Section 3.3.
+
+    While observability is enabled the whole pipeline runs under an
+    ``optimize`` span whose ``rule_hits`` attribute lists how often each
+    rule fired (the same counts accumulate in the
+    ``optimizer.rule_hits`` metrics).
     """
-    rewritten = push_down_rewriter().rewrite(expr, trace)
-    if catalog is not None:
-        rewritten = reorder_joins(rewritten, catalog)
-        # Re-ordering can expose new push-down opportunities (selections
-        # attached to relocated leaves); settle again.
-        rewritten = push_down_rewriter().rewrite(rewritten, trace)
-    return cleanup_rewriter().rewrite(rewritten, trace)
+    with obs.span("optimize") as span:
+        local_trace = trace
+        if span.recording and local_trace is None:
+            local_trace = []
+        rewritten = push_down_rewriter().rewrite(expr, local_trace)
+        if catalog is not None:
+            rewritten = reorder_joins(rewritten, catalog)
+            # Re-ordering can expose new push-down opportunities (selections
+            # attached to relocated leaves); settle again.
+            rewritten = push_down_rewriter().rewrite(rewritten, local_trace)
+        result = cleanup_rewriter().rewrite(rewritten, local_trace)
+        if span.recording and local_trace is not None:
+            hits: dict[str, int] = {}
+            for rule_name, _before, _after in local_trace:
+                hits[rule_name] = hits.get(rule_name, 0) + 1
+            span.set(rule_hits=hits, cost_based=catalog is not None)
+            obs.add("optimizer.runs")
+    return result

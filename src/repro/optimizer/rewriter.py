@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.algebra import AlgebraExpr
+from repro import obs
 from repro.optimizer.rules import Rule
 
 __all__ = ["Rewriter", "RewriteTrace"]
@@ -57,5 +58,8 @@ class Rewriter:
             if result is not None:
                 if trace is not None:
                     trace.append((rule.name, repr(expr), repr(result)))
+                # Firings (not attempts) are counted: the metric is how
+                # often each equivalence actually reshapes a plan.
+                obs.add("optimizer.rule_hits", 1, rule=rule.name)
                 return result, True
         return expr, changed

@@ -496,4 +496,16 @@ class _SqlParser:
 
 def parse_sql(text: str):
     """Parse one SQL statement into its parse-tree form."""
-    return _SqlParser(text).parse_statement()
+    from repro import obs
+
+    with obs.span("sql.parse") as span:
+        with obs.span("sql.lex"):
+            parser = _SqlParser(text)
+        statement = parser.parse_statement()
+        if span.recording:
+            span.set(
+                kind=type(statement).__name__,
+                sql=text.strip()[:200],
+            )
+            obs.add("sql.statements", kind=type(statement).__name__)
+    return statement

@@ -713,4 +713,13 @@ def parse_script(
     text: str, schema_lookup: Callable[[str], RelationSchema]
 ) -> List[ScriptItem]:
     """Parse an XRA script into DDL / statement / transaction items."""
-    return _XraParser(text, schema_lookup).parse_script()
+    from repro import obs
+
+    with obs.span("xra.parse") as span:
+        with obs.span("xra.lex"):
+            parser = _XraParser(text, schema_lookup)
+        items = parser.parse_script()
+        if span.recording:
+            span.set(items=len(items), source=text.strip()[:200])
+            obs.add("xra.scripts")
+    return items

@@ -82,3 +82,88 @@ class TestProfiler:
         labels = [p.label for p in profile.profiles]
         assert any("groupby" in label for label in labels)
         assert any("distinct" in label for label in labels)
+
+
+class TestProfileReportErgonomics:
+    def test_stable_plan_preorder_ordering(self, setup):
+        env, expr = setup
+        _result, profile = execute_profiled(expr, env)
+        indexes = [p.index for p in profile.profiles]
+        assert indexes == sorted(indexes)
+        # Shuffled input comes back out in plan order.
+        from repro.engine.profiler import ProfileReport
+
+        reshuffled = ProfileReport(list(reversed(profile.profiles)))
+        assert [p.index for p in reshuffled.profiles] == indexes
+
+    def test_total_seconds_is_root_inclusive_time(self, setup):
+        env, expr = setup
+        _result, profile = execute_profiled(expr, env)
+        assert profile.total_seconds == profile.profiles[0].seconds
+        assert profile.total_seconds >= 0.0
+
+    def test_exclusive_seconds_never_negative(self, setup):
+        env, expr = setup
+        _result, profile = execute_profiled(expr, env)
+        for entry in profile.profiles:
+            assert profile.exclusive_seconds(entry) >= 0.0
+
+    def test_exclusive_seconds_clamps_fast_children(self, setup):
+        env, expr = setup
+        _result, profile = execute_profiled(expr, env)
+        # Force the pathological case: a parent that (by timer noise)
+        # appears faster than its children must clamp at zero.
+        root = profile.profiles[0]
+        root.seconds = 0.0
+        assert profile.exclusive_seconds(root) == 0.0
+
+    def test_report_shows_exclusive_column(self, setup):
+        env, expr = setup
+        _result, profile = execute_profiled(expr, env)
+        assert "excl ms" in str(profile)
+
+    def test_op_class_recorded(self, setup):
+        env, expr = setup
+        _result, profile = execute_profiled(expr, env)
+        classes = {p.op_class for p in profile.profiles}
+        assert "scan" in classes
+        assert "hash-join" in classes
+
+    def test_emit_metrics_shares_data_model(self, setup):
+        from repro.obs import MetricsRegistry
+
+        env, expr = setup
+        registry = MetricsRegistry()
+        _result, profile = execute_profiled(expr, env, registry=registry)
+        scans = profile.by_label()["scan beer"]
+        assert registry.total("operator.rows") == profile.total_rows()
+        assert registry.value("operator.pairs", op="hash-join") > 0
+        assert scans.rows_out > 0
+
+
+class TestProfilerEmptyRelation:
+    def test_profile_on_empty_relation(self):
+        from repro.domains import INTEGER
+        from repro.relation import Relation
+        from repro.schema import RelationSchema
+
+        schema = RelationSchema.of("empty", a=INTEGER)
+        env = {"empty": Relation.empty(schema)}
+        ref = RelationRef("empty", schema)
+        expr = ref.select("a > 0").project(["a"])
+        result, profile = execute_profiled(expr, env)
+        assert len(result) == 0
+        assert profile.total_pairs() == 0
+        assert profile.total_rows() == 0
+        assert profile.total_seconds >= 0.0
+        for entry in profile.profiles:
+            assert profile.exclusive_seconds(entry) >= 0.0
+        assert "scan empty" in str(profile)
+
+    def test_empty_report(self):
+        from repro.engine.profiler import ProfileReport
+
+        report = ProfileReport([])
+        assert report.total_seconds == 0.0
+        assert report.total_pairs() == 0
+        assert str(report)
