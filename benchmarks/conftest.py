@@ -34,7 +34,7 @@ def _bench_record(bench) -> dict:
     # Across pytest-benchmark versions, bench.stats is either the Stats
     # object itself or a Metadata wrapper holding one in .stats.
     stats = getattr(bench.stats, "stats", bench.stats)
-    return {
+    record = {
         "name": bench.name,
         "fullname": bench.fullname,
         "group": bench.group,
@@ -43,6 +43,11 @@ def _bench_record(bench) -> dict:
         "min_seconds": stats.min,
         "stddev_seconds": stats.stddev,
     }
+    # Bench-computed figures (e.g. measured real_speedup) ride along.
+    extra_info = getattr(bench, "extra_info", None)
+    if extra_info:
+        record.update(extra_info)
+    return record
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -26,6 +26,10 @@ start with a dot:
     .slowlog [SECONDS]    show statements at/above the slow threshold;
                           with SECONDS, set the threshold instead
     .slowlog all          show the full query log (recent entries)
+    .parallel N [BACKEND] execute queries fragment-parallel with N
+                          workers (BACKEND: process|thread|serial,
+                          default process); .parallel off goes back to
+                          serial; bare .parallel shows the status
     .load NAME PATH       load a typed-header CSV file as relation NAME
     .save NAME PATH       save relation NAME as CSV
     .time                 show the database's logical time
@@ -40,7 +44,7 @@ from typing import List, Optional, TextIO
 
 from repro.algebra import render, render_tree
 from repro.database import Database
-from repro.engine import StatisticsCatalog, plan
+from repro.engine import StatisticsCatalog, make_scheduler, plan
 from repro.errors import ReproError
 from repro import obs
 from repro.optimizer import optimize
@@ -228,6 +232,9 @@ class Shell:
         if command == ".slowlog":
             self.slowlog_command(argument)
             return None
+        if command == ".parallel":
+            self.parallel_command(argument)
+            return None
         self.print(f"unknown command {command!r}; try .help")
         return None
 
@@ -279,6 +286,54 @@ class Shell:
             self.print(f"slow-query threshold set to {threshold:g}s")
             return
         self.print(self.query_log.render(slow_only=argument != "all"))
+
+    PARALLEL_USAGE = ".parallel N [process|thread|serial] | .parallel off"
+
+    def parallel_command(self, argument: str) -> None:
+        """``.parallel N [BACKEND]`` / ``.parallel off`` / ``.parallel``."""
+        argument = argument.strip()
+        if not argument:
+            scheduler = self.session.parallel
+            if scheduler is None:
+                self.print(
+                    f"parallel execution is off; usage: {self.PARALLEL_USAGE}"
+                )
+            else:
+                self.print(
+                    f"parallel execution: {scheduler.workers} worker(s), "
+                    f"{scheduler.config.backend} backend"
+                )
+            return
+        if argument == "off":
+            self.set_parallel(None)
+            self.print("parallel execution off")
+            return
+        workers_text, _, backend = argument.partition(" ")
+        backend = backend.strip() or None
+        try:
+            workers = int(workers_text)
+        except ValueError:
+            self.print_error(ReproError(f"usage: {self.PARALLEL_USAGE}"))
+            return
+        try:
+            scheduler = self.set_parallel(workers, backend)
+        except ValueError as error:
+            self.print_error(ReproError(str(error)))
+            return
+        if scheduler is None:
+            self.print("parallel execution off")
+        else:
+            self.print(
+                f"parallel execution: {scheduler.workers} worker(s), "
+                f"{scheduler.config.backend} backend"
+            )
+
+    def set_parallel(self, workers, backend: Optional[str] = None):
+        """Point the session *and* the script interpreter at one pool."""
+        scheduler = make_scheduler(workers, backend)
+        self.session.set_parallel(scheduler)
+        self.interpreter.set_parallel(scheduler)
+        return scheduler
 
     def explain(self, text: str) -> None:
         """Logical tree, optimized tree, physical plan of one XRA query."""
@@ -392,6 +447,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         help="slow-query threshold in seconds (default 1.0)",
     )
+    parser.add_argument(
+        "--parallel",
+        metavar="N",
+        type=int,
+        default=0,
+        help="fragment-parallel query execution with N workers (0 = off)",
+    )
+    parser.add_argument(
+        "--parallel-backend",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="worker pool backend for --parallel (default: process)",
+    )
     options = parser.parse_args(argv)
 
     shell = Shell()
@@ -399,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         shell.trace_command(f"on {options.trace}")
     if options.slow_log is not None:
         shell.query_log.slow_threshold = options.slow_log
+    if options.parallel > 0:
+        shell.set_parallel(options.parallel, options.parallel_backend)
     try:
         if options.script:
             with open(options.script, encoding="utf-8") as handle:
@@ -415,6 +485,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             shell.metrics_command()
         if options.trace:
             obs.disable()
+        shell.session.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -15,6 +15,13 @@ from repro.engine.cost import CostModel, estimate_cost
 from repro.engine.evaluator import Environment, evaluate
 from repro.engine.histograms import EquiDepthHistogram, HistogramCatalog
 from repro.engine.iterators import PhysicalOp, collect
+from repro.engine.parallel import (
+    ExchangeOp,
+    FragmentScheduler,
+    FragmentedJoinOp,
+    ParallelConfig,
+    make_scheduler,
+)
 from repro.engine.planner import execute, extract_equi_conjuncts, plan
 from repro.engine.profiler import ProfileReport, execute_profiled
 from repro.engine.set_semantics import evaluate_set
@@ -34,6 +41,11 @@ __all__ = [
     "ProfileReport",
     "collect",
     "PhysicalOp",
+    "ParallelConfig",
+    "FragmentScheduler",
+    "ExchangeOp",
+    "FragmentedJoinOp",
+    "make_scheduler",
     "extract_equi_conjuncts",
     "StatisticsCatalog",
     "TableStats",

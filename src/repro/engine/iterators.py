@@ -18,6 +18,8 @@ internally.  :func:`collect` materialises a stream into a
 
 from __future__ import annotations
 
+from collections import Counter
+from operator import itemgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aggregates import AggregateFunction
@@ -52,11 +54,30 @@ Pairs = Iterator[Tuple[Row, int]]
 
 
 def consolidate(pairs: Pairs) -> Dict[Row, int]:
-    """Drain a stream into a total-count dictionary."""
-    counts: Dict[Row, int] = {}
+    """Drain a stream into a total-count dictionary.
+
+    ``Counter.__missing__`` makes ``counts[row] += count`` a single
+    lookup on the hot path (no ``.get`` call per pair).
+    """
+    counts: Counter = Counter()
     for row, count in pairs:
-        counts[row] = counts.get(row, 0) + count
+        counts[row] += count
     return counts
+
+
+def _tuple_extractor(indices: Tuple[int, ...]) -> Callable[[Row], Row]:
+    """A tuple-building key extractor over 0-based positions.
+
+    ``operator.itemgetter`` runs in C for the multi-position case; the
+    zero- and one-position cases need wrapping because itemgetter then
+    returns a bare value instead of a tuple.
+    """
+    if not indices:
+        return lambda row: ()
+    if len(indices) == 1:
+        only = indices[0]
+        return lambda row: (row[only],)
+    return itemgetter(*indices)
 
 
 class PhysicalOp:
@@ -114,7 +135,9 @@ class ScanOp(PhysicalOp):
         self.name = name
 
     def execute(self, env: Dict[str, Relation]) -> Pairs:
-        return iter(list(env[self.name].pairs()))
+        # Relations are immutable once installed, so the scan streams
+        # straight off the multiset without an eager copy.
+        return env[self.name].pairs()
 
     def label(self) -> str:
         return f"scan {self.name}"
@@ -130,7 +153,7 @@ class LiteralOp(PhysicalOp):
         self.relation = relation
 
     def execute(self, env: Dict[str, Relation]) -> Pairs:
-        return iter(list(self.relation.pairs()))
+        return self.relation.pairs()
 
     def label(self) -> str:
         return f"literal[{len(self.relation)}]"
@@ -171,22 +194,23 @@ class FilterOp(PhysicalOp):
 class ProjectOp(PhysicalOp):
     """Pipelined positional projection (no consolidation — bag semantics)."""
 
-    __slots__ = ("positions", "child")
+    __slots__ = ("positions", "extract", "child")
 
     def __init__(
         self, positions: Sequence[int], schema: RelationSchema, child: PhysicalOp
     ) -> None:
         super().__init__(schema)
         self.positions = tuple(position - 1 for position in positions)
+        self.extract = _tuple_extractor(self.positions)
         self.child = child
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
 
     def execute(self, env: Dict[str, Relation]) -> Pairs:
-        indices = self.positions
+        extract = self.extract
         return (
-            (tuple(row[index] for index in indices), count)
+            (extract(row), count)
             for row, count in self.child.execute(env)
         )
 
@@ -422,7 +446,7 @@ class GroupByOp(PhysicalOp):
     empty-grouping form emits exactly one tuple, matching Definition 3.4.
     """
 
-    __slots__ = ("positions", "aggregate", "param_position", "child")
+    __slots__ = ("positions", "extract", "aggregate", "param_position", "child")
 
     def __init__(
         self,
@@ -434,6 +458,7 @@ class GroupByOp(PhysicalOp):
     ) -> None:
         super().__init__(schema)
         self.positions = tuple(position - 1 for position in positions)
+        self.extract = _tuple_extractor(self.positions)
         self.aggregate = aggregate
         self.param_position = param_position
         self.child = child
@@ -442,12 +467,12 @@ class GroupByOp(PhysicalOp):
         return (self.child,)
 
     def execute(self, env: Dict[str, Relation]) -> Pairs:
-        indices = self.positions
+        extract = self.extract
         param_index = (
             self.param_position - 1 if self.param_position is not None else None
         )
         groups: Dict[Row, Multiset[Any]] = {}
-        if not indices:
+        if not self.positions:
             values: Multiset[Any] = Multiset()
             for row, count in self.child.execute(env):
                 value = row[param_index] if param_index is not None else row
@@ -455,7 +480,7 @@ class GroupByOp(PhysicalOp):
             yield (self.aggregate.compute(values),), 1
             return
         for row, count in self.child.execute(env):
-            key = tuple(row[index] for index in indices)
+            key = extract(row)
             bag = groups.get(key)
             if bag is None:
                 bag = Multiset()

@@ -1,0 +1,799 @@
+"""Real multi-core fragment-parallel execution (the exchange operator).
+
+PRISMA/DB extended XRA "with special operators to support parallel data
+processing"; :mod:`repro.extensions.parallel` proves *why* fragmenting
+is correct (σ/π distribute over ⊎, co-partitioned equi-join, Γ on the
+grouping key, δ over disjoint supports — Theorems 3.2/3.3 plus the
+refined δ/⊎ law).  This module makes that parallelism *real*: plan
+subtrees run as fragment tasks on a pool of worker processes (or
+threads), in the shape of Volcano's exchange operator.
+
+Three layers:
+
+* :class:`FragmentScheduler` — a ``concurrent.futures`` worker pool
+  (process pool by default — aggregation and joins are pure Python, so
+  threads would serialise on the GIL; a ``thread`` backend exists for
+  cheap spin-up and a ``serial`` backend for deterministic tests);
+* fragment **tasks** (:class:`SelectTask`, :class:`ProjectTask`,
+  :class:`MapTask`, :class:`JoinTask`, :class:`GroupByTask`,
+  :class:`DistinctTask`, :class:`ChainTask`) — *picklable* descriptions
+  of per-fragment work.  Workers receive plain ``(tuple, count)`` pair
+  lists plus a task, rebind any scalar expressions against the schema
+  locally, and return pair lists; no closures ever cross the process
+  boundary;
+* physical operators :class:`ExchangeOp` (unary) and
+  :class:`FragmentedJoinOp` (binary co-partitioned join) — they drain
+  the child stream(s), partition with the process-stable
+  :func:`repro.tuples.stable_hash`, fan fragments out through the
+  scheduler, and concatenate the result streams (concatenation *is* ⊎
+  on pair streams, so recombination is free).
+
+:func:`try_parallel_plan` is the planner hook: given a logical
+expression and a scheduler it rewrites eligible subtrees — maximal
+σ/π/π̂ pipelines, δ, Γ with grouping attributes, equi-joins — into
+fragment-parallel form; ineligible nodes fall back to the ordinary
+planner (which keeps recursing with the scheduler, so parallel islands
+appear anywhere in the plan).  The rewrite is exactly the fragmentation
+argument of the theorems: partition on the whole tuple for δ, on the
+grouping key for Γ, co-partition both join operands on the join key,
+and split arbitrarily (round-robin) for σ/π/π̂ pipelines.
+
+Everything is instrumented through :mod:`repro.obs` — an
+``parallel.exchange`` span per exchange with per-fragment child spans,
+``parallel.workers`` / ``parallel.real_speedup`` style metrics — at
+zero cost when observability is disabled.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.aggregates import AggregateFunction
+from repro.algebra import (
+    AlgebraExpr,
+    GroupBy,
+    Join,
+    Product,
+    Project,
+    Select,
+    Unique,
+)
+from repro.algebra.extended import ExtendedProject
+from repro.engine.iterators import Pairs, PhysicalOp, consolidate
+from repro.expressions import ScalarExpr, conjoin
+from repro.multiset import Multiset
+from repro import obs
+from repro.relation import Relation
+from repro.schema import RelationSchema
+from repro.tuples import Row, stable_hash
+
+__all__ = [
+    "ParallelConfig",
+    "FragmentScheduler",
+    "FragmentTask",
+    "SelectTask",
+    "ProjectTask",
+    "MapTask",
+    "DistinctTask",
+    "GroupByTask",
+    "JoinTask",
+    "ChainTask",
+    "CallableTask",
+    "ExchangeOp",
+    "FragmentedJoinOp",
+    "make_scheduler",
+    "try_parallel_plan",
+]
+
+#: A materialised fragment: a list of (tuple, multiplicity) pairs.
+PairList = List[Tuple[Row, int]]
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+_BACKENDS = ("process", "thread", "serial")
+
+
+@dataclass
+class ParallelConfig:
+    """How fragment-parallel execution should run.
+
+    ``workers`` ``<= 0`` means "one per CPU".  ``backend`` selects the
+    pool: ``process`` (the default — real multi-core execution, since
+    the operators are pure Python and threads would serialise on the
+    GIL), ``thread``, or ``serial`` (run fragments inline, in order —
+    the simulation mode the correctness tests pin down).  Streams
+    shorter than ``min_rows`` skip partitioning and run as a single
+    inline fragment, so tiny inputs never pay the fan-out overhead.
+    """
+
+    workers: int = 0
+    backend: str = "process"
+    min_rows: int = 256
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {self.backend!r}; "
+                f"expected one of {', '.join(_BACKENDS)}"
+            )
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return os.cpu_count() or 1
+
+
+def make_scheduler(
+    spec: Any, backend: Optional[str] = None
+) -> Optional["FragmentScheduler"]:
+    """Coerce a user-facing parallelism spec into a scheduler.
+
+    Accepts ``None`` or a non-positive int (parallelism off — returns
+    None), a positive worker count, a :class:`ParallelConfig`, or an
+    existing :class:`FragmentScheduler` (passed through unchanged).
+    ``backend`` applies only when ``spec`` is a worker count.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, FragmentScheduler):
+        return spec
+    if isinstance(spec, ParallelConfig):
+        return FragmentScheduler(spec)
+    if isinstance(spec, bool) or not isinstance(spec, int):
+        raise TypeError(
+            "parallel must be a worker count, ParallelConfig, or "
+            f"FragmentScheduler, not {spec!r}"
+        )
+    if spec <= 0:
+        return None
+    if backend is None:
+        return FragmentScheduler(ParallelConfig(workers=spec))
+    return FragmentScheduler(ParallelConfig(workers=spec, backend=backend))
+
+
+# ---------------------------------------------------------------------------
+# fragment tasks — picklable per-fragment work descriptions
+# ---------------------------------------------------------------------------
+
+
+class FragmentTask:
+    """A picklable description of the work one fragment performs.
+
+    ``run`` maps a materialised pair list to a pair list.  Tasks carry
+    schemas and scalar-expression ASTs (both picklable) rather than
+    bound callables, and rebind locally — this is what lets the same
+    task object execute in-process, on a thread, or in a worker process.
+    """
+
+    def run(self, payload: Any) -> PairList:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__.removesuffix("Task").lower()
+
+
+@dataclass(frozen=True)
+class SelectTask(FragmentTask):
+    """σ per fragment (Theorem 3.2: σ distributes over ⊎)."""
+
+    condition: ScalarExpr
+    schema: RelationSchema
+
+    def run(self, payload: PairList) -> PairList:
+        predicate = self.condition.bind(self.schema)
+        return [(row, count) for row, count in payload if predicate(row)]
+
+
+@dataclass(frozen=True)
+class ProjectTask(FragmentTask):
+    """π per fragment (Theorem 3.2: π distributes over ⊎).
+
+    ``positions`` are 0-based.  Collided projections are consolidated
+    locally — semantically free (pair streams need not be consolidated)
+    and it shrinks what travels back over the process boundary.
+    """
+
+    positions: Tuple[int, ...]
+
+    def run(self, payload: PairList) -> PairList:
+        indices = self.positions
+        counts: Dict[Row, int] = {}
+        for row, count in payload:
+            image = tuple(row[index] for index in indices)
+            counts[image] = counts.get(image, 0) + count
+        return list(counts.items())
+
+
+@dataclass(frozen=True)
+class MapTask(FragmentTask):
+    """π̂ (extended projection) per fragment — same law as π."""
+
+    expressions: Tuple[ScalarExpr, ...]
+    schema: RelationSchema
+
+    def run(self, payload: PairList) -> PairList:
+        functions = [
+            expression.bind(self.schema) for expression in self.expressions
+        ]
+        counts: Dict[Row, int] = {}
+        for row, count in payload:
+            image = tuple(function(row) for function in functions)
+            counts[image] = counts.get(image, 0) + count
+        return list(counts.items())
+
+
+@dataclass(frozen=True)
+class DistinctTask(FragmentTask):
+    """δ per fragment — exact *only* on disjoint supports (whole-tuple
+    hash fragments), the refined Section 3.3 law."""
+
+    def run(self, payload: PairList) -> PairList:
+        seen: Dict[Row, None] = dict.fromkeys(
+            row for row, _count in payload
+        )
+        return [(row, 1) for row in seen]
+
+
+@dataclass(frozen=True)
+class GroupByTask(FragmentTask):
+    """Γ per fragment — exact when fragments are hashed on the grouping
+    key, since then every group lives wholly inside one fragment.
+
+    ``positions`` / ``param_position`` are 0-based (``param_position``
+    None feeds whole tuples to the aggregate, as CNT wants).
+    """
+
+    positions: Tuple[int, ...]
+    aggregate: AggregateFunction
+    param_position: Optional[int]
+
+    def run(self, payload: PairList) -> PairList:
+        indices = self.positions
+        param_index = self.param_position
+        groups: Dict[Row, Multiset[Any]] = {}
+        for row, count in payload:
+            key = tuple(row[index] for index in indices)
+            bag = groups.get(key)
+            if bag is None:
+                bag = Multiset()
+                groups[key] = bag
+            value = row[param_index] if param_index is not None else row
+            bag.add(value, count)
+        aggregate = self.aggregate
+        return [
+            (key + (aggregate.compute(bag),), 1) for key, bag in groups.items()
+        ]
+
+
+@dataclass(frozen=True)
+class JoinTask(FragmentTask):
+    """Hash-join one co-partitioned fragment pair.
+
+    The payload is ``(left_pairs, right_pairs)``.  Key expressions are
+    bound locally against the operand schemas; the optional residual
+    predicate (non-equality conjuncts of a mixed join condition) binds
+    against the concatenated schema.  Multiplicities multiply.
+    """
+
+    left_keys: Tuple[ScalarExpr, ...]
+    right_keys: Tuple[ScalarExpr, ...]
+    left_schema: RelationSchema
+    right_schema: RelationSchema
+    residual: Optional[ScalarExpr] = None
+
+    def run(self, payload: Tuple[PairList, PairList]) -> PairList:
+        left_pairs, right_pairs = payload
+        right_key = bind_keys(self.right_keys, self.right_schema)
+        table: Dict[Any, List[Tuple[Row, int]]] = {}
+        for right_row, right_count in right_pairs:
+            table.setdefault(right_key(right_row), []).append(
+                (right_row, right_count)
+            )
+        left_key = bind_keys(self.left_keys, self.left_schema)
+        residual = (
+            self.residual.bind(self.left_schema.concat(self.right_schema))
+            if self.residual is not None
+            else None
+        )
+        output: PairList = []
+        for left_row, left_count in left_pairs:
+            matches = table.get(left_key(left_row))
+            if not matches:
+                continue
+            for right_row, right_count in matches:
+                combined = left_row + right_row
+                if residual is None or residual(combined):
+                    output.append((combined, left_count * right_count))
+        return output
+
+
+@dataclass(frozen=True)
+class ChainTask(FragmentTask):
+    """A pipeline of tasks applied in order inside one fragment.
+
+    This is operator *fusion* across the exchange: a σ/π chain above a
+    fragmented Γ/δ/join runs inside the same fragments (each stage
+    distributes over ⊎, so fusing preserves the recombined result) —
+    one partition pass, one fan-out, however deep the pipeline.
+    """
+
+    stages: Tuple[FragmentTask, ...]
+
+    def run(self, payload: Any) -> PairList:
+        result = self.stages[0].run(payload)
+        for stage in self.stages[1:]:
+            result = stage.run(result)
+        return result
+
+    def describe(self) -> str:
+        return "+".join(stage.describe() for stage in self.stages)
+
+
+@dataclass(frozen=True)
+class CallableTask(FragmentTask):
+    """Wrap an arbitrary pair-list function as a fragment task.
+
+    Used by the :mod:`repro.extensions.parallel` wrappers for
+    caller-supplied predicates.  Note: the ``process`` backend needs the
+    callable to be picklable (a module-level function) — closures work
+    on the ``serial`` and ``thread`` backends only.
+    """
+
+    fn: Callable[[PairList], PairList]
+    name: str = "callable"
+
+    def run(self, payload: PairList) -> PairList:
+        return self.fn(payload)
+
+    def describe(self) -> str:
+        return self.name
+
+
+def bind_keys(
+    expressions: Sequence[ScalarExpr], schema: RelationSchema
+) -> Callable[[Row], Any]:
+    """A key extractor from scalar expressions (single key unwrapped)."""
+    bound = [expression.bind(schema) for expression in expressions]
+    if len(bound) == 1:
+        return bound[0]
+    return lambda row: tuple(function(row) for function in bound)
+
+
+def _run_task(item: Tuple[FragmentTask, Any]) -> PairList:
+    """Module-level trampoline so the process pool can pickle the call."""
+    task, payload = item
+    return task.run(payload)
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+
+class FragmentScheduler:
+    """A worker pool that executes fragment tasks.
+
+    The executor is created lazily on first real fan-out and reused for
+    the scheduler's lifetime (process pools are expensive to start; one
+    session keeps one pool).  If the platform refuses to start a process
+    pool, the scheduler degrades to threads rather than failing the
+    query.  ``close()`` (or use as a context manager) shuts the pool
+    down.
+    """
+
+    def __init__(self, config: Optional[ParallelConfig] = None) -> None:
+        self.config = config or ParallelConfig()
+        self._executor = None
+        #: The backend actually in use (process may degrade to thread).
+        self.effective_backend = self.config.backend
+
+    @property
+    def workers(self) -> int:
+        return self.config.resolved_workers()
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_executor(self):
+        if self._executor is not None:
+            return self._executor
+        from concurrent import futures
+
+        if self.effective_backend == "process":
+            try:
+                import multiprocessing
+
+                context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    # Fork keeps worker start-up cheap; workers only ever
+                    # receive picklable tasks, never shared mutable state.
+                    context = multiprocessing.get_context("fork")
+                self._executor = futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+                return self._executor
+            except (OSError, ValueError, ImportError):
+                # No process support (restricted platform): degrade.
+                self.effective_backend = "thread"
+        self._executor = futures.ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-fragment",
+        )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "FragmentScheduler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, task: FragmentTask, payloads: List[Any]) -> List[PairList]:
+        """Execute ``task`` over every payload; results in payload order."""
+        if not payloads:
+            return []
+        if (
+            self.config.backend == "serial"
+            or self.workers <= 1
+            or len(payloads) <= 1
+        ):
+            return [task.run(payload) for payload in payloads]
+        if not obs.enabled():
+            executor = self._ensure_executor()
+            return list(
+                executor.map(_run_task, [(task, p) for p in payloads])
+            )
+        return self._run_instrumented(task, payloads)
+
+    def _run_instrumented(
+        self, task: FragmentTask, payloads: List[Any]
+    ) -> List[PairList]:
+        """The observed path: per-fragment spans + fragment metrics."""
+        label = task.describe()
+        executor = self._ensure_executor()
+        started = time.perf_counter()
+        with obs.span(
+            "parallel.exchange",
+            op=label,
+            fragments=len(payloads),
+            workers=self.workers,
+            backend=self.effective_backend,
+        ) as span:
+            handles = [
+                executor.submit(_run_task, (task, payload))
+                for payload in payloads
+            ]
+            results: List[PairList] = []
+            for index, handle in enumerate(handles):
+                with obs.span(
+                    "parallel.fragment", op=label, fragment=index
+                ) as fragment_span:
+                    result = handle.result()
+                    fragment_span.set(pairs_out=len(result))
+                results.append(result)
+            span.set(seconds=round(time.perf_counter() - started, 6))
+        obs.add("parallel.exchanges", op=label)
+        obs.add("parallel.fragments", len(payloads), op=label)
+        obs.gauge("parallel.workers", self.workers)
+        obs.gauge("parallel.backend", self.effective_backend)
+        for payload in payloads:
+            size = (
+                len(payload[0]) + len(payload[1])
+                if isinstance(payload, tuple)
+                else len(payload)
+            )
+            obs.observe("parallel.fragment_rows_in", size, op=label)
+        for result in results:
+            obs.observe("parallel.fragment_rows_out", len(result), op=label)
+        return results
+
+
+# ---------------------------------------------------------------------------
+# physical operators
+# ---------------------------------------------------------------------------
+
+
+def _hash_buckets(
+    pairs: PairList, key: Callable[[Row], Any], fragments: int
+) -> List[PairList]:
+    buckets: List[PairList] = [[] for _ in range(fragments)]
+    for pair in pairs:
+        buckets[stable_hash(key(pair[0])) % fragments].append(pair)
+    return buckets
+
+
+class ExchangeOp(PhysicalOp):
+    """Partition the child stream, fan a fragment task out, recombine.
+
+    ``partition_key`` None splits round-robin (valid for σ/π/π̂, which
+    distribute over *any* ⊎ decomposition); a key callable hash-splits
+    on :func:`stable_hash` of the key (required by δ, Γ, and anything
+    whose law needs disjoint supports / whole groups per fragment).
+    Recombination is stream concatenation — the pair-stream form of ⊎.
+    """
+
+    __slots__ = ("child", "task", "scheduler", "partition_key", "_describe")
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        task: FragmentTask,
+        schema: RelationSchema,
+        scheduler: FragmentScheduler,
+        partition_key: Optional[Callable[[Row], Any]] = None,
+        describe: str = "",
+    ) -> None:
+        super().__init__(schema)
+        self.child = child
+        self.task = task
+        self.scheduler = scheduler
+        self.partition_key = partition_key
+        self._describe = describe or task.describe()
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        pairs = list(self.child.execute(env))
+        fragments = self.scheduler.workers
+        if len(pairs) < max(self.scheduler.config.min_rows, 2) or fragments <= 1:
+            payloads = [pairs] if pairs else []
+        elif self.partition_key is None:
+            payloads = [pairs[index::fragments] for index in range(fragments)]
+        else:
+            payloads = [
+                bucket
+                for bucket in _hash_buckets(pairs, self.partition_key, fragments)
+                if bucket
+            ]
+        for result in self.scheduler.run(self.task, payloads):
+            yield from result
+
+    def label(self) -> str:
+        mode = "hash" if self.partition_key is not None else "chunk"
+        return (
+            f"exchange[{self._describe}, {mode}, "
+            f"{self.scheduler.workers}w {self.scheduler.config.backend}]"
+        )
+
+    def op_class(self) -> str:
+        return "exchange"
+
+
+class FragmentedJoinOp(PhysicalOp):
+    """Co-partitioned parallel equi-join.
+
+    Both operand streams are hash-partitioned on their join keys with
+    the same stable hash, so tuples that can join always meet in the
+    same fragment; fragment-wise hash joins then recombine by
+    concatenation (multiplicities multiply fragment-wise — the
+    co-partitioned join law of :mod:`repro.extensions.parallel`).
+    """
+
+    __slots__ = ("left", "right", "task", "scheduler", "left_key", "right_key")
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        task: FragmentTask,
+        schema: RelationSchema,
+        scheduler: FragmentScheduler,
+        left_key: Callable[[Row], Any],
+        right_key: Callable[[Row], Any],
+    ) -> None:
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+        self.task = task
+        self.scheduler = scheduler
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        left_pairs = list(self.left.execute(env))
+        right_pairs = list(self.right.execute(env))
+        fragments = self.scheduler.workers
+        total = len(left_pairs) + len(right_pairs)
+        if total < max(self.scheduler.config.min_rows, 2) or fragments <= 1:
+            payloads = (
+                [(left_pairs, right_pairs)]
+                if left_pairs and right_pairs
+                else []
+            )
+        else:
+            left_buckets = _hash_buckets(left_pairs, self.left_key, fragments)
+            right_buckets = _hash_buckets(right_pairs, self.right_key, fragments)
+            payloads = [
+                (left_bucket, right_bucket)
+                for left_bucket, right_bucket in zip(left_buckets, right_buckets)
+                if left_bucket and right_bucket
+            ]
+        for result in self.scheduler.run(self.task, payloads):
+            yield from result
+
+    def label(self) -> str:
+        return (
+            f"fragmented-join[{self.scheduler.workers}w "
+            f"{self.scheduler.config.backend}]"
+        )
+
+    def op_class(self) -> str:
+        return "fragmented-join"
+
+
+# ---------------------------------------------------------------------------
+# the parallel planner hook
+# ---------------------------------------------------------------------------
+
+
+def _positions_key(positions: Tuple[int, ...]) -> Callable[[Row], Any]:
+    """Partition key over 0-based attribute positions."""
+    if len(positions) == 1:
+        only = positions[0]
+        return lambda row: row[only]
+    return lambda row: tuple(row[index] for index in positions)
+
+
+def _whole_row(row: Row) -> Row:
+    return row
+
+
+def _chain(base: FragmentTask, stages: List[FragmentTask]) -> FragmentTask:
+    if not stages:
+        return base
+    return ChainTask((base, *stages))
+
+
+def _pipeline_stages(
+    expr: AlgebraExpr,
+) -> Tuple[List[FragmentTask], AlgebraExpr]:
+    """Peel a maximal σ/π/π̂ pipeline off the top of ``expr``.
+
+    Returns the stages in *execution* order (innermost first) plus the
+    base expression below the pipeline.  Each peeled operator
+    distributes over ⊎, so the pipeline may run inside whatever
+    fragmentation the base ends up with.
+    """
+    stages: List[FragmentTask] = []
+    node = expr
+    while True:
+        if isinstance(node, Select) and not isinstance(node.operand, Product):
+            stages.append(SelectTask(node.condition, node.operand.schema))
+            node = node.operand
+        elif isinstance(node, Project):
+            stages.append(
+                ProjectTask(
+                    tuple(position - 1 for position in node.positions)
+                )
+            )
+            node = node.operand
+        elif isinstance(node, ExtendedProject):
+            stages.append(MapTask(node.expressions, node.operand.schema))
+            node = node.operand
+        else:
+            break
+    stages.reverse()
+    return stages, node
+
+
+def _as_equijoin(node: AlgebraExpr):
+    """Recognise an equi-joinable node: ``Join`` or ``σ(E1 × E2)``.
+
+    Returns ``(left, right, key_pairs, residual)`` or None when the
+    condition has no equality conjunct relating the two operands (a
+    pure theta join does not co-partition).
+    """
+    if isinstance(node, Join):
+        left, right, condition = node.left, node.right, node.condition
+    elif isinstance(node, Select) and isinstance(node.operand, Product):
+        product = node.operand
+        left, right, condition = product.left, product.right, node.condition
+    else:
+        return None
+    from repro.engine.planner import extract_equi_conjuncts
+
+    combined = left.schema.concat(right.schema)
+    pairs, residual = extract_equi_conjuncts(
+        condition, combined, left.schema.degree
+    )
+    if not pairs:
+        return None
+    residual_condition = conjoin(residual) if residual else None
+    return left, right, pairs, residual_condition
+
+
+def try_parallel_plan(
+    expr: AlgebraExpr, scheduler: FragmentScheduler
+) -> Optional[PhysicalOp]:
+    """Rewrite ``expr`` into a fragment-parallel physical plan, if eligible.
+
+    Returns None for ineligible roots — the ordinary planner then
+    handles the node and keeps recursing with the scheduler, so eligible
+    subtrees deeper in the tree still parallelise.
+    """
+    from repro.engine.planner import plan
+
+    stages, base = _pipeline_stages(expr)
+
+    if isinstance(base, Unique):
+        child = plan(base.operand, parallel=scheduler)
+        task = _chain(DistinctTask(), stages)
+        return ExchangeOp(
+            child, task, expr.schema, scheduler, partition_key=_whole_row
+        )
+
+    if isinstance(base, GroupBy) and base.positions:
+        positions = tuple(position - 1 for position in base.positions)
+        param_position = (
+            base.param_position - 1
+            if base.param_position is not None
+            else None
+        )
+        child = plan(base.operand, parallel=scheduler)
+        task = _chain(
+            GroupByTask(positions, base.aggregate, param_position), stages
+        )
+        return ExchangeOp(
+            child,
+            task,
+            expr.schema,
+            scheduler,
+            partition_key=_positions_key(positions),
+        )
+
+    equijoin = _as_equijoin(base)
+    if equijoin is not None:
+        left, right, key_pairs, residual = equijoin
+        left_exprs = tuple(pair[0] for pair in key_pairs)
+        right_exprs = tuple(pair[1] for pair in key_pairs)
+        task = _chain(
+            JoinTask(
+                left_exprs,
+                right_exprs,
+                left.schema,
+                right.schema,
+                residual,
+            ),
+            stages,
+        )
+        return FragmentedJoinOp(
+            plan(left, parallel=scheduler),
+            plan(right, parallel=scheduler),
+            task,
+            expr.schema,
+            scheduler,
+            bind_keys(left_exprs, left.schema),
+            bind_keys(right_exprs, right.schema),
+        )
+
+    if stages:
+        # A pure σ/π/π̂ pipeline over an ineligible base: any split works
+        # (Theorem 3.2 needs no particular fragmentation), so chunk.
+        child = plan(base, parallel=scheduler)
+        task = stages[0] if len(stages) == 1 else ChainTask(tuple(stages))
+        return ExchangeOp(child, task, expr.schema, scheduler)
+
+    return None

@@ -114,11 +114,12 @@ def _plan_join(
     right: AlgebraExpr,
     condition: ScalarExpr,
     schema: RelationSchema,
+    parallel: Optional[Any] = None,
 ) -> PhysicalOp:
     combined = left.schema.concat(right.schema)
     pairs, residual = extract_equi_conjuncts(condition, combined, left.schema.degree)
-    left_plan = plan(left)
-    right_plan = plan(right)
+    left_plan = plan(left, parallel)
+    right_plan = plan(right, parallel)
     if pairs:
         left_key = _key_extractor([pair[0] for pair in pairs], left.schema)
         right_key = _key_extractor([pair[1] for pair in pairs], right.schema)
@@ -132,49 +133,66 @@ def _plan_join(
     return NestedLoopJoinOp(left_plan, right_plan, predicate, schema)
 
 
-def plan(expr: AlgebraExpr) -> PhysicalOp:
-    """Translate a logical expression into a physical plan."""
+def plan(expr: AlgebraExpr, parallel: Optional[Any] = None) -> PhysicalOp:
+    """Translate a logical expression into a physical plan.
+
+    With ``parallel`` (a :class:`repro.engine.parallel.FragmentScheduler`),
+    eligible subtrees — σ/π/π̂ pipelines, δ, Γ on grouping attributes,
+    equi-joins — are rewritten into fragment-parallel exchange operators;
+    everything else plans exactly as before.  Without it (the default)
+    this is the unchanged single-threaded path.
+    """
+    if parallel is not None:
+        from repro.engine.parallel import try_parallel_plan
+
+        parallelised = try_parallel_plan(expr, parallel)
+        if parallelised is not None:
+            return parallelised
     if isinstance(expr, RelationRef):
         return ScanOp(expr.name, expr.schema)
     if isinstance(expr, LiteralRelation):
         return LiteralOp(expr.relation)
     if isinstance(expr, Union):
-        return UnionOp(plan(expr.left), plan(expr.right))
+        return UnionOp(plan(expr.left, parallel), plan(expr.right, parallel))
     if isinstance(expr, Difference):
-        return DifferenceOp(plan(expr.left), plan(expr.right))
+        return DifferenceOp(plan(expr.left, parallel), plan(expr.right, parallel))
     if isinstance(expr, Intersect):
-        return IntersectOp(plan(expr.left), plan(expr.right))
+        return IntersectOp(plan(expr.left, parallel), plan(expr.right, parallel))
     if isinstance(expr, Join):
-        return _plan_join(expr.left, expr.right, expr.condition, expr.schema)
+        return _plan_join(
+            expr.left, expr.right, expr.condition, expr.schema, parallel
+        )
     if isinstance(expr, Select):
         # Fuse sigma-over-product into a join (Theorem 3.1, physically).
         if isinstance(expr.operand, Product):
             product = expr.operand
             return _plan_join(
-                product.left, product.right, expr.condition, expr.schema
+                product.left, product.right, expr.condition, expr.schema, parallel
             )
-        child = plan(expr.operand)
+        child = plan(expr.operand, parallel)
         predicate = expr.condition.bind(expr.operand.schema)
         return FilterOp(predicate, child, describe=repr(expr.condition))
     if isinstance(expr, Product):
-        return ProductOp(plan(expr.left), plan(expr.right), expr.schema)
+        return ProductOp(
+            plan(expr.left, parallel), plan(expr.right, parallel), expr.schema
+        )
     if isinstance(expr, Project):
-        return ProjectOp(expr.positions, expr.schema, plan(expr.operand))
+        return ProjectOp(expr.positions, expr.schema, plan(expr.operand, parallel))
     if isinstance(expr, ExtendedProject):
         operand_schema = expr.operand.schema
         functions = [
             expression.bind(operand_schema) for expression in expr.expressions
         ]
-        return MapOp(functions, expr.schema, plan(expr.operand))
+        return MapOp(functions, expr.schema, plan(expr.operand, parallel))
     if isinstance(expr, Unique):
-        return DistinctOp(plan(expr.operand))
+        return DistinctOp(plan(expr.operand, parallel))
     if isinstance(expr, GroupBy):
         return GroupByOp(
             expr.positions,
             expr.aggregate,
             expr.param_position,
             expr.schema,
-            plan(expr.operand),
+            plan(expr.operand, parallel),
         )
     if hasattr(expr, "reference_evaluate"):
         return _ExtensionOp(expr)
@@ -204,8 +222,16 @@ class _ExtensionOp(PhysicalOp):
         return f"extension [{self.expr.operator_name()}]"
 
 
-def execute(expr: AlgebraExpr, env: dict[str, Relation]) -> Relation:
+def execute(
+    expr: AlgebraExpr,
+    env: dict[str, Relation],
+    parallel: Optional[Any] = None,
+) -> Relation:
     """Plan and run ``expr`` on the physical engine.
+
+    ``parallel`` optionally carries a
+    :class:`repro.engine.parallel.FragmentScheduler`; the plan is then
+    rewritten into fragment-parallel form (see :func:`plan`).
 
     While observability is enabled (:mod:`repro.obs`), the plan and
     execute stages run under trace spans and the plan is wrapped with
@@ -216,13 +242,15 @@ def execute(expr: AlgebraExpr, env: dict[str, Relation]) -> Relation:
     from repro.engine.iterators import collect
 
     if not obs.enabled():
-        return collect(plan(expr), env)
+        return collect(plan(expr, parallel), env)
 
     from repro.engine.profiler import ProfileReport, profile_plan
 
     with obs.span("plan") as plan_span:
-        physical = plan(expr)
+        physical = plan(expr, parallel)
         plan_span.set(shape=physical.explain())
+        if parallel is not None:
+            plan_span.set(parallel_workers=parallel.workers)
     with obs.span("execute") as execute_span:
         instrumented, profiles = profile_plan(physical)
         result = collect(instrumented, env)

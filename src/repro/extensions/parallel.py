@@ -17,26 +17,46 @@ equivalence toolkit:
   have *disjoint supports* — which hash fragmentation guarantees.  The
   test suite checks this refined law explicitly.
 
-Since this reproduction runs on a single Python interpreter, parallelism
-is *simulated*: fragments are processed sequentially and we report the
-per-fragment work, from which bench E9 derives ideal-speedup figures
-(max-fragment work vs total work).  The semantic content — that the
-fragmented evaluation computes the identical multi-set — is fully real
-and fully tested.
+These helpers are thin wrappers over the real worker-pool machinery in
+:mod:`repro.engine.parallel`: each one fragments its input with the
+process-stable :func:`repro.tuples.stable_hash`, hands the per-fragment
+work to a :class:`~repro.engine.parallel.FragmentScheduler` (serial by
+default, so the call is deterministic and dependency-free; pass a
+scheduler to run the same fragments on a process or thread pool), and
+recombines the fragment outputs in a single accumulation pass.
+Simulated and real parallel execution therefore share one code path —
+the only difference is which scheduler runs the fragment tasks.
+
+:class:`FragmentReport` records per-fragment work for bench E9's
+accounting: ideal speedup (total work over the largest fragment) next
+to *measured* wall-clock speedup when a serial baseline is supplied.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aggregates import AggregateFunction
+from repro.engine.parallel import (
+    CallableTask,
+    DistinctTask,
+    FragmentScheduler,
+    FragmentTask,
+    GroupByTask,
+    JoinTask,
+    ParallelConfig,
+    ProjectTask,
+)
+from repro.expressions import parse_expression
 from repro.multiset import Multiset
 from repro import obs
 from repro.relation import Relation
-from repro.schema import AttrRefLike
-from repro.tuples import Row
+from repro.schema import AttrRefLike, RelationSchema
+from repro.tuples import Row, stable_hash
 
 __all__ = [
     "hash_partition",
@@ -48,6 +68,11 @@ __all__ = [
     "parallel_distinct",
 ]
 
+#: The default executor: fragments run inline, in order (simulation mode).
+_SERIAL_SCHEDULER = FragmentScheduler(
+    ParallelConfig(workers=1, backend="serial", min_rows=0)
+)
+
 
 def hash_partition(
     relation: Relation,
@@ -58,7 +83,10 @@ def hash_partition(
 
     ``attrs`` selects the partitioning key; None partitions on the whole
     tuple.  The fragments' ⊎ equals the original relation (tested), and
-    their supports are pairwise disjoint.
+    their supports are pairwise disjoint.  Partitioning uses
+    :func:`repro.tuples.stable_hash`, so the same tuple lands in the
+    same fragment in every run and in every worker process — the builtin
+    ``hash`` is randomized per interpreter for strings.
     """
     if fragments < 1:
         raise ValueError("need at least one fragment")
@@ -72,8 +100,8 @@ def hash_partition(
             if positions is not None
             else row
         )
-        bucket = hash(key) % fragments
-        buckets[bucket][row] = buckets[bucket].get(row, 0) + count
+        bucket = buckets[stable_hash(key) % fragments]
+        bucket[row] = bucket.get(row, 0) + count
     return [
         Relation.from_multiset(relation.schema, Multiset(bucket))
         for bucket in buckets
@@ -82,10 +110,24 @@ def hash_partition(
 
 @dataclass
 class FragmentReport:
-    """Per-fragment work sizes for the speedup accounting of bench E9."""
+    """Per-fragment work sizes plus wall-clock measurements (bench E9).
+
+    ``ideal_speedup`` is the simulation-mode figure: total work over the
+    largest fragment.  ``parallel_seconds`` is the measured wall time of
+    the fragment phase as it actually ran; with a caller-supplied
+    ``serial_seconds`` baseline, ``measured_speedup`` is the *real*
+    speedup of that run.
+    """
 
     input_sizes: List[int] = field(default_factory=list)
     output_sizes: List[int] = field(default_factory=list)
+    #: Measured wall time of the fragment phase (seconds).
+    parallel_seconds: Optional[float] = None
+    #: Caller-supplied serial baseline for the same operator (seconds).
+    serial_seconds: Optional[float] = None
+    #: How the fragment phase ran.
+    workers: int = 1
+    backend: str = "serial"
 
     @property
     def total_work(self) -> int:
@@ -102,12 +144,12 @@ class FragmentReport:
             return 1.0
         return self.total_work / self.critical_path
 
-
-def _recombine(parts: List[Relation]) -> Relation:
-    result = parts[0]
-    for part in parts[1:]:
-        result = result.union(part)
-    return result
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        """Real wall-clock speedup, when a serial baseline was recorded."""
+        if not self.parallel_seconds or self.serial_seconds is None:
+            return None
+        return self.serial_seconds / self.parallel_seconds
 
 
 @contextmanager
@@ -131,13 +173,66 @@ def _instrument(
             total_work=effective.total_work,
             critical_path=effective.critical_path,
             ideal_speedup=round(effective.ideal_speedup, 3),
+            workers=effective.workers,
+            backend=effective.backend,
         )
+        if effective.parallel_seconds is not None:
+            span.set(parallel_seconds=round(effective.parallel_seconds, 6))
     obs.add("parallel.ops", op=op)
     obs.add("parallel.fragments", len(effective.input_sizes), op=op)
+    obs.gauge("parallel.workers", effective.workers)
+    speedup = effective.measured_speedup
+    if speedup is not None:
+        obs.gauge("parallel.real_speedup", round(speedup, 3), op=op)
     for size in effective.input_sizes:
         obs.observe("parallel.fragment_rows_in", size, op=op)
     for size in effective.output_sizes:
         obs.observe("parallel.fragment_rows_out", size, op=op)
+
+
+def _execute_fragments(
+    op: str,
+    schema: RelationSchema,
+    task: FragmentTask,
+    payloads: List,
+    input_sizes: List[int],
+    fragments: int,
+    report: Optional[FragmentReport],
+    scheduler: Optional[FragmentScheduler],
+) -> Relation:
+    """The shared execution path of every ``parallel_*`` wrapper.
+
+    Runs ``task`` over the fragment payloads on ``scheduler`` (or the
+    serial default), accumulates every fragment's output pairs into one
+    multiset in a single pass (⊎ of all fragments at once — no chained
+    pairwise re-merging), and fills the report.
+    """
+    active = scheduler if scheduler is not None else _SERIAL_SCHEDULER
+    with _instrument(op, fragments, report) as report:
+        started = time.perf_counter()
+        outputs = active.run(task, payloads)
+        elapsed = time.perf_counter() - started
+        counts: Dict[Row, int] = {}
+        for output in outputs:
+            for row, count in output:
+                counts[row] = counts.get(row, 0) + count
+        if report is not None:
+            report.input_sizes.extend(input_sizes)
+            report.output_sizes.extend(
+                sum(count for _row, count in output) for output in outputs
+            )
+            report.parallel_seconds = elapsed
+            report.workers = active.workers
+            report.backend = active.effective_backend
+        return Relation.from_multiset(schema, Multiset(counts))
+
+
+def _payloads(parts: List[Relation]) -> Tuple[List, List[int]]:
+    return [list(part.pairs()) for part in parts], [len(part) for part in parts]
+
+
+def _filter_payload(predicate: Callable[[Row], bool], pairs: List) -> List:
+    return [(row, count) for row, count in pairs if predicate(row)]
 
 
 def parallel_select(
@@ -145,18 +240,20 @@ def parallel_select(
     predicate: Callable[[Row], bool],
     fragments: int,
     report: Optional[FragmentReport] = None,
+    scheduler: Optional[FragmentScheduler] = None,
 ) -> Relation:
-    """σ per fragment, then ⊎ — justified by Theorem 3.2."""
-    with _instrument("select", fragments, report) as report:
-        parts = hash_partition(relation, None, fragments)
-        outputs = []
-        for part in parts:
-            output = part.select(predicate)
-            outputs.append(output)
-            if report is not None:
-                report.input_sizes.append(len(part))
-                report.output_sizes.append(len(output))
-        return _recombine(outputs)
+    """σ per fragment, then ⊎ — justified by Theorem 3.2.
+
+    Note: on a ``process`` scheduler the predicate must be picklable
+    (a module-level function); closures work on ``serial``/``thread``.
+    """
+    parts = hash_partition(relation, None, fragments)
+    payloads, sizes = _payloads(parts)
+    task = CallableTask(partial(_filter_payload, predicate), name="select")
+    return _execute_fragments(
+        "select", relation.schema, task, payloads, sizes,
+        fragments, report, scheduler,
+    )
 
 
 def parallel_project(
@@ -164,18 +261,17 @@ def parallel_project(
     attrs: Sequence[AttrRefLike],
     fragments: int,
     report: Optional[FragmentReport] = None,
+    scheduler: Optional[FragmentScheduler] = None,
 ) -> Relation:
     """π per fragment, then ⊎ — justified by Theorem 3.2."""
-    with _instrument("project", fragments, report) as report:
-        parts = hash_partition(relation, None, fragments)
-        outputs = []
-        for part in parts:
-            output = part.project(attrs)
-            outputs.append(output)
-            if report is not None:
-                report.input_sizes.append(len(part))
-                report.output_sizes.append(len(output))
-        return _recombine(outputs)
+    positions = relation.schema.resolve_all(attrs)
+    parts = hash_partition(relation, None, fragments)
+    payloads, sizes = _payloads(parts)
+    task = ProjectTask(tuple(position - 1 for position in positions))
+    return _execute_fragments(
+        "project", relation.schema.project(positions), task, payloads, sizes,
+        fragments, report, scheduler,
+    )
 
 
 def parallel_equijoin(
@@ -185,35 +281,35 @@ def parallel_equijoin(
     right_attrs: Sequence[AttrRefLike],
     fragments: int,
     report: Optional[FragmentReport] = None,
+    scheduler: Optional[FragmentScheduler] = None,
 ) -> Relation:
     """Co-partitioned hash join: fragment both sides on the join key.
 
     Tuples that join always share a key, hence a fragment; joining
     fragment-wise and recombining with ⊎ yields the exact bag join.
     """
-    with _instrument("equijoin", fragments, report) as report:
-        left_positions = left.schema.resolve_all(left_attrs)
-        right_positions = right.schema.resolve_all(right_attrs)
-        left_parts = hash_partition(left, left_attrs, fragments)
-        right_parts = hash_partition(right, right_attrs, fragments)
-
-        def matches(row: Row) -> bool:
-            width = left.schema.degree
-            return all(
-                row[left_position - 1] == row[width + right_position - 1]
-                for left_position, right_position in zip(
-                    left_positions, right_positions
-                )
-            )
-
-        outputs = []
-        for left_part, right_part in zip(left_parts, right_parts):
-            output = left_part.join(right_part, matches)
-            outputs.append(output)
-            if report is not None:
-                report.input_sizes.append(len(left_part) + len(right_part))
-                report.output_sizes.append(len(output))
-        return _recombine(outputs)
+    left_positions = left.schema.resolve_all(left_attrs)
+    right_positions = right.schema.resolve_all(right_attrs)
+    left_parts = hash_partition(left, left_attrs, fragments)
+    right_parts = hash_partition(right, right_attrs, fragments)
+    payloads = [
+        (list(left_part.pairs()), list(right_part.pairs()))
+        for left_part, right_part in zip(left_parts, right_parts)
+    ]
+    sizes = [
+        len(left_part) + len(right_part)
+        for left_part, right_part in zip(left_parts, right_parts)
+    ]
+    task = JoinTask(
+        tuple(parse_expression(f"%{position}") for position in left_positions),
+        tuple(parse_expression(f"%{position}") for position in right_positions),
+        left.schema,
+        right.schema,
+    )
+    return _execute_fragments(
+        "equijoin", left.schema.concat(right.schema), task, payloads, sizes,
+        fragments, report, scheduler,
+    )
 
 
 def parallel_group_by(
@@ -223,6 +319,7 @@ def parallel_group_by(
     param: Optional[AttrRefLike],
     fragments: int,
     report: Optional[FragmentReport] = None,
+    scheduler: Optional[FragmentScheduler] = None,
 ) -> Relation:
     """Γ partitioned on the grouping attributes.
 
@@ -232,31 +329,32 @@ def parallel_group_by(
     """
     if not attrs:
         raise ValueError("parallel group-by needs grouping attributes")
-    with _instrument("group_by", fragments, report) as report:
-        parts = hash_partition(relation, attrs, fragments)
-        outputs = []
-        for part in parts:
-            if not part:
-                if report is not None:
-                    report.input_sizes.append(0)
-                    report.output_sizes.append(0)
-                continue
-            output = part.group_by(list(attrs), aggregate, param)
-            outputs.append(output)
-            if report is not None:
-                report.input_sizes.append(len(part))
-                report.output_sizes.append(len(output))
-        if not outputs:
-            # All fragments empty: the grouped result is empty.
-            sample = parts[0].group_by(list(attrs), aggregate, param)
-            return sample
-        return _recombine(outputs)
+    positions = relation.schema.resolve_all(attrs)
+    param_position = (
+        relation.schema.resolve(param) if param is not None else None
+    )
+    # The result schema, derived without aggregating anything.
+    schema = Relation.empty(relation.schema).group_by(
+        list(attrs), aggregate, param
+    ).schema
+    parts = hash_partition(relation, attrs, fragments)
+    payloads, sizes = _payloads(parts)
+    task = GroupByTask(
+        tuple(position - 1 for position in positions),
+        aggregate,
+        param_position - 1 if param_position is not None else None,
+    )
+    return _execute_fragments(
+        "group_by", schema, task, payloads, sizes,
+        fragments, report, scheduler,
+    )
 
 
 def parallel_distinct(
     relation: Relation,
     fragments: int,
     report: Optional[FragmentReport] = None,
+    scheduler: Optional[FragmentScheduler] = None,
 ) -> Relation:
     """δ per fragment, then ⊎.
 
@@ -264,13 +362,9 @@ def parallel_distinct(
     supports — the general δ/⊎ distribution fails (Section 3.3), and the
     test suite demonstrates both facts side by side.
     """
-    with _instrument("distinct", fragments, report) as report:
-        parts = hash_partition(relation, None, fragments)
-        outputs = []
-        for part in parts:
-            output = part.distinct()
-            outputs.append(output)
-            if report is not None:
-                report.input_sizes.append(len(part))
-                report.output_sizes.append(len(output))
-        return _recombine(outputs)
+    parts = hash_partition(relation, None, fragments)
+    payloads, sizes = _payloads(parts)
+    return _execute_fragments(
+        "distinct", relation.schema, DistinctTask(), payloads, sizes,
+        fragments, report, scheduler,
+    )

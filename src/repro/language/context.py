@@ -30,6 +30,7 @@ class ExecutionContext:
         relations: Mapping[str, Relation],
         use_physical_engine: bool = False,
         optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = None,
+        parallel: Optional[object] = None,
     ) -> None:
         #: Working copies of the base relations.
         self.relations: Dict[str, Relation] = dict(relations)
@@ -39,6 +40,8 @@ class ExecutionContext:
         self.outputs: List[Relation] = []
         self._use_physical_engine = use_physical_engine
         self._optimizer = optimizer
+        #: Fragment scheduler for parallel plans (physical engine only).
+        self._parallel = parallel
 
     # -- name resolution -------------------------------------------------
 
@@ -83,7 +86,7 @@ class ExecutionContext:
             expr = self._optimizer(expr)
         env = self.environment()
         if self._use_physical_engine:
-            return execute(expr, env)
+            return execute(expr, env, parallel=self._parallel)
         return evaluate(expr, env)
 
     def statistics(self) -> StatisticsCatalog:

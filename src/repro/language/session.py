@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.algebra import AlgebraExpr, RelationRef, render
 from repro.algebra.base import ConditionLike
 from repro.database import Database
+from repro.engine.parallel import FragmentScheduler, make_scheduler
 from repro.errors import TransactionAbort, TransactionError
 from repro.language.context import ExecutionContext
 from repro.language.statements import Assign, Delete, Insert, Query, Statement, Update
@@ -52,6 +53,7 @@ class Session:
         constraints: Sequence[object] = (),
         query_log: Optional[QueryLog] = None,
         slow_query_threshold: Optional[float] = None,
+        parallel: Optional[object] = None,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -59,6 +61,12 @@ class Session:
         self._optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = (
             optimize if use_optimizer else None
         )
+        #: Fragment scheduler for parallel plans (physical engine only).
+        #: ``parallel`` may be a worker count, a ParallelConfig, or a
+        #: FragmentScheduler; see :meth:`set_parallel`.
+        self._parallel: Optional[FragmentScheduler] = None
+        if parallel is not None:
+            self.set_parallel(parallel)
         #: Per-statement log; None disables logging entirely.
         self.query_log = query_log
         if slow_query_threshold is not None:
@@ -66,6 +74,45 @@ class Session:
                 self.query_log = QueryLog(slow_threshold=slow_query_threshold)
             else:
                 self.query_log.slow_threshold = slow_query_threshold
+
+    # -- parallel execution -------------------------------------------------
+
+    @property
+    def parallel(self) -> Optional[FragmentScheduler]:
+        """The session's fragment scheduler, or None when serial."""
+        return self._parallel
+
+    def set_parallel(
+        self, workers: Optional[object], backend: Optional[str] = None
+    ) -> Optional[FragmentScheduler]:
+        """Enable or disable fragment-parallel query execution.
+
+        ``workers`` may be a positive worker count (optionally with a
+        ``backend`` of ``process``/``thread``/``serial``), a
+        :class:`~repro.engine.ParallelConfig`, a
+        :class:`~repro.engine.FragmentScheduler`, or ``None``/``0`` to
+        switch back to serial execution.  Any previously owned scheduler
+        is shut down.  Parallel plans are a physical-engine rewrite, so
+        a reference-evaluator session cannot enable them.
+        """
+        scheduler = make_scheduler(workers, backend)
+        if scheduler is not None and not self.use_physical_engine:
+            scheduler.close()
+            raise ValueError(
+                "parallel execution requires the physical engine "
+                "(use_physical_engine=True)"
+            )
+        previous = self._parallel
+        self._parallel = scheduler
+        if previous is not None and previous is not scheduler:
+            previous.close()
+        return scheduler
+
+    def close(self) -> None:
+        """Release session resources (the worker pool, if any)."""
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
 
     # -- expression building ----------------------------------------------
 
@@ -83,6 +130,7 @@ class Session:
                 self.database.snapshot(),
                 use_physical_engine=self.use_physical_engine,
                 optimizer=self._optimizer,
+                parallel=self._parallel,
             )
             return context.evaluate(expr)
         started = time.perf_counter()
@@ -93,6 +141,7 @@ class Session:
                 self.database.snapshot(),
                 use_physical_engine=self.use_physical_engine,
                 optimizer=self._optimizer,
+                parallel=self._parallel,
             )
             result = context.evaluate(expr)
             if span.recording:
@@ -133,6 +182,7 @@ class Session:
             use_physical_engine=self.use_physical_engine,
             optimizer=self._optimizer,
             constraints=self.constraints,
+            parallel=self._parallel,
         )
         if log is not None:
             text = "; ".join(repr(statement) for statement in statements)
@@ -181,6 +231,7 @@ class ActiveTransaction:
             self._pre_state,
             use_physical_engine=session.use_physical_engine,
             optimizer=session._optimizer,
+            parallel=session._parallel,
         )
         self._finished = False
 

@@ -79,6 +79,7 @@ class Transaction:
         optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = None,
         constraints: Sequence["object"] = (),
         record_intermediate_states: bool = False,
+        parallel: Optional[object] = None,
     ) -> TransactionResult:
         """Execute against ``database`` with full atomicity.
 
@@ -95,6 +96,7 @@ class Transaction:
             pre_state,
             use_physical_engine=use_physical_engine,
             optimizer=optimizer,
+            parallel=parallel,
         )
         intermediate_states: List[IntermediateState] = []
         if record_intermediate_states:

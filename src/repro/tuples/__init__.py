@@ -7,6 +7,7 @@ from repro.tuples.tuple_ops import (
     degree,
     make_row,
     project_tuple,
+    stable_hash,
     validate_tuple,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "degree",
     "make_row",
     "project_tuple",
+    "stable_hash",
     "validate_tuple",
 ]

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.algebra import AlgebraExpr
 from repro.database import Database
+from repro.engine.parallel import FragmentScheduler, make_scheduler
 from repro.errors import XRARuntimeError
 from repro.language import Transaction, TransactionResult
 from repro.optimizer import optimize
@@ -69,6 +70,7 @@ class XRAInterpreter:
         use_physical_engine: bool = True,
         use_optimizer: bool = True,
         constraints: Sequence[object] = (),
+        parallel: Optional[object] = None,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -76,6 +78,32 @@ class XRAInterpreter:
         self._optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = (
             optimize if use_optimizer else None
         )
+        #: Fragment scheduler for parallel plans (physical engine only).
+        self._parallel: Optional[FragmentScheduler] = None
+        if parallel is not None:
+            self.set_parallel(parallel)
+
+    def set_parallel(
+        self, workers: Optional[object], backend: Optional[str] = None
+    ) -> Optional[FragmentScheduler]:
+        """Enable or disable fragment-parallel execution for scripts.
+
+        Same contract as :meth:`repro.language.Session.set_parallel`:
+        a worker count (with optional backend), ParallelConfig,
+        FragmentScheduler, or ``None``/``0`` to go serial.
+        """
+        scheduler = make_scheduler(workers, backend)
+        if scheduler is not None and not self.use_physical_engine:
+            scheduler.close()
+            raise ValueError(
+                "parallel execution requires the physical engine "
+                "(use_physical_engine=True)"
+            )
+        previous = self._parallel
+        self._parallel = scheduler
+        if previous is not None and previous is not scheduler:
+            previous.close()
+        return scheduler
 
     def run(self, text: str) -> ScriptResult:
         """Parse and execute a whole script."""
@@ -114,6 +142,7 @@ class XRAInterpreter:
             use_physical_engine=self.use_physical_engine,
             optimizer=self._optimizer,
             constraints=self.constraints,
+            parallel=self._parallel,
         )
         result.transactions.append(outcome)
         result.outputs.extend(outcome.outputs)

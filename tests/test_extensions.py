@@ -244,3 +244,34 @@ class TestParallelOperators:
         report = FragmentReport()
         assert report.critical_path == 0
         assert report.ideal_speedup == 1.0
+
+    def test_report_measures_wall_clock(self):
+        relation = random_int_relation(600, value_space=20, seed=3)
+        report = FragmentReport()
+        parallel_distinct(relation, 4, report)
+        assert report.parallel_seconds is not None
+        assert report.parallel_seconds > 0
+        assert report.workers == 1
+        assert report.backend == "serial"
+        # No serial baseline recorded -> no measured figure.
+        assert report.measured_speedup is None
+        report.serial_seconds = report.parallel_seconds * 2
+        assert report.measured_speedup == pytest.approx(2.0)
+
+    def test_wrappers_accept_real_scheduler(self):
+        from repro.engine import FragmentScheduler, ParallelConfig
+
+        relation = random_int_relation(500, value_space=12, seed=21)
+        with FragmentScheduler(
+            ParallelConfig(workers=2, backend="thread", min_rows=0)
+        ) as scheduler:
+            report = FragmentReport()
+            result = parallel_group_by(
+                relation, ["%1"], SUM, "%2", 4, report, scheduler=scheduler
+            )
+            assert result == relation.group_by(["%1"], SUM, "%2")
+            assert report.workers == 2
+            assert report.backend == "thread"
+            assert parallel_select(
+                relation, lambda row: row[0] > 2, 4, scheduler=scheduler
+            ) == relation.select(lambda row: row[0] > 2)

@@ -1,0 +1,283 @@
+"""Tests for the fragment-parallel execution engine.
+
+The load-bearing property is *differential*: a fragment-parallel plan —
+any worker count, any backend — must be bag-identical to the reference
+evaluator on arbitrary expressions.  That is exactly the content of
+Theorems 3.2/3.3 (σ/π/π̂ distribute over ⊎, ⊎ re-associates), the
+co-partitioned equi-join law, Γ on the grouping key, and the refined
+δ/⊎ law on disjoint supports; these tests fuzz all of them at once
+through the planner rewrite.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import evaluate, execute, plan
+from repro.engine.parallel import (
+    ExchangeOp,
+    FragmentScheduler,
+    FragmentedJoinOp,
+    ParallelConfig,
+    make_scheduler,
+)
+from repro.errors import EmptyAggregateError
+from repro.database import Database
+from repro.language import Session
+from repro.relation import Relation
+from repro.testing import ExpressionGenerator, random_environment
+from repro.tuples import stable_hash
+from repro.workloads import random_int_relation
+
+
+@pytest.fixture(scope="module")
+def env():
+    return random_environment(tables=3, size=60, degree=2, value_space=5, seed=3)
+
+
+def make_pool(workers, backend):
+    # min_rows=0 forces real fan-out even on tiny fuzz inputs, so the
+    # partitioning/recombination logic is exercised, not skipped.
+    return FragmentScheduler(
+        ParallelConfig(workers=workers, backend=backend, min_rows=0)
+    )
+
+
+def assert_parallel_matches_reference(env, scheduler, seeds, max_depth=5):
+    for seed in seeds:
+        generator = ExpressionGenerator(env, seed=seed, max_depth=max_depth)
+        expr = generator.expression()
+        try:
+            reference = evaluate(expr, env)
+        except EmptyAggregateError:
+            with pytest.raises(EmptyAggregateError):
+                execute(expr, env, parallel=scheduler)
+            continue
+        result = execute(expr, env, parallel=scheduler)
+        assert result == reference, (
+            f"parallel != reference for {expr!r} "
+            f"({scheduler.workers}w {scheduler.config.backend})"
+        )
+
+
+class TestParallelParity:
+    """workers × backend matrix, fuzzed against the reference evaluator."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_serial_backend(self, env, workers):
+        with make_pool(workers, "serial") as scheduler:
+            assert_parallel_matches_reference(env, scheduler, range(12))
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_thread_backend(self, env, workers):
+        with make_pool(workers, "thread") as scheduler:
+            assert_parallel_matches_reference(env, scheduler, range(8))
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_process_backend(self, env, workers):
+        with make_pool(workers, "process") as scheduler:
+            assert_parallel_matches_reference(env, scheduler, range(8))
+
+    def test_parallel_plan_contains_exchange_operators(self, env):
+        with make_pool(4, "serial") as scheduler:
+            seen = set()
+            for seed in range(30):
+                expr = ExpressionGenerator(env, seed=seed).expression()
+                physical = plan(expr, parallel=scheduler)
+                stack = [physical]
+                while stack:
+                    node = stack.pop()
+                    seen.add(type(node))
+                    stack.extend(node.children())
+            assert ExchangeOp in seen
+            assert FragmentedJoinOp in seen
+
+    def test_without_scheduler_plan_is_unchanged(self, env):
+        # The serial code path must be byte-for-byte the old planner.
+        expr = ExpressionGenerator(env, seed=1).expression()
+        assert plan(expr).explain() == plan(expr, parallel=None).explain()
+        assert "exchange" not in plan(expr).explain()
+
+
+class TestFragmentationLaws:
+    def test_distinct_over_disjoint_fragments(self):
+        # δ(f1 ⊎ ... ⊎ fn) = δ(f1) ⊎ ... ⊎ δ(fn) holds on hash
+        # fragments because their supports are pairwise disjoint.
+        from repro.extensions.parallel import hash_partition
+
+        relation = random_int_relation(
+            300, degree=2, value_space=4, seed=11, name="r"
+        )
+        parts = hash_partition(relation, None, 5)
+        supports = [set(row for row, _ in part.pairs()) for part in parts]
+        for i in range(len(supports)):
+            for j in range(i + 1, len(supports)):
+                assert not (supports[i] & supports[j])
+        recombined = parts[0]
+        for part in parts[1:]:
+            recombined = recombined.union(part)
+        assert recombined == relation
+        fragmentwise = Relation.from_pairs(
+            relation.schema,
+            [pair for part in parts for pair in part.distinct().pairs()],
+        )
+        assert fragmentwise == relation.distinct()
+
+    def test_group_by_with_empty_fragments(self):
+        # Far more workers than distinct grouping keys: most hash
+        # fragments are empty and must simply contribute nothing.
+        relation = random_int_relation(
+            200, degree=2, value_space=2, seed=5, name="r"
+        )
+        env = {"r": relation}
+        from repro.algebra import RelationRef
+        from repro.aggregates import Count
+
+        expr = RelationRef("r", relation.schema).group_by([1], Count(), None)
+        reference = evaluate(expr, env)
+        with make_pool(8, "serial") as scheduler:
+            assert execute(expr, env, parallel=scheduler) == reference
+
+    def test_group_by_on_empty_relation(self):
+        relation = random_int_relation(10, degree=2, seed=1, name="r")
+        empty = Relation.empty(relation.schema)
+        env = {"r": empty}
+        from repro.algebra import RelationRef
+        from repro.aggregates import Count
+
+        expr = RelationRef("r", relation.schema).group_by([1], Count(), None)
+        with make_pool(4, "serial") as scheduler:
+            result = execute(expr, env, parallel=scheduler)
+        assert len(result) == 0
+
+    def test_min_rows_keeps_small_inputs_inline(self):
+        # Below min_rows the exchange runs one inline fragment and the
+        # scheduler never spins up a pool.
+        relation = random_int_relation(20, degree=2, seed=2, name="r")
+        env = {"r": relation}
+        from repro.algebra import RelationRef
+
+        expr = RelationRef("r", relation.schema).select("%1 >= 0").distinct()
+        scheduler = FragmentScheduler(
+            ParallelConfig(workers=4, backend="process", min_rows=10_000)
+        )
+        with scheduler:
+            result = execute(expr, env, parallel=scheduler)
+            assert scheduler._executor is None
+        assert result == evaluate(expr, env)
+
+
+class TestStableHash:
+    def test_deterministic_across_hash_randomization(self):
+        # The builtin hash of strings changes per interpreter run
+        # (PYTHONHASHSEED); stable_hash must not, or fragments computed
+        # in different worker processes would disagree.
+        program = (
+            "import datetime\n"
+            "from repro.tuples import stable_hash\n"
+            "values = ['beer', b'bytes', ('Pils', 7, None),"
+            " datetime.date(1994, 2, 14), 3.5, True]\n"
+            "print([stable_hash(v) for v in values])\n"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("0", "12345")
+        }
+        assert len(outputs) == 1
+
+    def test_numeric_cross_type_equality(self):
+        # 1, 1.0 and True are equal tuples values and must co-partition.
+        assert stable_hash(1) == stable_hash(1.0) == stable_hash(True)
+        assert stable_hash((1, "x")) == stable_hash((1.0, "x"))
+
+    def test_spreads_over_fragments(self):
+        buckets = {stable_hash(("k", i)) % 8 for i in range(100)}
+        assert len(buckets) > 1
+
+
+class TestSchedulerLifecycle:
+    def test_make_scheduler_coercions(self):
+        assert make_scheduler(None) is None
+        assert make_scheduler(0) is None
+        assert make_scheduler(-3) is None
+        scheduler = make_scheduler(2, "serial")
+        assert scheduler.workers == 2
+        assert scheduler.config.backend == "serial"
+        assert make_scheduler(scheduler) is scheduler
+        config = ParallelConfig(workers=3, backend="thread")
+        assert make_scheduler(config).config is config
+        with pytest.raises(TypeError):
+            make_scheduler(True)
+        with pytest.raises(TypeError):
+            make_scheduler("4")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(backend="gpu")
+
+    def test_process_pool_reused_and_closed(self):
+        scheduler = make_pool(2, "process")
+        relation = random_int_relation(400, degree=2, seed=9, name="r")
+        env = {"r": relation}
+        from repro.algebra import RelationRef
+
+        expr = RelationRef("r", relation.schema).distinct()
+        first = execute(expr, env, parallel=scheduler)
+        executor = scheduler._executor
+        second = execute(expr, env, parallel=scheduler)
+        assert scheduler._executor is executor  # one pool per scheduler
+        assert first == second == evaluate(expr, env)
+        scheduler.close()
+        assert scheduler._executor is None
+
+
+class TestSessionSurface:
+    def test_session_parallel_query_parity(self):
+        relation = random_int_relation(500, degree=2, value_space=9, seed=4, name="r")
+        db = Database()
+        db.create_relation(relation.schema, relation)
+        serial = Session(db)
+        parallel = Session(db, parallel=make_scheduler(4, "thread"))
+        expr = serial.relation("r").select("%1 > 2").project([1])
+        assert parallel.query(expr) == serial.query(expr)
+        parallel.close()
+
+    def test_set_parallel_switches_and_disables(self):
+        db = Database()
+        session = Session(db)
+        assert session.parallel is None
+        scheduler = session.set_parallel(2, "serial")
+        assert session.parallel is scheduler
+        assert scheduler.workers == 2
+        session.set_parallel(None)
+        assert session.parallel is None
+        session.set_parallel(0)
+        assert session.parallel is None
+
+    def test_reference_engine_session_refuses_parallel(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            Session(db, use_physical_engine=False, parallel=2)
+        session = Session(db, use_physical_engine=False)
+        with pytest.raises(ValueError):
+            session.set_parallel(4)
+
+    def test_transaction_runs_parallel(self):
+        relation = random_int_relation(400, degree=2, value_space=6, seed=8, name="r")
+        db = Database()
+        db.create_relation(relation.schema, relation)
+        session = Session(db, parallel=make_scheduler(2, "serial"))
+        with session.transaction() as txn:
+            out = txn.query(txn.relation("r").select("%1 > 1"))
+        reference = Session(db).query(
+            session.relation("r").select("%1 > 1")
+        )
+        assert out == reference
+        session.close()
