@@ -1,0 +1,135 @@
+"""E11 — the query cache on repeated-query workloads.
+
+The cache's whole value proposition is the workload the language layer
+sees constantly: the same (or an equivalent, Theorem 3.1–3.3-related)
+read expression evaluated again and again between sparse transitions.
+This bench measures that directly:
+
+* **cold** — every query evaluated from scratch (no cache attached);
+* **warm** — the same query mix served by :class:`repro.cache.QueryCache`
+  after one priming pass (all hits);
+* **churn** — the mix interleaved with transitions that invalidate one
+  relation per round, so the cache must re-earn part of its keep.
+
+The shape assertion pins the headline: the warm cache must be at least
+5× faster than cold evaluation on the repeated mix.  Hit/miss counters
+are read back through ``repro.obs`` (``cache.*``) and ride into
+``BENCH_e11.json`` via ``extra_info``.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.algebra import LiteralRelation
+from repro.cache import QueryCache
+from repro.database import Database
+from repro.language import Session
+from repro.workloads import random_int_relation
+
+
+def _database(size: int = 12_000) -> Database:
+    database = Database()
+    for index in range(3):
+        relation = random_int_relation(
+            size, degree=2, value_space=size // 10, seed=index, name=f"t{index + 1}"
+        )
+        database.create_relation(relation.schema, relation)
+    return database
+
+
+def _query_mix(session: Session):
+    """A repeated read mix: join, aggregate, and two selections."""
+    t1, t2, t3 = (session.relation(f"t{i}") for i in (1, 2, 3))
+    return [
+        t1.join(t2, "%1 = %3").select("%2 > 3").project(["%1", "%4"]),
+        t3.select("%1 > 5").project(["%2"]).distinct(),
+        t1.union(t2).select("%1 = 7"),
+        t2.difference(t3),
+    ]
+
+
+def _run_mix(session: Session, mix) -> int:
+    total = 0
+    for expr in mix:
+        total += len(session.query(expr))
+    return total
+
+
+@pytest.fixture(scope="module")
+def database():
+    return _database()
+
+
+@pytest.mark.benchmark(group="e11-cache")
+def test_cold_repeated_queries(benchmark, database):
+    session = Session(database)
+    mix = _query_mix(session)
+    result = benchmark(lambda: _run_mix(session, mix))
+    assert result > 0
+
+
+@pytest.mark.benchmark(group="e11-cache")
+def test_warm_cache_repeated_queries(benchmark, database):
+    obs.enable()
+    try:
+        cache = QueryCache()
+        cached = Session(database, cache=cache)
+        plain = Session(database)
+        mix = _query_mix(cached)
+
+        # Correctness before speed: the cached mix must agree with the
+        # uncached one, then a priming pass fills the cache.
+        for expr in mix:
+            assert cached.query(expr) == plain.query(expr)
+
+        # Hand-timed cold reference for the speedup figure (benchmark()
+        # times only the warm path).
+        cold_start = time.perf_counter()
+        _run_mix(plain, mix)
+        cold_seconds = time.perf_counter() - cold_start
+
+        result = benchmark(lambda: _run_mix(cached, mix))
+        assert result > 0
+
+        stats = benchmark.stats
+        warm_seconds = getattr(stats, "stats", stats).mean
+        speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+        totals = obs.metrics().prefix_totals("cache.")
+
+        benchmark.extra_info["cold_seconds"] = round(cold_seconds, 6)
+        benchmark.extra_info["real_speedup"] = round(speedup, 2)
+        benchmark.extra_info["hit_rate"] = round(cache.stats.hit_rate, 4)
+        for name, value in totals.items():
+            benchmark.extra_info[name] = value
+
+        # The headline claim: a warm cache is ≥5× faster than evaluating
+        # the same mix from scratch.
+        assert speedup >= 5.0, f"warm cache only {speedup:.1f}x faster"
+        assert totals.get("cache.hits", 0) > 0
+    finally:
+        obs.disable()
+
+
+@pytest.mark.benchmark(group="e11-cache")
+def test_cache_under_churn(benchmark, database):
+    """One relation invalidated per round: partial hits, still correct."""
+    cache = QueryCache()
+    session = Session(database, cache=cache)
+    mix = _query_mix(session)
+    patch = LiteralRelation(random_int_relation(1, degree=2, seed=99))
+
+    def round_trip() -> int:
+        total = _run_mix(session, mix)
+        session.insert("t3", patch)  # bumps t3's epoch only
+        return total
+
+    result = benchmark(round_trip)
+    assert result > 0
+    benchmark.extra_info["hit_rate"] = round(cache.stats.hit_rate, 4)
+    benchmark.extra_info["invalidations"] = cache.stats.invalidations
+    # t1 ⋈ t2 and t1 ⊎ t2 stay valid across the churn; the t3 readers
+    # re-earn their entries each round.
+    assert cache.stats.result_hits > 0
+    assert cache.stats.invalidations > 0

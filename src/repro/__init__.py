@@ -39,6 +39,7 @@ from repro.algebra import (
     render,
     render_tree,
 )
+from repro.cache import QueryCache
 from repro.database import (
     Database,
     DatabaseTransition,
@@ -164,6 +165,8 @@ __all__ = [
     "Program",
     "Transaction",
     "Session",
+    # caching
+    "QueryCache",
     # front ends
     "sql_to_algebra",
     "sql_to_statement",

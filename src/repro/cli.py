@@ -30,6 +30,11 @@ start with a dot:
                           workers (BACKEND: process|thread|serial,
                           default process); .parallel off goes back to
                           serial; bare .parallel shows the status
+    .cache on [MB]        cache query results (epoch-invalidated) with
+                          an optional size budget in MiB (default 64);
+                          .cache off disables, .cache clear empties,
+                          .cache stats shows hit/miss/eviction counts,
+                          bare .cache shows the status
     .load NAME PATH       load a typed-header CSV file as relation NAME
     .save NAME PATH       save relation NAME as CSV
     .time                 show the database's logical time
@@ -43,6 +48,7 @@ import sys
 from typing import List, Optional, TextIO
 
 from repro.algebra import render, render_tree
+from repro.cache import QueryCache
 from repro.database import Database
 from repro.engine import StatisticsCatalog, make_scheduler, plan
 from repro.errors import ReproError
@@ -83,6 +89,9 @@ class Shell:
         self.err = err
         self._buffer: List[str] = []
         self._trace_path: Optional[str] = None
+        #: One query cache shared by the session (SQL, library) and the
+        #: XRA interpreter; None while caching is off.
+        self.cache: Optional[QueryCache] = None
 
     # -- output helpers -------------------------------------------------
 
@@ -235,6 +244,9 @@ class Shell:
         if command == ".parallel":
             self.parallel_command(argument)
             return None
+        if command == ".cache":
+            self.cache_command(argument)
+            return None
         self.print(f"unknown command {command!r}; try .help")
         return None
 
@@ -334,6 +346,74 @@ class Shell:
         self.session.set_parallel(scheduler)
         self.interpreter.set_parallel(scheduler)
         return scheduler
+
+    CACHE_USAGE = ".cache [on [MB] | off | clear | stats]"
+
+    def cache_command(self, argument: str) -> None:
+        """``.cache on [MB]`` / ``.cache off`` / ``.cache clear`` / ``.cache stats``."""
+        argument = argument.strip()
+        mode, _, size_text = argument.partition(" ")
+        if mode == "on":
+            size_text = size_text.strip()
+            try:
+                max_bytes = (
+                    int(float(size_text) * 1024 * 1024) if size_text else None
+                )
+            except ValueError:
+                self.print_error(ReproError(f"usage: {self.CACHE_USAGE}"))
+                return
+            self.set_cache(
+                QueryCache(max_bytes=max_bytes)
+                if max_bytes is not None
+                else QueryCache()
+            )
+            assert self.cache is not None
+            self.print(
+                "query cache on "
+                f"({self.cache.max_bytes // (1024 * 1024)} MiB budget)"
+            )
+            return
+        if mode == "off":
+            self.set_cache(None)
+            self.print("query cache off")
+            return
+        if mode == "clear":
+            if self.cache is None:
+                self.print("query cache is off; nothing to clear")
+            else:
+                self.cache.clear()
+                self.print("query cache cleared")
+            return
+        if mode == "stats":
+            if self.cache is None:
+                self.print("query cache is off")
+                return
+            stats = self.cache.stats
+            self.print(
+                f"results: {len(self.cache)} entry(s), "
+                f"~{self.cache.nbytes} bytes "
+                f"(budget {self.cache.max_bytes}); "
+                f"plans: {self.cache.plan_entries}"
+            )
+            for name, value in stats.as_dict().items():
+                self.print(f"  {name:<16} {value}")
+            return
+        if mode:
+            self.print_error(ReproError(f"usage: {self.CACHE_USAGE}"))
+            return
+        if self.cache is None:
+            self.print(f"query cache is off; usage: {self.CACHE_USAGE}")
+        else:
+            self.print(
+                f"query cache on: {len(self.cache)} result(s), "
+                f"hit rate {self.cache.stats.hit_rate:.0%}"
+            )
+
+    def set_cache(self, cache: Optional[QueryCache]) -> None:
+        """Point the session *and* the script interpreter at one cache."""
+        self.cache = cache
+        self.session.set_cache(cache)
+        self.interpreter.set_cache(cache)
 
     def explain(self, text: str) -> None:
         """Logical tree, optimized tree, physical plan of one XRA query."""
@@ -460,6 +540,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="process",
         help="worker pool backend for --parallel (default: process)",
     )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="cache query results (epoch-invalidated; .cache in the shell)",
+    )
+    parser.add_argument(
+        "--cache-mb",
+        metavar="MB",
+        type=float,
+        default=64.0,
+        help="result-cache size budget in MiB for --cache (default 64)",
+    )
     options = parser.parse_args(argv)
 
     shell = Shell()
@@ -469,6 +561,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         shell.query_log.slow_threshold = options.slow_log
     if options.parallel > 0:
         shell.set_parallel(options.parallel, options.parallel_backend)
+    if options.cache:
+        shell.set_cache(QueryCache(max_bytes=int(options.cache_mb * 1024 * 1024)))
     try:
         if options.script:
             with open(options.script, encoding="utf-8") as handle:

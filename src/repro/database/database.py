@@ -8,6 +8,15 @@ exact state sequence the paper's transaction semantics prescribes.
 
 Relations are immutable values, so snapshots and rollback are cheap:
 a state is just a name->relation dict copy.
+
+Besides the global logical time, the database keeps one *epoch* per
+relation name: a counter bumped exactly when a committed transition (or
+a direct ``set``/``create_relation``/``drop_relation``) changes that
+relation's contents.  Epochs are the invalidation clock of
+:mod:`repro.cache` — a cached result is valid while the epochs of the
+relations it read are unchanged.  An aborted transaction never reaches
+:meth:`install`, so rollback leaves every epoch at its pre-transition
+value by construction.
 """
 
 from __future__ import annotations
@@ -38,6 +47,10 @@ class Database:
         }
         self._logical_time = 0
         self._transitions: list[DatabaseTransition] = []
+        #: Per-relation change counters (see :meth:`epoch`).  Names are
+        #: never removed: re-creating a dropped relation must not reuse
+        #: an epoch a stale cache entry was tagged with.
+        self._epochs: Dict[str, int] = {name: 0 for name in self._relations}
 
     # -- schema evolution ------------------------------------------------
 
@@ -52,12 +65,14 @@ class Database:
         elif not relation.schema.compatible_with(schema):
             raise SchemaMismatchError(schema, relation.schema, "create_relation")
         self._relations[schema.name] = relation.rename(schema.name)
+        self._bump_epoch(schema.name)
         return self._relations[schema.name]
 
     def drop_relation(self, name: str) -> None:
         """Remove a base relation and its schema."""
         self.schema.remove(name)
         del self._relations[name]
+        self._bump_epoch(name)
 
     # -- state access ----------------------------------------------------------
 
@@ -65,6 +80,22 @@ class Database:
     def logical_time(self) -> int:
         """The logical time ``t`` of the current state ``D^t``."""
         return self._logical_time
+
+    def epoch(self, name: str) -> int:
+        """The change counter for relation ``name``.
+
+        Starts at 0 when the relation is first known and increases
+        monotonically on every content change.  Unknown names report 0
+        (they gain a real epoch the moment they are created).
+        """
+        return self._epochs.get(name, 0)
+
+    def epochs(self) -> Dict[str, int]:
+        """A snapshot of every relation's epoch (copy, safe to keep)."""
+        return dict(self._epochs)
+
+    def _bump_epoch(self, name: str) -> None:
+        self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def get(self, name: str) -> Relation:
         """The current instance of relation ``name``."""
@@ -92,6 +123,7 @@ class Database:
         if not relation.schema.compatible_with(declared):
             raise SchemaMismatchError(declared, relation.schema, f"set {name!r}")
         self._relations[name] = relation.rename(name)
+        self._bump_epoch(name)
 
     def as_env(self) -> Mapping[str, Relation]:
         """A read-only view usable as an evaluation environment."""
@@ -114,12 +146,24 @@ class Database:
         ``(D^t, D^{t+1})`` per Definition 2.6.
         """
         before = self.snapshot()
+        after = dict(state)
         transition = DatabaseTransition(
-            before, dict(state), self._logical_time, self._logical_time + 1
+            before, after, self._logical_time, self._logical_time + 1
         )
-        self._relations = dict(state)
+        self._relations = after
         self._logical_time += 1
         self._transitions.append(transition)
+        # Bump the epoch of exactly the relations this transition changed
+        # (same object, or equal value, means untouched — statements copy
+        # the state dict, not the immutable relation values).
+        for name in before.keys() | after.keys():
+            old = before.get(name)
+            new = after.get(name)
+            if old is new:
+                continue
+            if old is not None and new is not None and old == new:
+                continue
+            self._bump_epoch(name)
         return transition
 
     @property

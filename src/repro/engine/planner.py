@@ -226,12 +226,17 @@ def execute(
     expr: AlgebraExpr,
     env: dict[str, Relation],
     parallel: Optional[Any] = None,
+    physical: Optional[PhysicalOp] = None,
 ) -> Relation:
     """Plan and run ``expr`` on the physical engine.
 
     ``parallel`` optionally carries a
     :class:`repro.engine.parallel.FragmentScheduler`; the plan is then
     rewritten into fragment-parallel form (see :func:`plan`).
+    ``physical`` optionally supplies a previously planned operator tree
+    for exactly this expression/scheduler pair — the plan cache
+    (:mod:`repro.cache`) uses it to skip re-planning on repeated
+    queries; the planning stage is then a no-op.
 
     While observability is enabled (:mod:`repro.obs`), the plan and
     execute stages run under trace spans and the plan is wrapped with
@@ -242,12 +247,17 @@ def execute(
     from repro.engine.iterators import collect
 
     if not obs.enabled():
-        return collect(plan(expr, parallel), env)
+        if physical is None:
+            physical = plan(expr, parallel)
+        return collect(physical, env)
 
     from repro.engine.profiler import ProfileReport, profile_plan
 
     with obs.span("plan") as plan_span:
-        physical = plan(expr, parallel)
+        if physical is None:
+            physical = plan(expr, parallel)
+        else:
+            plan_span.set(cached=True)
         plan_span.set(shape=physical.explain())
         if parallel is not None:
             plan_span.set(parallel_workers=parallel.workers)

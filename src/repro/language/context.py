@@ -7,7 +7,12 @@ the transaction machinery decides whether the working state ever becomes
 the next database state ``D^{t+1}`` (Definition 4.3).
 
 The context also owns the evaluation strategy: the reference evaluator
-by default, optionally the physical engine and/or the optimizer.
+by default, optionally the physical engine and/or the optimizer — and,
+when a :class:`~repro.cache.QueryCache` is attached, every expression
+evaluation is routed through it.  The cache decides per lookup whether
+the result level applies (it bypasses itself for temporaries and for
+working states that have diverged from the installed database state,
+which is why attaching a cache to transactional contexts is safe).
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ class ExecutionContext:
         use_physical_engine: bool = False,
         optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = None,
         parallel: Optional[object] = None,
+        cache: Optional[object] = None,
+        database: Optional[object] = None,
     ) -> None:
         #: Working copies of the base relations.
         self.relations: Dict[str, Relation] = dict(relations)
@@ -42,6 +49,12 @@ class ExecutionContext:
         self._optimizer = optimizer
         #: Fragment scheduler for parallel plans (physical engine only).
         self._parallel = parallel
+        #: Optional :class:`~repro.cache.QueryCache` consulted by
+        #: :meth:`evaluate`; None evaluates directly.
+        self.cache = cache
+        #: The database this working state was snapshotted from — the
+        #: cache needs it to check epochs and working-state divergence.
+        self.database = database
 
     # -- name resolution -------------------------------------------------
 
@@ -78,10 +91,26 @@ class ExecutionContext:
             raise DuplicateRelationError(name)
         self.temporaries[name] = relation.rename(name)
 
+    # -- evaluation strategy (read by the cache) --------------------------
+
+    @property
+    def use_physical_engine(self) -> bool:
+        return self._use_physical_engine
+
+    @property
+    def optimizer(self) -> Optional[Callable[[AlgebraExpr], AlgebraExpr]]:
+        return self._optimizer
+
+    @property
+    def parallel(self) -> Optional[object]:
+        return self._parallel
+
     # -- expression evaluation --------------------------------------------------
 
     def evaluate(self, expr: AlgebraExpr) -> Relation:
         """Evaluate ``expr`` against the working state."""
+        if self.cache is not None:
+            return self.cache.evaluate(expr, self)
         if self._optimizer is not None:
             expr = self._optimizer(expr)
         env = self.environment()

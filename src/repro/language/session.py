@@ -19,6 +19,13 @@ time, plan shape, result cardinalities, and the logical time it ran at,
 and statements at/above the log's slow threshold are flagged (the CLI's
 ``.slowlog``).  Without a log — the default — nothing is timed and the
 paths are as cheap as before.
+
+A session also optionally carries a :class:`~repro.cache.QueryCache`
+(``Session(db, cache=True)`` or ``cache=QueryCache(...)``): repeated
+reads are then served from the epoch-invalidated result cache, and the
+query log marks such statements "served from cache".  One cache object
+may be shared between sessions (and the XRA interpreter) over the same
+database.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.algebra import AlgebraExpr, RelationRef, render
 from repro.algebra.base import ConditionLike
+from repro.cache import QueryCache
 from repro.database import Database
 from repro.engine.parallel import FragmentScheduler, make_scheduler
 from repro.errors import TransactionAbort, TransactionError
@@ -54,6 +62,7 @@ class Session:
         query_log: Optional[QueryLog] = None,
         slow_query_threshold: Optional[float] = None,
         parallel: Optional[object] = None,
+        cache: Optional[object] = None,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -67,6 +76,11 @@ class Session:
         self._parallel: Optional[FragmentScheduler] = None
         if parallel is not None:
             self.set_parallel(parallel)
+        #: Query/plan cache; None disables caching.  ``cache=True``
+        #: creates a private :class:`~repro.cache.QueryCache`.
+        self._cache: Optional[QueryCache] = None
+        if cache is not None and cache is not False:
+            self.set_cache(cache)
         #: Per-statement log; None disables logging entirely.
         self.query_log = query_log
         if slow_query_threshold is not None:
@@ -74,6 +88,32 @@ class Session:
                 self.query_log = QueryLog(slow_threshold=slow_query_threshold)
             else:
                 self.query_log.slow_threshold = slow_query_threshold
+
+    # -- caching ------------------------------------------------------------
+
+    @property
+    def cache(self) -> Optional[QueryCache]:
+        """The session's query cache, or None when caching is off."""
+        return self._cache
+
+    def set_cache(self, cache: Optional[object]) -> Optional[QueryCache]:
+        """Attach, replace, or remove the session's query cache.
+
+        ``cache`` may be a :class:`~repro.cache.QueryCache` (possibly
+        shared with other sessions), ``True`` for a fresh default-sized
+        one, or ``None``/``False`` to disable caching.
+        """
+        if cache is None or cache is False:
+            self._cache = None
+        elif cache is True:
+            self._cache = QueryCache()
+        elif isinstance(cache, QueryCache):
+            self._cache = cache
+        else:
+            raise TypeError(
+                f"cache must be a QueryCache, True, or None, not {cache!r}"
+            )
+        return self._cache
 
     # -- parallel execution -------------------------------------------------
 
@@ -131,9 +171,14 @@ class Session:
                 use_physical_engine=self.use_physical_engine,
                 optimizer=self._optimizer,
                 parallel=self._parallel,
+                cache=self._cache,
+                database=self.database,
             )
             return context.evaluate(expr)
         started = time.perf_counter()
+        hits_before = (
+            self._cache.stats.result_hits if self._cache is not None else 0
+        )
         with obs.span(
             "session.query", logical_time=self.database.logical_time
         ) as span:
@@ -142,12 +187,18 @@ class Session:
                 use_physical_engine=self.use_physical_engine,
                 optimizer=self._optimizer,
                 parallel=self._parallel,
+                cache=self._cache,
+                database=self.database,
             )
             result = context.evaluate(expr)
             if span.recording:
                 span.set(rows=len(result), pairs=result.distinct_count)
         seconds = time.perf_counter() - started
         obs.add("session.queries")
+        served_from_cache = (
+            self._cache is not None
+            and self._cache.stats.result_hits > hits_before
+        )
         if log is not None:
             # Plan shape: the physical plan captured by the trace when
             # available (cost already paid), else the logical rendering.
@@ -159,6 +210,8 @@ class Session:
                 ]
                 if plan_spans:
                     plan_text = plan_spans[-1].attrs.get("shape", plan_text)
+            if served_from_cache:
+                plan_text = f"{plan_text} (served from cache)"
             log.record(
                 kind="query",
                 text=render(expr),
@@ -183,6 +236,7 @@ class Session:
             optimizer=self._optimizer,
             constraints=self.constraints,
             parallel=self._parallel,
+            cache=self._cache,
         )
         if log is not None:
             text = "; ".join(repr(statement) for statement in statements)
@@ -232,6 +286,8 @@ class ActiveTransaction:
             use_physical_engine=session.use_physical_engine,
             optimizer=session._optimizer,
             parallel=session._parallel,
+            cache=session._cache,
+            database=session.database,
         )
         self._finished = False
 

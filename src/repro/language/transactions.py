@@ -80,6 +80,7 @@ class Transaction:
         constraints: Sequence["object"] = (),
         record_intermediate_states: bool = False,
         parallel: Optional[object] = None,
+        cache: Optional[object] = None,
     ) -> TransactionResult:
         """Execute against ``database`` with full atomicity.
 
@@ -90,6 +91,14 @@ class Transaction:
         exception is reported in the result (never re-raised for
         :class:`TransactionAbort`; other exceptions propagate after the
         rollback, since they are bugs rather than semantics).
+
+        ``cache`` optionally carries a :class:`~repro.cache.QueryCache`
+        for the reads this transaction performs.  Because relation
+        epochs advance only at :meth:`~repro.database.Database.install`,
+        an abort restores the pre-transition epoch picture untouched —
+        cache entries valid before the transaction stay valid after the
+        rollback, and nothing computed from the discarded working state
+        can have been cached (the cache bypasses modified relations).
         """
         pre_state = database.snapshot()
         context = ExecutionContext(
@@ -97,6 +106,8 @@ class Transaction:
             use_physical_engine=use_physical_engine,
             optimizer=optimizer,
             parallel=parallel,
+            cache=cache,
+            database=database,
         )
         intermediate_states: List[IntermediateState] = []
         if record_intermediate_states:

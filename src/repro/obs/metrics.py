@@ -186,6 +186,24 @@ class MetricsRegistry:
             if instrument.name == name and isinstance(instrument, Counter)
         )
 
+    def prefix_totals(self, prefix: str) -> Dict[str, int]:
+        """Per-name counter totals (summed across labels) under a prefix.
+
+        ``prefix_totals("cache.")`` returns e.g. ``{"cache.hits": 12,
+        "cache.misses": 3, ...}`` — how the CLI and the benches read the
+        cache hit/miss/eviction counters back out without enumerating
+        label combinations.
+        """
+        totals: Dict[str, int] = {}
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Counter) and instrument.name.startswith(
+                prefix
+            ):
+                totals[instrument.name] = (
+                    totals.get(instrument.name, 0) + instrument.value
+                )
+        return dict(sorted(totals.items()))
+
     def snapshot(self) -> List[Dict[str, Any]]:
         """JSON-friendly records, one per instrument (sorted)."""
         records: List[Dict[str, Any]] = []

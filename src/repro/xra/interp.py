@@ -71,6 +71,7 @@ class XRAInterpreter:
         use_optimizer: bool = True,
         constraints: Sequence[object] = (),
         parallel: Optional[object] = None,
+        cache: Optional[object] = None,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -82,6 +83,14 @@ class XRAInterpreter:
         self._parallel: Optional[FragmentScheduler] = None
         if parallel is not None:
             self.set_parallel(parallel)
+        #: Optional :class:`~repro.cache.QueryCache` for script reads —
+        #: usually the same object the surrounding session uses, so
+        #: XRA, SQL, and library queries share one cache.
+        self.cache = cache
+
+    def set_cache(self, cache: Optional[object]) -> None:
+        """Attach or remove the interpreter's query cache."""
+        self.cache = cache
 
     def set_parallel(
         self, workers: Optional[object], backend: Optional[str] = None
@@ -143,6 +152,7 @@ class XRAInterpreter:
             optimizer=self._optimizer,
             constraints=self.constraints,
             parallel=self._parallel,
+            cache=self.cache,
         )
         result.transactions.append(outcome)
         result.outputs.extend(outcome.outputs)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public ``repro`` packages.
+
+Every public module under ``src/repro`` — any ``.py`` file whose name
+(and whose package path) does not start with an underscore, plus every
+package ``__init__.py`` — must open with a module docstring.  The docs
+(``docs/architecture.md`` in particular) lean on module docstrings as
+the first line of documentation, so a silent docstring-less module is a
+documentation regression, and CI treats it as one.
+
+Usage::
+
+    python tools/check_docstrings.py            # report + exit status
+    python tools/check_docstrings.py --min-length 20
+
+Exit status 0 when every module passes, 1 otherwise (the offending
+modules are listed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def public_modules(root: Path = PACKAGE_ROOT) -> Iterator[Path]:
+    """Every importable public module file under the package root."""
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        parts = relative.parts
+        # __init__.py is the package's own docstring carrier; any other
+        # underscore-prefixed file (or directory) is private by
+        # convention and exempt.
+        if any(
+            part.startswith("_") and part != "__init__.py" for part in parts
+        ):
+            continue
+        if "__pycache__" in parts:
+            continue
+        yield path
+
+
+def check_module(path: Path, min_length: int) -> Tuple[bool, str]:
+    """(ok, reason) for one module file."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as error:  # pragma: no cover - would fail tests too
+        return False, f"does not parse: {error}"
+    docstring = ast.get_docstring(tree)
+    if docstring is None:
+        return False, "no module docstring"
+    if len(docstring.strip()) < min_length:
+        return False, f"docstring under {min_length} characters"
+    return True, "ok"
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-length",
+        type=int,
+        default=10,
+        metavar="CHARS",
+        help="minimum stripped docstring length (default 10)",
+    )
+    options = parser.parse_args(argv)
+
+    failures: List[Tuple[Path, str]] = []
+    checked = 0
+    for path in public_modules():
+        checked += 1
+        ok, reason = check_module(path, options.min_length)
+        if not ok:
+            failures.append((path, reason))
+
+    label = f"{checked} public module(s) under src/repro"
+    if failures:
+        print(f"{label}: {len(failures)} without a proper docstring:")
+        for path, reason in failures:
+            print(f"  {path.relative_to(REPO_ROOT)}: {reason}")
+        return 1
+    print(f"{label}: all carry module docstrings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
