@@ -182,6 +182,26 @@ class QueryCache:
         self._results.clear()
         self._bytes = 0
 
+    def result_cached(self, result_fingerprint: str) -> bool:
+        """Is a result materialised under this normal-form fingerprint?
+
+        Provenance only — does not check epoch validity, touch LRU
+        order, or count as a lookup.
+        """
+        return result_fingerprint in self._results
+
+    def fingerprint_for(
+        self, expr: AlgebraExpr, optimized: bool = True
+    ) -> Optional[str]:
+        """The normal-form fingerprint this cache keys ``expr``'s result on.
+
+        Returns ``None`` when the expression has no plan entry yet (the
+        cache never saw it) — callers fall back to fingerprinting the
+        raw tree.  Pure inspection: no LRU movement, no stats.
+        """
+        entry = self._plans.get((expr, optimized))
+        return entry.fingerprint if entry is not None else None
+
     # -- the lookup path -------------------------------------------------
 
     def evaluate(self, expr: AlgebraExpr, context: Any) -> Relation:

@@ -18,6 +18,12 @@ start with a dot:
                           tree, and physical plan
     .profile EXPRESSION   run an XRA query with per-operator counters
                           (pairs / rows / ms per plan node)
+    .analyze EXPRESSION   EXPLAIN ANALYZE: run the query instrumented
+                          and show estimated vs. actual rows, wall time,
+                          and dedup counts per operator (≥10× misses
+                          flagged ⚠); actuals feed back into planning.
+                          ``.analyze on`` / ``.analyze off`` makes every
+                          query run this way
     .trace on [PATH]      enable tracing + metrics; spans stream as
                           JSON lines to PATH (default repro-trace.jsonl)
     .trace off            disable tracing (closes the trace file)
@@ -92,6 +98,10 @@ class Shell:
         #: One query cache shared by the session (SQL, library) and the
         #: XRA interpreter; None while caching is off.
         self.cache: Optional[QueryCache] = None
+        #: Every AnalyzeReport produced this session (``.analyze`` runs
+        #: and analyze-mode statements) — the --trace-events exporter
+        #: turns these into operator flame-graph lanes.
+        self.analyze_reports: List[object] = []
 
     # -- output helpers -------------------------------------------------
 
@@ -167,6 +177,9 @@ class Shell:
             rows=sum(len(output) for output in result.outputs),
             logical_time=self.database.logical_time,
         )
+        for report in result.analyze_reports:
+            self.analyze_reports.append(report)
+            self.print(str(report))
         for output in result.outputs:
             self.show_relation(output)
         aborted = [r for r in result.transactions if not r.committed]
@@ -222,6 +235,9 @@ class Shell:
             return None
         if command == ".profile":
             self.profile(argument)
+            return None
+        if command == ".analyze":
+            self.analyze_command(argument)
             return None
         if command == ".load":
             self.load_csv(argument)
@@ -417,9 +433,10 @@ class Shell:
 
     def explain(self, text: str) -> None:
         """Logical tree, optimized tree, physical plan of one XRA query."""
+        text = text.strip().rstrip(";").strip()
         try:
             items = parse_script(
-                f"? {text};" if not text.strip().startswith("?") else f"{text};",
+                f"{text};" if text.startswith("?") else f"? {text};",
                 self.database.schema.get,
             )
         except ReproError as error:
@@ -443,6 +460,38 @@ class Shell:
         self.print("physical:")
         self.print(plan(optimized).explain(indent=1))
 
+    ANALYZE_USAGE = ".analyze EXPRESSION | .analyze on | .analyze off"
+
+    def analyze_command(self, argument: str) -> None:
+        """``.analyze EXPRESSION`` / ``.analyze on`` / ``.analyze off``."""
+        argument = argument.strip()
+        if not argument:
+            state = "on" if self.session.analyze else "off"
+            self.print(
+                f"analyze mode is {state}; usage: {self.ANALYZE_USAGE}"
+            )
+            return
+        if argument in ("on", "off"):
+            on = argument == "on"
+            try:
+                self.session.set_analyze(on)
+                self.interpreter.set_analyze(on)
+            except ValueError as error:
+                self.print_error(ReproError(str(error)))
+                return
+            self.print(f"analyze mode {argument}")
+            return
+        expr = self._parse_single_query(argument)
+        if expr is None:
+            return
+        try:
+            report = self.session.explain_analyze(expr)
+        except ReproError as error:
+            self.print_error(error)
+            return
+        self.analyze_reports.append(report)
+        self.print(str(report))
+
     def profile(self, text: str) -> None:
         """Run one XRA query with per-operator execution counters."""
         expr = self._parse_single_query(text)
@@ -456,10 +505,15 @@ class Shell:
                    f"{result.distinct_count} distinct")
 
     def _parse_single_query(self, text: str):
-        """Parse ``text`` as one XRA query expression; report errors."""
+        """Parse ``text`` as one XRA query expression; report errors.
+
+        Accepts the bare expression, a full ``? expr`` statement, and a
+        trailing ``;`` — people paste shell lines verbatim.
+        """
+        text = text.strip().rstrip(";").strip()
         try:
             items = parse_script(
-                f"? {text};" if not text.strip().startswith("?") else f"{text};",
+                f"{text};" if text.startswith("?") else f"? {text};",
                 self.database.schema.get,
             )
         except ReproError as error:
@@ -522,6 +576,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the metrics summary on exit",
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE every query: print estimated vs. actual "
+        "rows per operator and feed actuals back into planning",
+    )
+    parser.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        help="on exit, write a Chrome/Perfetto trace-event file of the "
+        "recorded spans and analyzed operators to PATH",
+    )
+    parser.add_argument(
         "--slow-log",
         metavar="SECONDS",
         type=float,
@@ -557,6 +623,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     shell = Shell()
     if options.trace:
         shell.trace_command(f"on {options.trace}")
+    elif options.trace_events:
+        # Spans only exist while tracing is on; keep them in memory for
+        # the exit-time trace-event export.
+        obs.enable()
+    if options.analyze:
+        shell.analyze_command("on")
     if options.slow_log is not None:
         shell.query_log.slow_threshold = options.slow_log
     if options.parallel > 0:
@@ -577,7 +649,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if options.metrics:
             shell.metrics_command()
-        if options.trace:
+        if options.trace_events:
+            written = obs.export_chrome_trace(
+                options.trace_events,
+                tracer=obs.tracer(),
+                analyze=shell.analyze_reports,
+            )
+            shell.print(
+                f"trace events: {written} event(s) -> {options.trace_events}"
+            )
+        if options.trace or options.trace_events:
             obs.disable()
         shell.session.close()
 

@@ -45,7 +45,7 @@ class OperatorProfile:
 
     __slots__ = (
         "label", "op_class", "depth", "index", "child_indexes",
-        "pairs_out", "rows_out", "seconds",
+        "pairs_out", "rows_out", "seconds", "invocations",
     )
 
     def __init__(
@@ -65,6 +65,8 @@ class OperatorProfile:
         self.rows_out = 0
         #: inclusive wall time spent producing this operator's stream.
         self.seconds = 0.0
+        #: times the operator's stream was opened (re-executed subtrees).
+        self.invocations = 0
 
 
 class ProfilingOp(PhysicalOp):
@@ -85,6 +87,7 @@ class ProfilingOp(PhysicalOp):
 
     def execute(self, env: Dict[str, Relation]) -> Pairs:
         profile = self.profile
+        profile.invocations += 1
         start = time.perf_counter()
         # Rebind the inner operator's children to the profiled versions
         # happens at wrap time; here we just instrument the stream.
@@ -176,6 +179,7 @@ class ProfileReport:
                 "pairs": profile.pairs_out,
                 "rows": profile.rows_out,
                 "seconds": profile.seconds,
+                "invocations": profile.invocations,
             }
             for profile in self.profiles
         ]

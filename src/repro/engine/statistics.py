@@ -77,6 +77,15 @@ class StatisticsCatalog:
 
     Optionally carries a :class:`~repro.engine.histograms.HistogramCatalog`
     for range-predicate selectivity (built with ``with_histograms=True``).
+
+    Beyond the *a priori* statistics, a catalog accumulates **observed
+    cardinalities**: :meth:`record_actuals` feeds the per-operator actual
+    row counts of an EXPLAIN ANALYZE run (:mod:`repro.obs.analyze`) back
+    in, keyed by the canonical fingerprint of each logical subexpression.
+    :func:`estimate_cardinality` consults those observations first, so a
+    repeated query is re-planned with runtime truth instead of the
+    Selinger-style guesses — the classic estimate-vs-actual feedback
+    loop.
     """
 
     def __init__(
@@ -86,6 +95,9 @@ class StatisticsCatalog:
     ) -> None:
         self.tables = tables or {}
         self.histograms = histograms
+        #: Expression fingerprint -> actual bag cardinality observed at
+        #: runtime (empty until :meth:`record_actuals` is called).
+        self.observed: Dict[str, float] = {}
 
     @classmethod
     def from_env(
@@ -114,6 +126,56 @@ class StatisticsCatalog:
         if stats is None:
             return None
         return stats.distinct_values.get(position)
+
+    # -- estimate-vs-actual feedback ------------------------------------
+
+    def observed_cardinality(self, expr: AlgebraExpr) -> Optional[float]:
+        """The recorded actual cardinality of ``expr``, if one exists.
+
+        Cheap when no actuals were ever recorded (one dict check); only
+        then does it pay for the expression fingerprint.
+        """
+        if not self.observed:
+            return None
+        from repro.cache.fingerprint import fingerprint
+
+        return self.observed.get(fingerprint(expr))
+
+    def record_actuals(self, report: object) -> int:
+        """Fold an analyze run's actual cardinalities into the catalog.
+
+        ``report`` is a :class:`repro.obs.analyze.AnalyzeReport` (or any
+        iterable of objects with ``fingerprint``/``rows``/``relation``
+        attributes, e.g. its ``operators`` list).  Two effects:
+
+        * every operator with a logical-subexpression fingerprint stores
+          its actual output cardinality under that fingerprint, which
+          :func:`estimate_cardinality` then prefers over its formulas;
+        * scans update (or create) the base relation's
+          :class:`TableStats` row count, so *derived* estimates over the
+          same tables improve too — this is what re-orders a join chain
+          whose table statistics were wrong.
+
+        Returns the number of observations recorded.
+        """
+        operators = getattr(report, "operators", report)
+        updated = 0
+        for op in operators:
+            rows = getattr(op, "rows", None)
+            if rows is None:
+                continue
+            fp = getattr(op, "fingerprint", None)
+            if fp:
+                self.observed[fp] = float(rows)
+                updated += 1
+            name = getattr(op, "relation", None)
+            if name:
+                stats = self.tables.get(name)
+                if stats is None:
+                    self.tables[name] = TableStats(int(rows))
+                else:
+                    stats.row_count = int(rows)
+        return updated
 
 
 def _condition_selectivity(
@@ -196,7 +258,15 @@ def _distinct_for(
 def estimate_cardinality(
     expr: AlgebraExpr, catalog: StatisticsCatalog
 ) -> float:
-    """Estimated bag cardinality of ``expr``'s result."""
+    """Estimated bag cardinality of ``expr``'s result.
+
+    An actual cardinality previously recorded for this exact
+    subexpression (see :meth:`StatisticsCatalog.record_actuals`) takes
+    precedence over the formulas below — runtime truth beats heuristics.
+    """
+    observed = catalog.observed_cardinality(expr)
+    if observed is not None:
+        return observed
     if isinstance(expr, RelationRef):
         return catalog.rows(expr.name)
     if isinstance(expr, LiteralRelation):

@@ -26,6 +26,14 @@ reads are then served from the epoch-invalidated result cache, and the
 query log marks such statements "served from cache".  One cache object
 may be shared between sessions (and the XRA interpreter) over the same
 database.
+
+Finally, ``Session(db, analyze=True)`` (or :meth:`Session.set_analyze`)
+turns on EXPLAIN ANALYZE mode: every :meth:`Session.query` executes
+fully instrumented, keeps the annotated estimate-vs-actual report as
+``session.last_analyze``, and feeds the observed cardinalities back
+into the session's statistics catalog so repeated queries re-plan with
+runtime truth.  One-off reports come from
+:meth:`Session.explain_analyze` without switching modes.
 """
 
 from __future__ import annotations
@@ -36,7 +44,9 @@ from typing import Callable, List, Optional, Sequence
 from repro.algebra import AlgebraExpr, RelationRef, render
 from repro.algebra.base import ConditionLike
 from repro.cache import QueryCache
+from repro.cache.fingerprint import fingerprint as expr_fingerprint
 from repro.database import Database
+from repro.engine.statistics import StatisticsCatalog
 from repro.engine.parallel import FragmentScheduler, make_scheduler
 from repro.errors import TransactionAbort, TransactionError
 from repro.language.context import ExecutionContext
@@ -63,6 +73,7 @@ class Session:
         slow_query_threshold: Optional[float] = None,
         parallel: Optional[object] = None,
         cache: Optional[object] = None,
+        analyze: bool = False,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -81,6 +92,15 @@ class Session:
         self._cache: Optional[QueryCache] = None
         if cache is not None and cache is not False:
             self.set_cache(cache)
+        #: When True, every :meth:`query` runs through EXPLAIN ANALYZE
+        #: and its actual cardinalities feed the analyze catalog (see
+        #: :meth:`explain_analyze`).
+        self._analyze = bool(analyze)
+        #: Long-lived statistics catalog for analyze runs; accumulates
+        #: observed cardinalities across queries (created on first use).
+        self._analyze_catalog: Optional[StatisticsCatalog] = None
+        #: The most recent :class:`~repro.obs.analyze.AnalyzeReport`.
+        self.last_analyze: Optional[object] = None
         #: Per-statement log; None disables logging entirely.
         self.query_log = query_log
         if slow_query_threshold is not None:
@@ -114,6 +134,90 @@ class Session:
                 f"cache must be a QueryCache, True, or None, not {cache!r}"
             )
         return self._cache
+
+    # -- EXPLAIN ANALYZE ----------------------------------------------------
+
+    @property
+    def analyze(self) -> bool:
+        """True while every query runs through EXPLAIN ANALYZE."""
+        return self._analyze
+
+    def set_analyze(
+        self, on: bool, catalog: Optional[StatisticsCatalog] = None
+    ) -> None:
+        """Toggle analyze mode; optionally install a statistics catalog.
+
+        The catalog persists across queries (it is what accumulates the
+        observed cardinalities), so toggling off and on again keeps the
+        feedback already gathered unless a new catalog is supplied.
+        """
+        if on and not self.use_physical_engine:
+            raise ValueError(
+                "EXPLAIN ANALYZE requires the physical engine "
+                "(use_physical_engine=True)"
+            )
+        self._analyze = bool(on)
+        if catalog is not None:
+            self._analyze_catalog = catalog
+
+    def analyze_catalog(self) -> StatisticsCatalog:
+        """The session's analyze-feedback catalog (created on first use).
+
+        Seeded with exact statistics of the current database state;
+        :meth:`explain_analyze` then folds observed per-subexpression
+        cardinalities into it, so estimates track runtime truth even as
+        the heuristic formulas drift from it.
+        """
+        if self._analyze_catalog is None:
+            self._analyze_catalog = StatisticsCatalog.from_env(
+                self.database.snapshot()
+            )
+        return self._analyze_catalog
+
+    def explain_analyze(
+        self, expr: AlgebraExpr, record: bool = True
+    ) -> "object":
+        """Run ``expr`` instrumented; return the estimate-vs-actual report.
+
+        The result relation rides along as ``report.result``.  With
+        ``record`` (the default) the run's actual cardinalities feed the
+        session's analyze catalog, so the next planning of the same
+        subexpressions uses observed numbers — and the report is kept as
+        :attr:`last_analyze` (the CLI's ``.analyze`` reads it back).
+        """
+        if not self.use_physical_engine:
+            raise ValueError(
+                "EXPLAIN ANALYZE requires the physical engine "
+                "(use_physical_engine=True)"
+            )
+        from repro.obs.analyze import analyze as run_analyze
+
+        report = run_analyze(
+            expr,
+            self.database.snapshot(),
+            catalog=self.analyze_catalog(),
+            use_optimizer=self._optimizer is not None,
+            parallel=self._parallel,
+            record=record,
+            cache=self._cache,
+        )
+        self.last_analyze = report
+        return report
+
+    def _fingerprint_for(self, expr: AlgebraExpr) -> str:
+        """The cache-correlatable fingerprint of ``expr`` for the log.
+
+        Prefers the plan-cache entry's normal-form fingerprint (the key
+        the result cache uses), falling back to fingerprinting the raw
+        tree when the cache has not seen the expression.
+        """
+        if self._cache is not None:
+            cached = self._cache.fingerprint_for(
+                expr, self._optimizer is not None
+            )
+            if cached is not None:
+                return cached
+        return expr_fingerprint(expr)
 
     # -- parallel execution -------------------------------------------------
 
@@ -165,6 +269,21 @@ class Session:
     def query(self, expr: AlgebraExpr) -> Relation:
         """Evaluate ``expr`` against the current state (no transaction)."""
         log = self.query_log
+        if self._analyze:
+            report = self.explain_analyze(expr)
+            result = report.result
+            if log is not None:
+                log.record(
+                    kind="analyze",
+                    text=render(expr),
+                    seconds=report.seconds,
+                    plan=report.optimized,
+                    rows=len(result),
+                    distinct=result.distinct_count,
+                    logical_time=self.database.logical_time,
+                    fingerprint=self._fingerprint_for(expr),
+                )
+            return result
         if log is None and not obs.enabled():
             context = ExecutionContext(
                 self.database.snapshot(),
@@ -220,6 +339,7 @@ class Session:
                 rows=len(result),
                 distinct=result.distinct_count,
                 logical_time=self.database.logical_time,
+                fingerprint=self._fingerprint_for(expr),
             )
         return result
 

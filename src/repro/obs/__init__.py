@@ -8,9 +8,11 @@ into.  It has three layers:
 * :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
   (queries run, rows/pairs per operator class, optimizer rule hits,
   transaction commits/aborts, parallel fragment work);
-* :mod:`repro.obs.export` — a JSON-lines event log and plain-text
-  summaries; plus :mod:`repro.obs.querylog`, the per-statement slow
-  query log sessions write into.
+* :mod:`repro.obs.export` — a JSON-lines event log, a Chrome/Perfetto
+  trace-event exporter, and plain-text summaries; plus
+  :mod:`repro.obs.querylog`, the per-statement slow query log sessions
+  write into, and :mod:`repro.obs.analyze`, the EXPLAIN ANALYZE
+  pipeline pairing estimated with actual per-operator cardinalities.
 
 **Off by default, zero cost when off.**  The module-level facade keeps
 one optional active tracer; while it is ``None`` (the default),
@@ -35,7 +37,14 @@ from __future__ import annotations
 
 from typing import Any, Optional, Union
 
-from repro.obs.export import JsonLinesSink, export_jsonl, render_summary
+from repro.obs.analyze import AnalyzeReport, OperatorStats
+from repro.obs.export import (
+    JsonLinesSink,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    render_summary,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.querylog import QueryLog, QueryRecord
 from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
@@ -51,9 +60,13 @@ __all__ = [
     "Histogram",
     "QueryLog",
     "QueryRecord",
+    "AnalyzeReport",
+    "OperatorStats",
     "JsonLinesSink",
     "export_jsonl",
     "render_summary",
+    "chrome_trace_events",
+    "export_chrome_trace",
     "enable",
     "disable",
     "enabled",

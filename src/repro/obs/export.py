@@ -1,13 +1,17 @@
-"""Exporters: JSON-lines event log and plain-text summaries.
+"""Exporters: JSON-lines event log, Chrome trace events, text summaries.
 
-Two consumption modes:
+Three consumption modes:
 
 * **streaming** — attach a :class:`JsonLinesSink` to the tracer and every
   span is appended to the file the moment it closes (this is what the
   CLI's ``.trace on PATH`` does);
 * **batch** — :func:`export_jsonl` dumps a finished tracer and/or a
   metrics registry to a file in one go, and :func:`render_summary`
-  produces the human-readable text the CLI's ``.metrics`` shows.
+  produces the human-readable text the CLI's ``.metrics`` shows;
+* **visual** — :func:`export_chrome_trace` writes the Chrome trace-event
+  format (Perfetto-compatible), so pipeline spans and per-operator
+  timings from EXPLAIN ANALYZE load straight into ``chrome://tracing``
+  or https://ui.perfetto.dev.
 
 Every JSONL event is a flat object with an ``event`` discriminator
 (``"span"`` or ``"metric"``); span nesting is reconstructed from the
@@ -18,12 +22,18 @@ before parents).
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, Optional, Union
+from typing import IO, Any, Dict, List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 
-__all__ = ["JsonLinesSink", "export_jsonl", "render_summary"]
+__all__ = [
+    "JsonLinesSink",
+    "export_jsonl",
+    "render_summary",
+    "chrome_trace_events",
+    "export_chrome_trace",
+]
 
 
 def _default(value: Any) -> str:
@@ -97,6 +107,120 @@ def export_jsonl(
     finally:
         sink.close()
     return written
+
+
+#: Trace-event process ids: pipeline spans vs. analyzed operators.
+_TRACE_PID = 1
+_ANALYZE_PID = 2
+
+
+def chrome_trace_events(
+    tracer: Optional[Tracer] = None,
+    analyze: Optional[Any] = None,
+) -> List[Dict[str, Any]]:
+    """Chrome trace-event records for spans and/or analyze reports.
+
+    * Tracer spans become complete (``"ph": "X"``) events on one lane of
+      process 1, timestamps normalised to the earliest span (µs).  Spans
+      nest by time containment, which the tracer guarantees.
+    * ``analyze`` — one :class:`repro.obs.analyze.AnalyzeReport` or a
+      list of them — becomes a flame-graph on process 2: operators at
+      plan depth *d* go on thread lane ``d + 1`` (per-lane placement
+      sidesteps timer jitter that could make sibling inclusive times
+      overflow the parent), laid out left to right in plan order, with
+      est/actual rows in the event ``args``.  Successive reports are
+      placed end to end.
+
+    Returns the event list; wrap it yourself or use
+    :func:`export_chrome_trace` to write the standard
+    ``{"traceEvents": [...]}`` envelope.
+    """
+    events: List[Dict[str, Any]] = []
+    if tracer is not None and tracer.spans:
+        events.append(
+            {"ph": "M", "pid": _TRACE_PID, "tid": 1, "name": "process_name",
+             "args": {"name": "pipeline spans"}}
+        )
+        base = min(span.started for span in tracer.spans)
+        for span in tracer.ordered():
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _TRACE_PID,
+                    "tid": 1,
+                    "name": span.name,
+                    "ts": round((span.started - base) * 1e6, 3),
+                    "dur": round(span.seconds * 1e6, 3),
+                    "args": dict(span.attrs),
+                }
+            )
+    reports = []
+    if analyze is not None:
+        reports = analyze if isinstance(analyze, (list, tuple)) else [analyze]
+    if reports:
+        events.append(
+            {"ph": "M", "pid": _ANALYZE_PID, "tid": 1, "name": "process_name",
+             "args": {"name": "analyzed operators"}}
+        )
+        cursor = 0.0
+        for report in reports:
+            operators = getattr(report, "operators", [])
+            if not operators:
+                continue
+            by_index = {op.index: op for op in operators}
+
+            def place(index: int, start: float) -> None:
+                op = by_index[index]
+                duration = op.seconds * 1e6
+                args: Dict[str, Any] = {
+                    "rows": op.rows,
+                    "pairs": op.pairs,
+                    "invocations": op.invocations,
+                }
+                if op.est_rows is not None:
+                    args["est_rows"] = op.est_rows
+                events.append(
+                    {
+                        "ph": "X",
+                        "pid": _ANALYZE_PID,
+                        "tid": op.depth + 1,
+                        "name": op.label,
+                        "cat": op.op_class,
+                        "ts": round(start, 3),
+                        "dur": round(duration, 3),
+                        "args": args,
+                    }
+                )
+                child_cursor = start
+                for child_index in op.child_indexes:
+                    place(child_index, child_cursor)
+                    child_cursor += by_index[child_index].seconds * 1e6
+
+            root = operators[0]
+            place(root.index, cursor)
+            cursor += root.seconds * 1e6
+    return events
+
+
+def export_chrome_trace(
+    target: Union[str, IO[str]],
+    tracer: Optional[Tracer] = None,
+    analyze: Optional[Any] = None,
+) -> int:
+    """Write a Chrome/Perfetto trace file; returns the event count.
+
+    The output is the standard JSON object format —
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — loadable in
+    ``chrome://tracing`` and https://ui.perfetto.dev as-is.
+    """
+    events = chrome_trace_events(tracer, analyze)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=_default)
+    else:
+        json.dump(payload, target, default=_default)
+    return len(events)
 
 
 def render_summary(

@@ -86,16 +86,23 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Streaming summary of observations: count/sum/min/max/mean.
+    """Streaming summary of observations with approximate percentiles.
 
-    Deliberately bucket-free — the use cases here (fragment sizes, span
-    durations) need orders of magnitude, not quantile precision, and a
-    fixed-size summary keeps observation O(1) with no memory growth.
+    Deliberately bucket-free: count/sum/min/max are exact and O(1), and
+    p50/p95/p99 come from a bounded reservoir of retained observations
+    (capped at :data:`Histogram.SAMPLE_CAP`).  When the cap is reached
+    the reservoir is decimated — every second sample kept — so memory
+    stays fixed while the retained samples still spread over the whole
+    observation stream.  Good enough for the tail-latency questions the
+    CLI's ``.metrics`` answers; not a substitute for a real sketch.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride", "_skip")
 
     kind = "histogram"
+
+    #: Maximum retained observations per histogram.
+    SAMPLE_CAP = 2048
 
     def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
         super().__init__(name, labels)
@@ -103,6 +110,12 @@ class Histogram(_Instrument):
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Retained observations (unsorted; sorted on demand).
+        self._samples: List[float] = []
+        #: Keep every ``_stride``-th observation (doubles on decimation).
+        self._stride = 1
+        #: Observations to skip before the next retention.
+        self._skip = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -111,17 +124,53 @@ class Histogram(_Instrument):
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self._skip:
+            self._skip -= 1
+            return
+        self._skip = self._stride - 1
+        self._samples.append(value)
+        if len(self._samples) >= self.SAMPLE_CAP:
+            self._samples = self._samples[::2]
+            self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained samples.
+
+        ``q`` in [0, 100].  Returns None before any observation.  Exact
+        until the sample cap is first hit, approximate after.
+        """
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if q <= 0:
+            return ordered[0]
+        if q >= 100:
+            return ordered[-1]
+        rank = max(1, -(-len(ordered) * q // 100))  # nearest rank: ceil(n*q/100)
+        return ordered[int(rank) - 1]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99)
+
     def describe(self) -> str:
         if not self.count:
             return "empty"
         return (
-            f"n={self.count} mean={self.mean:.4g} "
-            f"min={self.min:.4g} max={self.max:.4g}"
+            f"n={self.count} p50={self.p50:.4g} p95={self.p95:.4g} "
+            f"p99={self.p99:.4g} max={self.max:.4g}"
         )
 
 
@@ -222,6 +271,9 @@ class MetricsRegistry:
                     min=instrument.min,
                     max=instrument.max,
                     mean=instrument.mean,
+                    p50=instrument.p50,
+                    p95=instrument.p95,
+                    p99=instrument.p99,
                 )
             else:
                 record["value"] = instrument.value

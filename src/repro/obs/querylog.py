@@ -25,7 +25,7 @@ class QueryRecord:
 
     __slots__ = (
         "kind", "text", "seconds", "plan", "rows", "distinct",
-        "logical_time", "slow",
+        "logical_time", "slow", "fingerprint",
     )
 
     def __init__(
@@ -38,6 +38,7 @@ class QueryRecord:
         distinct: Optional[int],
         logical_time: Optional[int],
         slow: bool,
+        fingerprint: Optional[str] = None,
     ) -> None:
         self.kind = kind
         self.text = text
@@ -47,6 +48,9 @@ class QueryRecord:
         self.distinct = distinct
         self.logical_time = logical_time
         self.slow = slow
+        #: Normal-form plan-cache fingerprint — correlates a slow query
+        #: with its :class:`~repro.cache.QueryCache` entry.
+        self.fingerprint = fingerprint
 
     def to_record(self) -> Dict[str, Any]:
         """JSON-friendly form (one JSONL event)."""
@@ -65,6 +69,8 @@ class QueryRecord:
             record["distinct"] = self.distinct
         if self.logical_time is not None:
             record["logical_time"] = self.logical_time
+        if self.fingerprint is not None:
+            record["fingerprint"] = self.fingerprint
         return record
 
     def __repr__(self) -> str:
@@ -100,6 +106,7 @@ class QueryLog:
         rows: Optional[int] = None,
         distinct: Optional[int] = None,
         logical_time: Optional[int] = None,
+        fingerprint: Optional[str] = None,
     ) -> QueryRecord:
         """Append one entry; classifies it against the slow threshold."""
         slow = (
@@ -107,7 +114,8 @@ class QueryLog:
             and seconds >= self.slow_threshold
         )
         entry = QueryRecord(
-            kind, text, seconds, plan, rows, distinct, logical_time, slow
+            kind, text, seconds, plan, rows, distinct, logical_time, slow,
+            fingerprint,
         )
         self.records.append(entry)
         self.recorded += 1
@@ -162,8 +170,12 @@ class QueryLog:
             rows_text = str(entry.rows) if entry.rows is not None else "-"
             flag = "*" if entry.slow else " "
             text = entry.text if len(entry.text) <= 48 else entry.text[:45] + "..."
+            suffix = ""
+            if entry.slow and entry.fingerprint is not None:
+                # Correlate the slow statement with its cache entry.
+                suffix = f"  [fp {entry.fingerprint[:10]}]"
             lines.append(
                 f"{time_text:>4} {entry.seconds * 1000:>9.2f} {rows_text:>8} "
-                f"{entry.kind:<12}{flag}{text}"
+                f"{entry.kind:<12}{flag}{text}{suffix}"
             )
         return "\n".join(lines)

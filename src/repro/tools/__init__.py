@@ -1,5 +1,5 @@
-"""Developer tooling: query explanation reports."""
+"""Developer tooling: query explanation and EXPLAIN ANALYZE reports."""
 
-from repro.tools.explain import ExplainReport, explain
+from repro.tools.explain import ExplainReport, explain, explain_analyze
 
-__all__ = ["explain", "ExplainReport"]
+__all__ = ["explain", "explain_analyze", "ExplainReport"]

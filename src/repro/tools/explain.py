@@ -9,12 +9,17 @@ does with it:
 * estimated cardinality and cost before and after;
 * the physical plan the planner chooses.
 
-Used by the CLI's ``.explain`` and handy in notebooks and tests.
+:func:`explain_analyze` goes one step further and *runs* the plan with
+every operator instrumented, returning the estimate-vs-actual
+:class:`~repro.obs.analyze.AnalyzeReport` (see :mod:`repro.obs.analyze`).
+
+Used by the CLI's ``.explain`` / ``.analyze`` and handy in notebooks and
+tests.
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.algebra import AlgebraExpr, render, render_tree
 from repro.engine import (
@@ -23,10 +28,11 @@ from repro.engine import (
     estimate_cost,
     plan,
 )
+from repro.obs.analyze import AnalyzeReport, analyze
 from repro.optimizer import RewriteTrace, optimize
 from repro.relation import Relation
 
-__all__ = ["explain", "ExplainReport"]
+__all__ = ["explain", "explain_analyze", "ExplainReport"]
 
 
 class ExplainReport:
@@ -106,3 +112,33 @@ def explain(
     trace: RewriteTrace = []
     optimized = optimize(expr, catalog, trace)
     return ExplainReport(expr, optimized, trace, catalog)
+
+
+def explain_analyze(
+    expr: AlgebraExpr,
+    env: Dict[str, Relation],
+    catalog: Optional[StatisticsCatalog] = None,
+    record: bool = False,
+    parallel: Optional[Any] = None,
+    cache: Optional[Any] = None,
+) -> AnalyzeReport:
+    """Run ``expr`` instrumented; return the estimate-vs-actual report.
+
+    Unlike :func:`explain`, this actually executes the query (the
+    result relation rides along as ``report.result``).  ``catalog``
+    defaults to exact statistics of ``env``; pass a long-lived catalog
+    (and ``record=True``) to accumulate the observed cardinalities that
+    make repeated queries re-plan from runtime truth::
+
+        report = explain_analyze(expr, env, catalog=catalog, record=True)
+        print(report)            # annotated plan tree, ⚠ on ≥10× misses
+        report.to_json()         # structured form for tooling
+    """
+    return analyze(
+        expr,
+        env,
+        catalog=catalog,
+        parallel=parallel,
+        record=record,
+        cache=cache,
+    )

@@ -21,6 +21,7 @@ from repro.database import Database
 from repro.engine.parallel import FragmentScheduler, make_scheduler
 from repro.errors import XRARuntimeError
 from repro.language import Transaction, TransactionResult
+from repro.language.statements import Query
 from repro.optimizer import optimize
 from repro.relation import Relation
 from repro.xra.parser import (
@@ -40,13 +41,17 @@ __all__ = ["XRAInterpreter", "ScriptResult"]
 class ScriptResult:
     """Everything a script produced."""
 
-    __slots__ = ("outputs", "transactions")
+    __slots__ = ("outputs", "transactions", "analyze_reports")
 
     def __init__(self) -> None:
         #: Results of ``?E`` statements, in script order.
         self.outputs: List[Relation] = []
         #: One result per executed (bare or bracketed) transaction.
         self.transactions: List[TransactionResult] = []
+        #: EXPLAIN ANALYZE reports for ``?E`` statements, in script
+        #: order (populated only while the interpreter's analyze mode
+        #: is on; see :meth:`XRAInterpreter.set_analyze`).
+        self.analyze_reports: List[object] = []
 
     @property
     def committed(self) -> bool:
@@ -87,10 +92,41 @@ class XRAInterpreter:
         #: usually the same object the surrounding session uses, so
         #: XRA, SQL, and library queries share one cache.
         self.cache = cache
+        #: While True, ``?E`` statements run through EXPLAIN ANALYZE
+        #: (reports land in :attr:`ScriptResult.analyze_reports`).
+        self.analyze = False
+        #: Long-lived statistics catalog accumulating analyze feedback.
+        self._analyze_catalog: Optional[object] = None
 
     def set_cache(self, cache: Optional[object]) -> None:
         """Attach or remove the interpreter's query cache."""
         self.cache = cache
+
+    def set_analyze(self, on: bool, catalog: Optional[object] = None) -> None:
+        """Toggle EXPLAIN ANALYZE for ``?E`` statements.
+
+        The feedback catalog survives toggling, so observed
+        cardinalities keep improving plans across the whole shell
+        session unless a fresh ``catalog`` is supplied.
+        """
+        if on and not self.use_physical_engine:
+            raise ValueError(
+                "EXPLAIN ANALYZE requires the physical engine "
+                "(use_physical_engine=True)"
+            )
+        self.analyze = bool(on)
+        if catalog is not None:
+            self._analyze_catalog = catalog
+
+    def analyze_catalog(self) -> object:
+        """The interpreter's analyze-feedback catalog (lazily created)."""
+        from repro.engine.statistics import StatisticsCatalog
+
+        if self._analyze_catalog is None:
+            self._analyze_catalog = StatisticsCatalog.from_env(
+                self.database.snapshot()
+            )
+        return self._analyze_catalog
 
     def set_parallel(
         self, workers: Optional[object], backend: Optional[str] = None
@@ -138,6 +174,31 @@ class XRAInterpreter:
                 for constraint in self.constraints
                 if getattr(constraint, "name", None) != item.name
             ]
+            return
+        if (
+            self.analyze
+            and isinstance(item, StatementItem)
+            and isinstance(item.statement, Query)
+        ):
+            # A bare read in analyze mode: run it instrumented.  Reads
+            # have no effect on the database, so a synthetic committed
+            # transaction result keeps the script accounting uniform.
+            from repro.obs.analyze import analyze as run_analyze
+
+            report = run_analyze(
+                item.statement.expression,
+                self.database.snapshot(),
+                catalog=self.analyze_catalog(),
+                use_optimizer=self._optimizer is not None,
+                parallel=self._parallel,
+                record=True,
+                cache=self.cache,
+            )
+            result.analyze_reports.append(report)
+            result.outputs.append(report.result)
+            result.transactions.append(
+                TransactionResult(True, [report.result], None, None, [])
+            )
             return
         if isinstance(item, StatementItem):
             statements = [item.statement]

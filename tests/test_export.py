@@ -1,0 +1,168 @@
+"""Direct tests for the exporters in ``repro.obs.export``.
+
+Covers ``render_summary`` (the text behind the CLI's ``.metrics``), the
+JSONL batch export round-trip (emit → parse → same records), the
+streaming sink, and the Chrome trace-event exporter fed by both tracer
+spans and EXPLAIN ANALYZE reports.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    JsonLinesSink,
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    render_summary,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def traced_work():
+    """A small finished trace: root span with two children."""
+    tracer = Tracer()
+    with tracer.span("statement", text="? beer"):
+        with tracer.span("optimize"):
+            pass
+        with tracer.span("execute", rows=6):
+            pass
+    return tracer
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("session.queries").inc(3)
+    registry.counter("operator.rows", op="scan").inc(60)
+    registry.gauge("cache.bytes").set(1024)
+    histogram = registry.histogram("operator.seconds", op="scan")
+    for value in (0.001, 0.002, 0.003, 0.100):
+        histogram.observe(value)
+    return registry
+
+
+class TestRenderSummary:
+    def test_metrics_table_contents(self):
+        text = render_summary(sample_registry())
+        assert "session.queries" in text
+        assert "operator.rows{op=scan}" in text
+        assert "cache.bytes" in text
+        # Histograms render percentiles, not mean-only.
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+    def test_trace_line_appended(self):
+        tracer = traced_work()
+        text = render_summary(sample_registry(), tracer)
+        assert text.endswith("trace: 3 span(s) recorded")
+
+    def test_empty_registry(self):
+        assert "(no metrics recorded)" in render_summary(MetricsRegistry())
+
+
+class TestJsonlRoundTrip:
+    def test_spans_and_metrics_round_trip(self, tmp_path):
+        tracer = traced_work()
+        registry = sample_registry()
+        path = str(tmp_path / "trace.jsonl")
+        written = export_jsonl(path, tracer=tracer, metrics=registry)
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8").read().splitlines()
+        ]
+        assert len(lines) == written == 3 + len(registry)
+        spans = [record for record in lines if record["event"] == "span"]
+        metrics = [record for record in lines if record["event"] == "metric"]
+        # Batch export is in start order: parents before children.
+        assert [record["name"] for record in spans] == [
+            "statement", "optimize", "execute",
+        ]
+        assert spans[0]["parent"] is None
+        assert spans[1]["parent"] == spans[0]["index"]
+        assert spans[0]["attrs"] == {"text": "? beer"}
+        # The parsed metric records match a fresh snapshot exactly.
+        assert metrics == registry.snapshot()
+
+    def test_histogram_record_carries_percentiles(self):
+        registry = sample_registry()
+        [histogram] = [
+            record
+            for record in registry.snapshot()
+            if record["kind"] == "histogram"
+        ]
+        assert histogram["count"] == 4
+        assert histogram["p50"] == 0.002
+        assert histogram["p99"] == 0.100
+        assert histogram["min"] == 0.001
+
+    def test_stream_handle_not_closed(self):
+        buffer = io.StringIO()
+        export_jsonl(buffer, metrics=sample_registry())
+        assert not buffer.closed
+        assert buffer.getvalue().count("\n") == len(sample_registry())
+
+    def test_streaming_sink_emits_on_close(self):
+        buffer = io.StringIO()
+        tracer = Tracer(sink=JsonLinesSink(buffer))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        # Streaming order is completion order: children first.
+        assert [record["name"] for record in records] == ["inner", "outer"]
+
+
+class TestChromeTrace:
+    def test_span_events(self):
+        events = chrome_trace_events(tracer=traced_work())
+        complete = [event for event in events if event["ph"] == "X"]
+        assert len(complete) == 3
+        names = {event["name"] for event in complete}
+        assert names == {"statement", "optimize", "execute"}
+        root = next(e for e in complete if e["name"] == "statement")
+        assert root["ts"] == 0.0  # normalised to the earliest span
+        for event in complete:
+            assert event["dur"] >= 0
+            # Children are contained in the root's interval.
+            assert event["ts"] + event["dur"] <= root["ts"] + root["dur"] + 1e-6
+
+    def test_analyze_report_events(self):
+        from repro.algebra import RelationRef, Select
+        from repro.obs.analyze import analyze
+        from repro.workloads import join_chain_relations
+
+        [relation] = join_chain_relations(1, [20], [4, 4], seed=1)
+        env = {relation.schema.name: relation}
+        expr = Select("%1 = 1", RelationRef(relation.schema.name, relation.schema))
+        report = analyze(expr, env)
+        events = chrome_trace_events(analyze=report)
+        complete = [event for event in events if event["ph"] == "X"]
+        assert len(complete) == len(report.operators)
+        for event, op in zip(complete, report.operators):
+            assert event["tid"] == op.depth + 1  # flame-graph lanes by depth
+            assert event["args"]["rows"] == op.rows
+            assert event["args"]["est_rows"] == op.est_rows
+
+    def test_export_file_is_loadable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = export_chrome_trace(path, tracer=traced_work())
+        payload = json.load(open(path, encoding="utf-8"))
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == count
+        assert any(event["ph"] == "M" for event in payload["traceEvents"])
+
+    def test_empty_inputs_produce_empty_trace(self):
+        assert chrome_trace_events() == []
+        assert chrome_trace_events(tracer=Tracer(), analyze=[]) == []

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Diff fresh benchmark results against committed baselines.
+
+The benches (``benchmarks/bench_e*.py``) emit machine-readable
+``BENCH_<experiment>.json`` files — one list of ``{"name", "fullname",
+"group", "n", "seconds", "min_seconds", "stddev_seconds"}`` records per
+bench module — into ``benchmarks/results/`` (or ``$BENCH_RESULTS_DIR``).
+This tool compares those fresh numbers to the baselines committed under
+``benchmarks/baselines/`` and exits non-zero when any benchmark got more
+than ``--threshold`` (default 30%) slower.
+
+Usage:
+
+    PYTHONPATH=src python -m pytest benchmarks/ -q        # produce results
+    python tools/bench_diff.py                            # compare
+    python tools/bench_diff.py --update                   # bless results
+
+Comparison uses ``min_seconds`` (the best round) by default — it is the
+most noise-resistant point estimate a timing benchmark produces; pass
+``--metric seconds`` to compare means instead.  Benchmarks present on
+only one side are reported as warnings, never failures, so adding or
+retiring a bench does not break the gate.  Wall-clock numbers vary
+across machines, so treat a red exit as "look at the table", not proof:
+CI runs this as a non-blocking job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULTS = Path(
+    os.environ.get("BENCH_RESULTS_DIR", REPO_ROOT / "benchmarks" / "results")
+)
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+#: name -> (module, record); the fullname is unique across modules.
+BenchIndex = Dict[str, Tuple[str, dict]]
+
+
+def load_results(directory: Path) -> BenchIndex:
+    """Index every BENCH_*.json record in a directory by fullname."""
+    index: BenchIndex = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        module = path.stem.removeprefix("BENCH_")
+        try:
+            records = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping unreadable {path.name}: {error}")
+            continue
+        for record in records:
+            key = record.get("fullname") or record.get("name")
+            if key:
+                index[key] = (module, record)
+    return index
+
+
+def iter_rows(
+    fresh: BenchIndex, baseline: BenchIndex, metric: str
+) -> Iterator[Tuple[str, float, float, float]]:
+    """(name, baseline seconds, fresh seconds, ratio) for shared benches."""
+    for name in sorted(fresh.keys() & baseline.keys()):
+        old = baseline[name][1].get(metric)
+        new = fresh[name][1].get(metric)
+        if not old or new is None:  # zero/absent baseline: nothing to divide
+            continue
+        yield name, old, new, new / old
+
+
+def short(name: str) -> str:
+    """'benchmarks/bench_e5_x.py::test_y' -> 'e5_x::test_y'."""
+    module, _, test = name.partition("::")
+    module = Path(module).stem.removeprefix("bench_")
+    return f"{module}::{test}" if test else module
+
+
+def update_baselines(results: Path, baselines: Path) -> int:
+    baselines.mkdir(parents=True, exist_ok=True)
+    copied = 0
+    for path in sorted(results.glob("BENCH_*.json")):
+        shutil.copy2(path, baselines / path.name)
+        copied += 1
+    return copied
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=DEFAULT_RESULTS,
+        help="directory of fresh BENCH_*.json files "
+        "(default: benchmarks/results or $BENCH_RESULTS_DIR)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=DEFAULT_BASELINES,
+        help="directory of committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=30.0,
+        help="regression tolerance in percent (default: 30)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("min_seconds", "seconds"),
+        default="min_seconds",
+        help="which timing to compare (default: min_seconds)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy fresh results over the baselines and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.update:
+        if not options.results.is_dir():
+            print(f"error: no results directory at {options.results}")
+            return 2
+        copied = update_baselines(options.results, options.baselines)
+        print(f"blessed {copied} baseline file(s) into {options.baselines}")
+        return 0
+
+    if not options.baselines.is_dir():
+        print(
+            f"warning: no baselines at {options.baselines} "
+            "(run with --update to create them); nothing to compare"
+        )
+        return 0
+    if not options.results.is_dir():
+        print(f"error: no fresh results at {options.results}; run the benches first")
+        return 2
+
+    fresh = load_results(options.results)
+    baseline = load_results(options.baselines)
+    only_fresh = sorted(fresh.keys() - baseline.keys())
+    only_baseline = sorted(baseline.keys() - fresh.keys())
+    for name in only_fresh:
+        print(f"warning: no baseline for {short(name)} (new bench?)")
+    for name in only_baseline:
+        print(f"warning: baseline {short(name)} not in fresh results")
+
+    limit = 1.0 + options.threshold / 100.0
+    regressions = []
+    rows = list(iter_rows(fresh, baseline, options.metric))
+    if rows:
+        width = max(len(short(name)) for name, *_ in rows)
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
+        for name, old, new, ratio in rows:
+            flag = ""
+            if ratio > limit:
+                regressions.append((name, ratio))
+                flag = "  REGRESSION"
+            elif ratio < 1.0 / limit:
+                flag = "  improved"
+            print(
+                f"{short(name):<{width}}  {old:>11.6f}s  {new:>11.6f}s  "
+                f"{ratio:>5.2f}x{flag}"
+            )
+    print(
+        f"compared {len(rows)} benchmark(s) on {options.metric}, "
+        f"threshold +{options.threshold:g}%: "
+        f"{len(regressions)} regression(s)"
+    )
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(f"worst: {short(worst[0])} at {worst[1]:.2f}x baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
