@@ -41,6 +41,13 @@ start with a dot:
                           .cache off disables, .cache clear empties,
                           .cache stats shows hit/miss/eviction counts,
                           bare .cache shows the status
+    .lint on|off|strict   lint every statement before running it: "on"
+                          prints warnings and runs anyway, "strict"
+                          refuses to execute on error findings and
+                          cross-checks every optimized plan; bare .lint
+                          shows the status
+    .lint TEXT            statically lint an XRA statement (or script)
+                          without executing it
     .load NAME PATH       load a typed-header CSV file as relation NAME
     .save NAME PATH       save relation NAME as CSV
     .time                 show the database's logical time
@@ -53,7 +60,7 @@ import argparse
 import sys
 from typing import List, Optional, TextIO
 
-from repro.algebra import render, render_tree
+from repro.algebra import render
 from repro.cache import QueryCache
 from repro.database import Database
 from repro.engine import StatisticsCatalog, make_scheduler, plan
@@ -61,7 +68,6 @@ from repro.errors import ReproError
 from repro import obs
 from repro.optimizer import optimize
 from repro.relation import format_relation, relation_from_csv, relation_to_csv
-from repro.sql import sql_to_algebra, sql_to_statement
 from repro.sql.ast import SelectQuery
 from repro.sql.parser import parse_sql
 from repro.sql.translate import translate_statement
@@ -177,6 +183,8 @@ class Shell:
             rows=sum(len(output) for output in result.outputs),
             logical_time=self.database.logical_time,
         )
+        if result.lint_report is not None and not result.lint_report.clean:
+            self.print(result.lint_report.render())
         for report in result.analyze_reports:
             self.analyze_reports.append(report)
             self.print(str(report))
@@ -238,6 +246,9 @@ class Shell:
             return None
         if command == ".analyze":
             self.analyze_command(argument)
+            return None
+        if command == ".lint":
+            self.lint_command(argument)
             return None
         if command == ".load":
             self.load_csv(argument)
@@ -431,6 +442,36 @@ class Shell:
         self.session.set_cache(cache)
         self.interpreter.set_cache(cache)
 
+    LINT_USAGE = ".lint [on | off | strict | TEXT]"
+
+    def lint_command(self, argument: str) -> None:
+        """``.lint on|off|strict`` / ``.lint TEXT`` / bare ``.lint``."""
+        argument = argument.strip()
+        if not argument:
+            mode = self.interpreter.lint or "off"
+            self.print(f"lint is {mode}; usage: {self.LINT_USAGE}")
+            return
+        if argument in ("on", "off", "warn", "strict"):
+            self.set_lint(argument)
+            self.print(f"lint {self.interpreter.lint or 'off'}")
+            return
+        from repro.lint import lint_script
+
+        text = argument if argument.rstrip().endswith(";") else argument + ";"
+        report = lint_script(text, self.database.schema.get)
+        if any(
+            d.code == "XRA000" and "expected a statement" in d.message
+            for d in report
+        ):
+            # A bare expression was pasted; lint it as a query.
+            report = lint_script(f"? {text}", self.database.schema.get)
+        self.print(report.render())
+
+    def set_lint(self, mode) -> None:
+        """Point the session *and* the script interpreter at one mode."""
+        self.session.set_lint(mode)
+        self.interpreter.set_lint(mode)
+
     def explain(self, text: str) -> None:
         """Logical tree, optimized tree, physical plan of one XRA query."""
         text = text.strip().rstrip(";").strip()
@@ -607,6 +648,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker pool backend for --parallel (default: process)",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="lint every statement before running it; findings print "
+        "as warnings but execution proceeds (.lint in the shell)",
+    )
+    parser.add_argument(
+        "--strict-lint",
+        action="store_true",
+        help="like --lint, but refuse to execute on error-severity "
+        "findings and cross-check every optimized plan",
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="cache query results (epoch-invalidated; .cache in the shell)",
@@ -635,6 +688,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         shell.set_parallel(options.parallel, options.parallel_backend)
     if options.cache:
         shell.set_cache(QueryCache(max_bytes=int(options.cache_mb * 1024 * 1024)))
+    if options.strict_lint:
+        shell.set_lint("strict")
+    elif options.lint:
+        shell.set_lint("warn")
     try:
         if options.script:
             with open(options.script, encoding="utf-8") as handle:

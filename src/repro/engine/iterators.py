@@ -23,6 +23,7 @@ from operator import itemgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.aggregates import AggregateFunction
+from repro.errors import UnboundAttributeError, UnknownRelationError
 from repro.multiset import Multiset
 from repro import obs
 from repro.relation import Relation
@@ -63,6 +64,17 @@ def consolidate(pairs: Pairs) -> Dict[Row, int]:
     for row, count in pairs:
         counts[row] += count
     return counts
+
+
+def _param_value(row: Row, param_index: int) -> Any:
+    """``row[param_index]`` with the failure named, not a bare IndexError."""
+    try:
+        return row[param_index]
+    except IndexError:
+        raise UnboundAttributeError(
+            f"aggregate parameter %{param_index + 1} is out of range "
+            f"for a {len(row)}-attribute tuple"
+        ) from None
 
 
 def _tuple_extractor(indices: Tuple[int, ...]) -> Callable[[Row], Row]:
@@ -137,7 +149,11 @@ class ScanOp(PhysicalOp):
     def execute(self, env: Dict[str, Relation]) -> Pairs:
         # Relations are immutable once installed, so the scan streams
         # straight off the multiset without an eager copy.
-        return env[self.name].pairs()
+        try:
+            relation = env[self.name]
+        except KeyError:
+            raise UnknownRelationError(self.name) from None
+        return relation.pairs()
 
     def label(self) -> str:
         return f"scan {self.name}"
@@ -475,7 +491,11 @@ class GroupByOp(PhysicalOp):
         if not self.positions:
             values: Multiset[Any] = Multiset()
             for row, count in self.child.execute(env):
-                value = row[param_index] if param_index is not None else row
+                value = (
+                    _param_value(row, param_index)
+                    if param_index is not None
+                    else row
+                )
                 values.add(value, count)
             yield (self.aggregate.compute(values),), 1
             return
@@ -485,7 +505,11 @@ class GroupByOp(PhysicalOp):
             if bag is None:
                 bag = Multiset()
                 groups[key] = bag
-            value = row[param_index] if param_index is not None else row
+            value = (
+                _param_value(row, param_index)
+                if param_index is not None
+                else row
+            )
             bag.add(value, count)
         for key, bag in groups.items():
             yield key + (self.aggregate.compute(bag),), 1

@@ -70,7 +70,7 @@ from repro.algebra import (
     Unique,
 )
 from repro.algebra.extended import ExtendedProject
-from repro.engine.iterators import Pairs, PhysicalOp, consolidate
+from repro.engine.iterators import Pairs, PhysicalOp
 from repro.expressions import ScalarExpr, conjoin
 from repro.multiset import Multiset
 from repro import obs

@@ -41,6 +41,7 @@ __all__ = [
     "SQLTranslationError",
     "XRAParseError",
     "XRARuntimeError",
+    "LintError",
 ]
 
 
@@ -249,3 +250,29 @@ class XRAParseError(FrontendError):
 
 class XRARuntimeError(FrontendError):
     """An XRA program failed during interpretation."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis (repro.lint)
+# ---------------------------------------------------------------------------
+
+
+class LintError(ReproError):
+    """A strict-lint gate refused to execute: error findings present.
+
+    Raised by :class:`~repro.language.Session` in strict lint mode (and
+    by :func:`repro.lint.checked_optimize`) when the static analyzer
+    reports error-severity diagnostics.  The full
+    :class:`~repro.lint.LintReport` rides along as :attr:`report`.
+    """
+
+    def __init__(self, report: object) -> None:
+        findings = getattr(report, "errors", None) or list(report)  # type: ignore[arg-type]
+        summary = "; ".join(
+            f"{diagnostic.code} {diagnostic.message}"
+            for diagnostic in findings[:3]
+        )
+        if len(findings) > 3:
+            summary += f" (+{len(findings) - 3} more)"
+        super().__init__(f"lint found {len(findings)} problem(s): {summary}")
+        self.report = report

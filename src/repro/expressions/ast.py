@@ -30,6 +30,7 @@ from repro.domains import BOOLEAN, Domain, INTEGER, MONEY, REAL
 from repro.errors import (
     DivisionByZeroError,
     ExpressionTypeError,
+    UnboundAttributeError,
 )
 from repro.schema import AttrRefLike, RelationSchema
 from repro.tuples import Row
@@ -186,7 +187,18 @@ class AttrRef(ScalarExpr):
 
     def bind(self, schema: RelationSchema) -> Callable[[Row], Any]:
         index = schema.resolve(self.ref) - 1
-        return lambda row: row[index]
+
+        def extract(row: Row) -> Any:
+            try:
+                return row[index]
+            except IndexError:
+                raise UnboundAttributeError(
+                    f"attribute %{index + 1} is out of range for a "
+                    f"{len(row)}-attribute tuple (schema promised "
+                    f"degree {schema.degree})"
+                ) from None
+
+        return extract
 
     def references(self, schema: RelationSchema) -> frozenset[int]:
         return frozenset((schema.resolve(self.ref),))

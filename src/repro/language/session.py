@@ -74,6 +74,7 @@ class Session:
         parallel: Optional[object] = None,
         cache: Optional[object] = None,
         analyze: bool = False,
+        lint: Optional[object] = None,
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
@@ -101,6 +102,12 @@ class Session:
         self._analyze_catalog: Optional[StatisticsCatalog] = None
         #: The most recent :class:`~repro.obs.analyze.AnalyzeReport`.
         self.last_analyze: Optional[object] = None
+        #: Lint mode: None (off), "warn", or "strict"; see :meth:`set_lint`.
+        self._lint: Optional[str] = None
+        if lint is not None and lint is not False:
+            self.set_lint(lint)
+        #: The most recent :class:`~repro.lint.LintReport` (lint mode on).
+        self.last_lint: Optional[object] = None
         #: Per-statement log; None disables logging entirely.
         self.query_log = query_log
         if slow_query_threshold is not None:
@@ -134,6 +141,92 @@ class Session:
                 f"cache must be a QueryCache, True, or None, not {cache!r}"
             )
         return self._cache
+
+    # -- static analysis (repro.lint) ---------------------------------------
+
+    @property
+    def lint_mode(self) -> Optional[str]:
+        """``None`` (off), ``"warn"``, or ``"strict"``."""
+        return self._lint
+
+    def set_lint(self, mode: Optional[object]) -> Optional[str]:
+        """Set the session's lint mode.
+
+        ``mode`` may be ``None``/``False`` (off), ``True`` or ``"warn"``
+        (lint every query/statement, keep the report as
+        :attr:`last_lint`), or ``"strict"`` (additionally refuse to
+        execute on error-severity findings, and run the optimized-plan
+        consistency check on every execution).
+        """
+        if mode is None or mode is False or mode == "off":
+            self._lint = None
+        elif mode is True or mode in ("warn", "on"):
+            self._lint = "warn"
+        elif mode == "strict":
+            self._lint = "strict"
+        else:
+            raise ValueError(
+                f"lint mode must be None, 'warn', or 'strict', not {mode!r}"
+            )
+        return self._lint
+
+    def lint(self, expr: AlgebraExpr) -> "object":
+        """Lint one expression; returns the :class:`~repro.lint.LintReport`.
+
+        Always available, independent of the session's lint mode.
+        """
+        from repro.lint import lint_expression
+
+        report = lint_expression(expr)
+        self.last_lint = report
+        return report
+
+    def _lint_gate(self, expr: AlgebraExpr) -> None:
+        """Lint ``expr`` per the session mode; raise in strict mode."""
+        from repro.errors import LintError
+
+        report = self.lint(expr)
+        if self._lint == "strict" and not report.ok:
+            raise LintError(report)
+
+    def _lint_statements(self, statements: Sequence[Statement]) -> None:
+        """Lint a statement batch per the session mode."""
+        from repro.errors import LintError
+        from repro.lint import LintReport, lint_statement
+
+        report = LintReport()
+        for statement in statements:
+            report = report.extend(
+                lint_statement(statement, self.database.schema.get)
+            )
+        self.last_lint = report
+        if self._lint == "strict" and not report.ok:
+            raise LintError(report)
+
+    def _exec_optimizer(
+        self,
+    ) -> Optional[Callable[[AlgebraExpr], AlgebraExpr]]:
+        """The optimizer execution contexts should use.
+
+        In strict lint mode the optimizer is wrapped with the
+        optimized-plan consistency check, so the rewriter soundness
+        gate runs on *every* execution (queries, statements, and open
+        transactions all funnel through here).
+        """
+        if self._lint == "strict" and self._optimizer is not None:
+            return self._checked_optimizer
+        return self._optimizer
+
+    def _checked_optimizer(self, expr: AlgebraExpr) -> AlgebraExpr:
+        from repro.errors import LintError
+        from repro.lint import check_plan_consistency
+
+        assert self._optimizer is not None
+        optimized = self._optimizer(expr)
+        report = check_plan_consistency(expr, optimized)
+        if not report.ok:
+            raise LintError(report)
+        return optimized
 
     # -- EXPLAIN ANALYZE ----------------------------------------------------
 
@@ -269,6 +362,8 @@ class Session:
     def query(self, expr: AlgebraExpr) -> Relation:
         """Evaluate ``expr`` against the current state (no transaction)."""
         log = self.query_log
+        if self._lint is not None:
+            self._lint_gate(expr)
         if self._analyze:
             report = self.explain_analyze(expr)
             result = report.result
@@ -288,7 +383,7 @@ class Session:
             context = ExecutionContext(
                 self.database.snapshot(),
                 use_physical_engine=self.use_physical_engine,
-                optimizer=self._optimizer,
+                optimizer=self._exec_optimizer(),
                 parallel=self._parallel,
                 cache=self._cache,
                 database=self.database,
@@ -304,7 +399,7 @@ class Session:
             context = ExecutionContext(
                 self.database.snapshot(),
                 use_physical_engine=self.use_physical_engine,
-                optimizer=self._optimizer,
+                optimizer=self._exec_optimizer(),
                 parallel=self._parallel,
                 cache=self._cache,
                 database=self.database,
@@ -347,13 +442,15 @@ class Session:
 
     def run(self, statements: Sequence[Statement]) -> TransactionResult:
         """Run ``statements`` as one transaction."""
+        if self._lint is not None:
+            self._lint_statements(statements)
         transaction = Transaction(statements)
         log = self.query_log
         started = time.perf_counter() if log is not None else 0.0
         result = transaction.run(
             self.database,
             use_physical_engine=self.use_physical_engine,
-            optimizer=self._optimizer,
+            optimizer=self._exec_optimizer(),
             constraints=self.constraints,
             parallel=self._parallel,
             cache=self._cache,
@@ -404,7 +501,7 @@ class ActiveTransaction:
         self._context = ExecutionContext(
             self._pre_state,
             use_physical_engine=session.use_physical_engine,
-            optimizer=session._optimizer,
+            optimizer=session._exec_optimizer(),
             parallel=session._parallel,
             cache=session._cache,
             database=session.database,

@@ -1,0 +1,347 @@
+"""Structural analyses over algebra expression trees.
+
+The lint rules in :mod:`repro.lint.rules` are thin wrappers around the
+reusable analyses here:
+
+* :func:`walk` — every node with its parent chain;
+* :func:`is_duplicate_free` — conservative proof that an expression
+  cannot produce a multiplicity above one (δ and Γ establish the
+  property; σ, monus-left, ∩, and × preserve it; π and ⊎ destroy it —
+  exactly the multiplicity bookkeeping of Definition 3.1/3.4);
+* :func:`fold_condition` — constant-folds a selection condition to
+  ``True``/``False`` when it reads no attributes (plus trivially
+  reflexive comparisons like ``%1 = %1``);
+* :func:`constant_zero_divisions` — scalar subexpressions that divide
+  by a constant zero;
+* :func:`products_without_predicates` — ``×`` (and predicate-free ⋈)
+  nodes with no enclosing selection/join condition spanning both
+  operands, tracking positional remapping through projections;
+* :func:`dead_projected_columns` — columns built by an inner projection
+  that no enclosing consumer ever reads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra import (
+    AlgebraExpr,
+    Difference,
+    ExtendedProject,
+    GroupBy,
+    Intersect,
+    Join,
+    LiteralRelation,
+    Product,
+    Project,
+    Select,
+    Union,
+    Unique,
+)
+from repro.errors import ReproError
+from repro.expressions.ast import (
+    Arith,
+    AttrRef,
+    BoolOp,
+    Compare,
+    Neg,
+    Not,
+    ScalarExpr,
+)
+from repro.schema import RelationSchema
+
+__all__ = [
+    "walk",
+    "operator_path",
+    "is_duplicate_free",
+    "fold_scalar",
+    "fold_condition",
+    "constant_zero_divisions",
+    "products_without_predicates",
+    "dead_projected_columns",
+]
+
+
+def walk(
+    expr: AlgebraExpr, parents: Tuple[AlgebraExpr, ...] = ()
+) -> Iterator[Tuple[AlgebraExpr, Tuple[AlgebraExpr, ...]]]:
+    """Pre-order traversal yielding ``(node, parent chain)`` pairs."""
+    yield expr, parents
+    child_parents = parents + (expr,)
+    for child in expr.children():
+        yield from walk(child, child_parents)
+
+
+def operator_path(
+    node: AlgebraExpr, parents: Sequence[AlgebraExpr]
+) -> str:
+    """A readable root-to-node path, e.g. ``groupby/select/unique``."""
+    return "/".join(
+        part.operator_name() for part in (*parents, node)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Duplicate-freeness
+# ---------------------------------------------------------------------------
+
+
+def is_duplicate_free(expr: AlgebraExpr) -> bool:
+    """Conservatively true when no tuple of ``expr`` can exceed multiplicity 1.
+
+    Sound, not complete: a False answer means "cannot prove it", so lint
+    rules built on this never flag an expression that genuinely needs
+    its δ.
+    """
+    if isinstance(expr, (Unique, GroupBy)):
+        # δ by definition; Γ emits one tuple per group (Definition 3.4).
+        return True
+    if isinstance(expr, Select):
+        # σ keeps multiplicities intact — at most what the operand had.
+        return is_duplicate_free(expr.operand)
+    if isinstance(expr, Difference):
+        # Monus can only lower the left operand's multiplicities.
+        return is_duplicate_free(expr.left)
+    if isinstance(expr, Intersect):
+        # min(E1(x), E2(x)) ≤ 1 when either side is ≤ 1.
+        return is_duplicate_free(expr.left) or is_duplicate_free(expr.right)
+    if isinstance(expr, (Product, Join)):
+        # Multiplicities multiply: 1 · 1 = 1.
+        return is_duplicate_free(expr.left) and is_duplicate_free(expr.right)
+    if isinstance(expr, LiteralRelation):
+        # A constant: its duplicate structure is simply known.
+        return expr.relation.distinct_count == len(expr.relation)
+    # π and π̂ merge tuples (multiplicities add), ⊎ adds, and base
+    # relations are bags — none can be proven duplicate-free.
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Condition constant-folding
+# ---------------------------------------------------------------------------
+
+
+def fold_scalar(
+    expr: ScalarExpr, schema: RelationSchema
+) -> Tuple[bool, object]:
+    """``(True, value)`` when ``expr`` reads no attributes, else ``(False, None)``.
+
+    Evaluation happens through the expression's own compiled form, so
+    folding agrees with runtime semantics by construction; expressions
+    that would raise (e.g. a constant division by zero) do not fold.
+    """
+    try:
+        if expr.references(schema):
+            return False, None
+        return True, expr.bind(schema)(())
+    except ReproError:
+        return False, None
+
+
+def fold_condition(
+    condition: ScalarExpr, schema: RelationSchema
+) -> Optional[bool]:
+    """``True``/``False`` when the condition's outcome is data-independent.
+
+    Covers constant-only conditions, reflexive comparisons
+    (``%1 = %1``, ``%2 < %2``), and boolean connectives whose outcome is
+    forced by a foldable side (``φ or 1 = 1``).  Returns ``None`` when
+    the outcome genuinely depends on the data.
+    """
+    constant, value = fold_scalar(condition, schema)
+    if constant:
+        return bool(value)
+    if isinstance(condition, Compare) and condition.left == condition.right:
+        # x = x / x <= x / x >= x are tautologies; the strict forms are
+        # contradictions.  (Attribute values are atomic and comparable.)
+        return condition.op in ("=", "<=", ">=")
+    if isinstance(condition, BoolOp):
+        left = fold_condition(condition.left, schema)
+        right = fold_condition(condition.right, schema)
+        if condition.op == "and":
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+        else:
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+        return None
+    if isinstance(condition, Not):
+        inner = fold_condition(condition.operand, schema)
+        return None if inner is None else not inner
+    return None
+
+
+def _scalar_children(expr: ScalarExpr) -> Tuple[ScalarExpr, ...]:
+    if isinstance(expr, (Arith, Compare, BoolOp)):
+        return (expr.left, expr.right)
+    if isinstance(expr, (Neg, Not)):
+        return (expr.operand,)
+    return ()
+
+
+def constant_zero_divisions(
+    expr: ScalarExpr, schema: RelationSchema
+) -> Iterator[Arith]:
+    """Every ``a / b`` subexpression whose divisor folds to zero."""
+    if isinstance(expr, Arith) and expr.op == "/":
+        constant, value = fold_scalar(expr.right, schema)
+        if constant and value == 0:
+            yield expr
+    for child in _scalar_children(expr):
+        yield from constant_zero_divisions(child, schema)
+
+
+# ---------------------------------------------------------------------------
+# Cartesian products with no spanning predicate
+# ---------------------------------------------------------------------------
+
+
+def products_without_predicates(
+    root: AlgebraExpr,
+) -> List[Tuple[AlgebraExpr, Tuple[AlgebraExpr, ...]]]:
+    """``×``/⋈ nodes with no condition relating their two operands.
+
+    Walks the tree top-down carrying the attribute-position footprint of
+    every enclosing selection (and join) condition, remapped through
+    projections on the way down.  A product is fine when some carried
+    predicate — or the join's own condition — touches positions on both
+    sides of the operand boundary; otherwise the node builds a full
+    cross product that nothing downstream constrains.
+    """
+    found: List[Tuple[AlgebraExpr, Tuple[AlgebraExpr, ...]]] = []
+    _scan_products(root, [], (), found)
+    return found
+
+
+def _scan_products(
+    node: AlgebraExpr,
+    pending: List[frozenset],
+    parents: Tuple[AlgebraExpr, ...],
+    found: List[Tuple[AlgebraExpr, Tuple[AlgebraExpr, ...]]],
+) -> None:
+    below = parents + (node,)
+    if isinstance(node, Select):
+        refs = node.condition.references(node.schema)
+        _scan_products(node.operand, pending + [refs], below, found)
+        return
+    if isinstance(node, (Product, Join)):
+        boundary = node.left.schema.degree
+        predicates = list(pending)
+        if isinstance(node, Join):
+            predicates.append(node.condition.references(node.schema))
+        spanning = any(
+            predicate
+            and min(predicate) <= boundary < max(predicate)
+            for predicate in predicates
+        )
+        if not spanning:
+            found.append((node, parents))
+        left_parts = [
+            frozenset(p for p in predicate if p <= boundary)
+            for predicate in predicates
+        ]
+        right_parts = [
+            frozenset(p - boundary for p in predicate if p > boundary)
+            for predicate in predicates
+        ]
+        _scan_products(
+            node.left, [p for p in left_parts if p], below, found
+        )
+        _scan_products(
+            node.right, [p for p in right_parts if p], below, found
+        )
+        return
+    if isinstance(node, Project):
+        remapped = [
+            frozenset(node.positions[ref - 1] for ref in predicate)
+            for predicate in pending
+        ]
+        _scan_products(node.operand, remapped, below, found)
+        return
+    if isinstance(node, ExtendedProject):
+        remapped = []
+        for predicate in pending:
+            mapped: Set[int] = set()
+            simple = True
+            for ref in predicate:
+                entry = node.expressions[ref - 1]
+                if isinstance(entry, AttrRef):
+                    mapped.add(node.operand.schema.resolve(entry.ref))
+                else:
+                    # A computed column: the predicate constrains it,
+                    # but positions below are not directly attributable.
+                    simple = False
+                    break
+            if simple and mapped:
+                remapped.append(frozenset(mapped))
+        _scan_products(node.operand, remapped, below, found)
+        return
+    if isinstance(node, Unique):
+        _scan_products(node.operand, pending, below, found)
+        return
+    if isinstance(node, (Union, Difference, Intersect)):
+        # Operands share the node's schema: predicates pass through.
+        _scan_products(node.left, list(pending), below, found)
+        _scan_products(node.right, list(pending), below, found)
+        return
+    if isinstance(node, GroupBy):
+        remapped = []
+        grouping = node.positions
+        for predicate in pending:
+            if all(ref <= len(grouping) for ref in predicate):
+                remapped.append(
+                    frozenset(grouping[ref - 1] for ref in predicate)
+                )
+            # Predicates touching the aggregate column constrain the
+            # groups, not the input positions — dropped.
+        _scan_products(node.operand, remapped, below, found)
+        return
+    for child in node.children():  # pragma: no cover - future operators
+        _scan_products(child, [], below, found)
+
+
+# ---------------------------------------------------------------------------
+# Dead projected columns
+# ---------------------------------------------------------------------------
+
+
+def dead_projected_columns(
+    root: AlgebraExpr,
+) -> List[Tuple[AlgebraExpr, Tuple[int, ...], AlgebraExpr]]:
+    """Inner projections building columns no enclosing consumer reads.
+
+    Finds patterns ``consumer → (σ/δ chain) → π/π̂`` where *consumer* is
+    a projection or group-by: positions of the inner projection's output
+    that neither the consumer's attribute lists nor any chain condition
+    reference are dead — the inner projection computed them for nothing.
+    Returns ``(inner projection, dead positions, consumer)`` triples.
+    """
+    results: List[Tuple[AlgebraExpr, Tuple[int, ...], AlgebraExpr]] = []
+    for node, _parents in walk(root):
+        if isinstance(node, Project):
+            used: Set[int] = set(node.positions)
+        elif isinstance(node, GroupBy):
+            used = set(node.positions)
+            if node.param_position is not None:
+                used.add(node.param_position)
+        else:
+            continue
+        child = node.operand
+        while True:
+            if isinstance(child, Select):
+                used |= child.condition.references(child.schema)
+                child = child.operand
+            elif isinstance(child, Unique):
+                child = child.operand
+            else:
+                break
+        if isinstance(child, (Project, ExtendedProject)):
+            width = child.schema.degree
+            dead = tuple(sorted(set(range(1, width + 1)) - used))
+            if dead:
+                results.append((child, dead, node))
+    return results

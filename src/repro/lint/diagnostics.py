@@ -1,0 +1,185 @@
+"""Structured diagnostics: codes, severities, findings, and reports.
+
+A :class:`Diagnostic` is one finding of the static analyzer: a stable
+``XRA0xx`` code, a severity, a human message, and optional context — the
+operator path inside the expression tree, a source line/snippet when the
+finding came from a script file, and a fix-it hint.  A
+:class:`LintReport` is an ordered collection of findings with text and
+JSON renderings; the empty report is the "plan is clean" answer.
+
+Severity follows compiler convention: *error* findings describe
+expressions or statements that cannot execute correctly (a strict-mode
+session refuses to run them), *warning* findings describe legal but
+almost-certainly-unintended bag semantics (the paper's Example 3.2
+hazard lives here), and *info* findings are improvement opportunities.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(str, enum.Enum):
+    """Finding severity, ordered error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Lower rank is more severe (stable report ordering)."""
+        return ("error", "warning", "info").index(self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Diagnostic:
+    """One finding: code, severity, message, and optional context."""
+
+    __slots__ = ("code", "severity", "message", "hint", "path", "line", "source")
+
+    def __init__(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        hint: Optional[str] = None,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        self.code = code
+        self.severity = Severity(severity)
+        self.message = message
+        #: Suggested fix, e.g. "use CNTD instead of CNT over δ".
+        self.hint = hint
+        #: Operator path from the root, e.g. ``groupby/select/unique``.
+        self.path = path
+        #: 1-based line in the linted script (source-level lint only).
+        self.line = line
+        #: The offending statement's text (source-level lint only).
+        self.source = source
+
+    def at(self, line: Optional[int], source: Optional[str]) -> "Diagnostic":
+        """A copy of this finding anchored to a script location."""
+        return Diagnostic(
+            self.code,
+            self.severity,
+            self.message,
+            hint=self.hint,
+            path=self.path,
+            line=line if self.line is None else self.line,
+            source=source if self.source is None else self.source,
+        )
+
+    def render(self) -> str:
+        """One text line: ``CODE severity [line N]: message (hint)``."""
+        location = f" line {self.line}" if self.line is not None else ""
+        where = f" at {self.path}" if self.path else ""
+        text = f"{self.code} {self.severity.value}{location}: {self.message}{where}"
+        if self.hint:
+            text += f" — {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly record; optional fields omitted when absent."""
+        record: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for field in ("hint", "path", "line", "source"):
+            value = getattr(self, field)
+            if value is not None:
+                record[field] = value
+        return record
+
+    def __repr__(self) -> str:
+        return f"<Diagnostic {self.code} {self.severity.value}: {self.message}>"
+
+
+class LintReport:
+    """An ordered collection of diagnostics with renderings."""
+
+    __slots__ = ("diagnostics",)
+
+    def __init__(self, diagnostics: Sequence[Diagnostic] = ()) -> None:
+        self.diagnostics: List[Diagnostic] = sorted(
+            diagnostics, key=lambda d: (d.line or 0, d.severity.rank, d.code)
+        )
+
+    # -- access ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* findings are present (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no findings at all."""
+        return not self.diagnostics
+
+    def codes(self) -> List[str]:
+        """The finding codes in report order (duplicates preserved)."""
+        return [d.code for d in self.diagnostics]
+
+    def extend(self, other: "LintReport | Sequence[Diagnostic]") -> "LintReport":
+        """A new report with ``other``'s findings merged in."""
+        extra = list(other)
+        return LintReport(self.diagnostics + extra)
+
+    # -- rendering ------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Finding counts per severity (always all three keys)."""
+        counts = {s.value: 0 for s in Severity}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity.value] += 1
+        return counts
+
+    def render(self) -> str:
+        """Plain-text report: one line per finding plus a summary."""
+        if not self.diagnostics:
+            return "lint: clean (no findings)"
+        lines = [diagnostic.render() for diagnostic in self.diagnostics]
+        counts = self.counts()
+        summary = ", ".join(
+            f"{count} {name}(s)" for name, count in counts.items() if count
+        )
+        lines.append(f"lint: {summary}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": self.counts(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        inner = ", ".join(f"{v} {k}" for k, v in counts.items() if v) or "clean"
+        return f"<LintReport {inner}>"

@@ -1,0 +1,356 @@
+"""Source-level linting: XRA scripts, SQL files, and statements.
+
+The expression-level rules in :mod:`repro.lint.rules` assume a built
+tree — but the algebra's constructors run full schema/type inference,
+so an ill-typed source statement never *becomes* a tree.  This module
+closes the loop for script files: it splits a script into top-level
+statements (tracking line numbers), parses each through the normal
+front end, converts construction-time failures into positioned
+diagnostics, and runs the expression rules plus statement-level static
+checks (insert/delete/update target compatibility, update arity and
+structure preservation) on everything that does parse.
+
+Code assignment for inference failures mirrors the exception hierarchy:
+
+* **XRA000** — the text does not parse at all;
+* **XRA001** — an attribute reference (``%i`` or named) does not
+  resolve in its input schema;
+* **XRA002** — a scalar/aggregate operand is ill-typed (e.g. AVG over
+  a string attribute, ``'a' + 1``);
+* **XRA003** — an arity or schema-compatibility violation (⊎/−/∩
+  operands, statement targets, update lists);
+* **XRA004** — an unknown relation or aggregate name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    AggregateError,
+    AlgebraError,
+    AttributeResolutionError,
+    ExpressionTypeError,
+    ReproError,
+    SchemaMismatchError,
+    UnboundAttributeError,
+    UnknownRelationError,
+)
+from repro.language.statements import (
+    Assign,
+    Delete,
+    Insert,
+    Statement,
+    Update,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.schema import RelationSchema
+
+__all__ = [
+    "lint_statement",
+    "lint_script",
+    "lint_sql",
+    "split_statements",
+    "diagnostic_from_error",
+]
+
+SchemaLookup = Callable[[str], RelationSchema]
+
+
+def _no_relations(name: str) -> RelationSchema:
+    """The empty schema lookup (self-contained scripts only)."""
+    raise UnknownRelationError(name)
+
+
+def diagnostic_from_error(error: ReproError) -> Diagnostic:
+    """Map a construction/parse failure onto a coded error diagnostic."""
+    if isinstance(
+        error, (AttributeResolutionError, UnboundAttributeError)
+    ):
+        code = "XRA001"
+    elif isinstance(error, ExpressionTypeError):
+        code = "XRA002"
+    elif isinstance(error, (SchemaMismatchError, AlgebraError)):
+        # ArityError is an AlgebraError; AggregateError is handled below.
+        code = "XRA004" if isinstance(error, AggregateError) else "XRA003"
+    elif isinstance(error, UnknownRelationError):
+        code = "XRA004"
+    elif str(error).startswith("unknown relation"):
+        # The XRA parser wraps unresolved relation names in a parse
+        # error; keep the stable unknown-name code for them.
+        code = "XRA004"
+    elif str(error).startswith("unknown attribute"):
+        # Likewise the SQL translator for unresolved attribute names.
+        code = "XRA001"
+    else:
+        code = "XRA000"
+    return Diagnostic(code, Severity.ERROR, str(error))
+
+
+# ---------------------------------------------------------------------------
+# Statement-level checks
+# ---------------------------------------------------------------------------
+
+
+def lint_statement(
+    statement: Statement,
+    schema_lookup: Optional[SchemaLookup] = None,
+) -> LintReport:
+    """Lint one Definition 4.1 statement.
+
+    Runs the expression rules on the statement's expression and, when a
+    ``schema_lookup`` resolves the statement's target relation, the
+    static checks that :meth:`~repro.language.statements.Insert.execute`
+    and friends would otherwise only perform at eval time: target
+    schema compatibility for insert/delete/update, and the update
+    statement's assignment-list arity and structure preservation.
+    """
+    from repro.lint import lint_expression
+
+    diagnostics: List[Diagnostic] = []
+    expression = getattr(statement, "expression", None)
+    if expression is not None:
+        diagnostics.extend(lint_expression(expression))
+    if schema_lookup is None or not isinstance(
+        statement, (Insert, Delete, Update)
+    ):
+        return LintReport(diagnostics)
+
+    verb = type(statement).__name__.lower()
+    try:
+        target_schema = schema_lookup(statement.target)
+    except ReproError:
+        diagnostics.append(
+            Diagnostic(
+                "XRA004",
+                Severity.ERROR,
+                f"{verb} targets unknown relation {statement.target!r}",
+            )
+        )
+        return LintReport(diagnostics)
+
+    if not statement.expression.schema.compatible_with(target_schema):
+        diagnostics.append(
+            Diagnostic(
+                "XRA003",
+                Severity.ERROR,
+                f"{verb} expression schema "
+                f"{statement.expression.schema} is incompatible with "
+                f"target {statement.target!r} {target_schema}",
+            )
+        )
+    if isinstance(statement, Update):
+        diagnostics.extend(_lint_update(statement, target_schema))
+    return LintReport(diagnostics)
+
+
+def _lint_update(
+    statement: Update, target_schema: RelationSchema
+) -> List[Diagnostic]:
+    """Arity and structure preservation of an update's α list."""
+    diagnostics: List[Diagnostic] = []
+    if len(statement.assignments) != target_schema.degree:
+        diagnostics.append(
+            Diagnostic(
+                "XRA003",
+                Severity.ERROR,
+                f"update {statement.target!r} supplies "
+                f"{len(statement.assignments)} attribute expression(s) "
+                f"for a degree-{target_schema.degree} relation",
+                hint="the α list must produce one value per attribute "
+                "(Definition 4.1)",
+            )
+        )
+        return diagnostics
+    for position, entry in enumerate(statement.assignments, start=1):
+        try:
+            domain = entry.infer_domain(target_schema)
+        except ReproError as error:
+            diagnostics.append(diagnostic_from_error(error))
+            continue
+        expected = target_schema.attribute(position).domain
+        if domain != expected:
+            diagnostics.append(
+                Diagnostic(
+                    "XRA003",
+                    Severity.ERROR,
+                    f"update {statement.target!r} assignment {position} "
+                    f"({entry!r}) produces {domain.name}, but attribute "
+                    f"%{position} has domain {expected.name}",
+                    hint="the α list must be structure preserving "
+                    "(Definition 4.1)",
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Script splitting
+# ---------------------------------------------------------------------------
+
+
+def split_statements(text: str) -> List[Tuple[int, str]]:
+    """Split a script into top-level ``;``-terminated chunks.
+
+    Returns ``(1-based start line, chunk text)`` pairs.  Splitting
+    respects string literals, ``--`` comments, and bracket nesting, so
+    statements inside transaction brackets stay with their transaction.
+    A trailing unterminated chunk is returned as-is (the parser will
+    report the missing ``;``).
+    """
+    chunks: List[Tuple[int, str]] = []
+    start: Optional[int] = None
+    depth = 0
+    in_string = False
+    in_comment = False
+    line = 1
+    buffer: List[str] = []
+    for char in text:
+        if char == "\n":
+            line += 1
+            in_comment = False
+        if start is None:
+            if char.isspace():
+                continue
+            start = line
+        buffer.append(char)
+        if in_comment:
+            continue
+        if in_string:
+            if char == "'":
+                in_string = False
+            continue
+        if char == "'":
+            in_string = True
+        elif char == "-" and len(buffer) >= 2 and buffer[-2] == "-":
+            in_comment = True
+        elif char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        elif char == ";" and depth <= 0:
+            chunks.append((start, "".join(buffer)))
+            buffer = []
+            start = None
+    if buffer and "".join(buffer).strip():
+        chunks.append((start or line, "".join(buffer)))
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# Whole-script linting
+# ---------------------------------------------------------------------------
+
+
+def lint_script(
+    text: str,
+    schema_lookup: Optional[SchemaLookup] = None,
+) -> LintReport:
+    """Lint an XRA script without executing it.
+
+    Statements are parsed one at a time so a failure in one does not
+    hide findings in the rest; ``create``/``drop`` DDL and ``:=``
+    assignments are tracked so later statements resolve script-local
+    relations.  ``schema_lookup`` supplies the schemas of pre-existing
+    base relations (omit it for self-contained scripts).
+    """
+    from repro import obs
+    from repro.xra.parser import (
+        CreateRelation,
+        DropRelation,
+        StatementItem,
+        TransactionItem,
+        parse_script,
+    )
+
+    external = schema_lookup or _no_relations
+    local: Dict[str, RelationSchema] = {}
+
+    def lookup(name: str) -> RelationSchema:
+        if name in local:
+            return local[name]
+        return external(name)
+
+    diagnostics: List[Diagnostic] = []
+    for line, chunk in split_statements(text):
+        snippet = " ".join(chunk.split())
+        if len(snippet) > 120:
+            snippet = snippet[:117] + "..."
+        try:
+            items = parse_script(chunk, lookup)
+        except ReproError as error:
+            diagnostics.append(
+                diagnostic_from_error(error).at(line, snippet)
+            )
+            continue
+        for item in items:
+            if isinstance(item, CreateRelation):
+                local[item.schema.name] = item.schema
+                continue
+            if isinstance(item, DropRelation):
+                local.pop(item.name, None)
+                continue
+            if isinstance(item, StatementItem):
+                statements: Sequence[Statement] = [item.statement]
+            elif isinstance(item, TransactionItem):
+                statements = item.statements
+            else:
+                continue
+            for statement in statements:
+                report = lint_statement(statement, lookup)
+                diagnostics.extend(
+                    found.at(line, snippet) for found in report
+                )
+                if isinstance(statement, Assign):
+                    local[statement.target] = statement.expression.schema
+    report = LintReport(diagnostics)
+    obs.add("lint.scripts")
+    for diagnostic in report:
+        obs.add("lint.findings", 1, code=diagnostic.code)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# SQL linting
+# ---------------------------------------------------------------------------
+
+
+def lint_sql(text: str, db_schema: object) -> LintReport:
+    """Lint a file of ``;``-separated SQL statements.
+
+    Each statement is parsed and translated onto the algebra through
+    the normal SQL front end, then linted as the resulting expression
+    or Definition 4.1 statement.  ``db_schema`` is the
+    :class:`~repro.schema.DatabaseSchema` the translation resolves
+    table names against (SQL has no DDL in this subset, so the schemas
+    must come from outside).
+    """
+    from repro.sql import parse_sql
+    from repro.sql.translate import translate_statement
+    from repro.lint import lint_expression
+
+    diagnostics: List[Diagnostic] = []
+    line = 1
+    for raw in text.split(";"):
+        start = line
+        line += raw.count("\n")
+        if not raw.strip():
+            continue
+        snippet = " ".join(raw.split())
+        if len(snippet) > 120:
+            snippet = snippet[:117] + "..."
+        start += len(raw) - len(raw.lstrip("\n"))
+        try:
+            parsed = parse_sql(raw)
+            translated = translate_statement(parsed, db_schema)
+        except ReproError as error:
+            diagnostics.append(
+                diagnostic_from_error(error).at(start, snippet)
+            )
+            continue
+        if isinstance(translated, Statement):
+            report = lint_statement(translated, db_schema.get)
+        else:
+            report = LintReport(list(lint_expression(translated)))
+        diagnostics.extend(found.at(start, snippet) for found in report)
+    return LintReport(diagnostics)

@@ -1,0 +1,369 @@
+"""The bag-semantics lint rule registry.
+
+Each rule carries a stable diagnostic code, a default severity, and a
+one-line description (the basis of the rule catalog in ``docs/lint.md``).
+Rules are grounded in the paper:
+
+* **XRA010** — a duplicate-sensitive aggregate (CNT/SUM/AVG/VAR/STDEV/
+  MEDIAN) reads input whose multiplicities a δ below it rewrote.  This
+  is Example 3.2's pitfall in its statically detectable form: under bag
+  semantics the *projection* under AVG is harmless, so the way to
+  corrupt the average is to emulate set semantics by deduplicating
+  first.
+* **XRA011** — δ over an operand that is provably duplicate-free
+  already (δδE, δΓE, δσδE, …): a no-op that costs a full dedup pass.
+* **XRA012** — ``δE1 ⊎ δE2`` reachable without an enclosing δ.
+  Theorem 3.2 proves δ does **not** distribute over ⊎, so this shape is
+  the classic unsound "distributed" form of ``δ(E1 ⊎ E2)``.
+* **XRA013 / XRA014** — selection conditions that fold to constant
+  true (the σ is a no-op) or constant false (the result is empty).
+* **XRA015** — a ``×`` (or a ⋈ whose condition does not span its
+  operands) with no enclosing predicate relating the two sides: a full
+  cross product nothing constrains.
+* **XRA016** — columns an inner projection builds that no enclosing
+  consumer reads.
+* **XRA017** — a scalar subexpression dividing by a constant zero:
+  guaranteed :class:`~repro.errors.DivisionByZeroError` on the first
+  tuple.
+
+The registry is open: :func:`register_rule` adds custom rules, and
+:func:`lint_expression` in :mod:`repro.lint` accepts an explicit rule
+list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.algebra import (
+    AlgebraExpr,
+    ExtendedProject,
+    GroupBy,
+    Join,
+    Product,
+    Select,
+    Union,
+    Unique,
+)
+from repro.lint.analysis import (
+    constant_zero_divisions,
+    dead_projected_columns,
+    fold_condition,
+    is_duplicate_free,
+    operator_path,
+    products_without_predicates,
+    walk,
+)
+from repro.lint.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "LintRule",
+    "NodeRule",
+    "LINT_RULES",
+    "register_rule",
+    "rule_catalog",
+    "DUPLICATE_SENSITIVE",
+]
+
+#: Aggregates whose value changes when input multiplicities change
+#: (Definition 3.3: they consume the *bag* of parameter values).
+DUPLICATE_SENSITIVE = frozenset(
+    {"CNT", "SUM", "AVG", "VAR", "STDEV", "MEDIAN"}
+)
+
+
+class LintRule:
+    """A whole-tree analysis producing diagnostics."""
+
+    code = "XRA000"
+    name = "rule"
+    severity = Severity.WARNING
+    description = ""
+
+    def run(self, root: AlgebraExpr) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self,
+        message: str,
+        node: AlgebraExpr,
+        parents: Sequence[AlgebraExpr],
+        hint: str | None = None,
+    ) -> Diagnostic:
+        return Diagnostic(
+            self.code,
+            self.severity,
+            message,
+            hint=hint,
+            path=operator_path(node, tuple(parents)),
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.code} {self.name}>"
+
+
+class NodeRule(LintRule):
+    """A rule matched node-by-node (with the parent chain available)."""
+
+    def run(self, root: AlgebraExpr) -> Iterator[Diagnostic]:
+        for node, parents in walk(root):
+            yield from self.check(node, parents)
+
+    def check(
+        self, node: AlgebraExpr, parents: Tuple[AlgebraExpr, ...]
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+
+class AggregateOverDistinct(NodeRule):
+    """XRA010: duplicate-sensitive aggregate above a δ (Example 3.2)."""
+
+    code = "XRA010"
+    name = "aggregate-over-distinct"
+    severity = Severity.WARNING
+    description = (
+        "duplicate-sensitive aggregate (CNT/SUM/AVG/...) reads input "
+        "whose multiplicities a δ below it removed — the set-semantics "
+        "emulation mistake of Example 3.2"
+    )
+
+    def check(self, node, parents):
+        if not isinstance(node, GroupBy):
+            return
+        if node.aggregate.name not in DUPLICATE_SENSITIVE:
+            return
+        unique = self._find_unique(node.operand)
+        if unique is None:
+            return
+        yield self.diagnostic(
+            f"duplicate-sensitive aggregate {node.aggregate.name} is "
+            "computed over input deduplicated by δ; multiplicities that "
+            f"{node.aggregate.name} weighs were discarded (Example 3.2)",
+            node,
+            parents,
+            hint=(
+                "drop the unique(...) so the aggregate sees the bag, or "
+                "use CNTD if counting distinct values is intended"
+            ),
+        )
+
+    @staticmethod
+    def _find_unique(expr: AlgebraExpr) -> AlgebraExpr | None:
+        """The first δ on a multiplicity-carrying path below an aggregate.
+
+        Stops at nested Γ nodes — a group-by resets multiplicities to
+        one per group, so a δ below it is that aggregation's business.
+        """
+        if isinstance(expr, Unique):
+            return expr
+        if isinstance(expr, GroupBy):
+            return None
+        for child in expr.children():
+            found = AggregateOverDistinct._find_unique(child)
+            if found is not None:
+                return found
+        return None
+
+
+class RedundantDistinct(NodeRule):
+    """XRA011: δ over provably duplicate-free input."""
+
+    code = "XRA011"
+    name = "redundant-distinct"
+    severity = Severity.WARNING
+    description = (
+        "δ applied to an expression that is already duplicate-free "
+        "(another δ, a group-by, or an operator chain preserving the "
+        "property) — a full dedup pass that changes nothing"
+    )
+
+    def check(self, node, parents):
+        if isinstance(node, Unique) and is_duplicate_free(node.operand):
+            yield self.diagnostic(
+                "redundant δ: the operand "
+                f"({node.operand.operator_name()}) is already "
+                "duplicate-free",
+                node,
+                parents,
+                hint="remove the unique(...) wrapper",
+            )
+
+
+class DistributedDistinctUnion(NodeRule):
+    """XRA012: the unsound δ-over-⊎ distribution shape (Theorem 3.2)."""
+
+    code = "XRA012"
+    name = "distinct-union-distribution"
+    severity = Severity.WARNING
+    description = (
+        "δE1 ⊎ δE2 without an enclosing δ — Theorem 3.2 proves this is "
+        "NOT δ(E1 ⊎ E2); tuples present in both operands keep "
+        "multiplicity 2"
+    )
+
+    def check(self, node, parents):
+        if not isinstance(node, Union):
+            return
+        if not (
+            isinstance(node.left, Unique) and isinstance(node.right, Unique)
+        ):
+            return
+        if parents and isinstance(parents[-1], Unique):
+            return
+        yield self.diagnostic(
+            "δE1 ⊎ δE2 is not δ(E1 ⊎ E2): δ does not distribute over ⊎ "
+            "(Theorem 3.2) — shared tuples come out with multiplicity 2",
+            node,
+            parents,
+            hint=(
+                "wrap the union in unique(...) if a set union was "
+                "intended, or drop the inner unique(...) calls to keep "
+                "bag semantics"
+            ),
+        )
+
+
+class ConstantSelection(NodeRule):
+    """XRA013/XRA014: selection predicates with data-independent outcome."""
+
+    code = "XRA013"
+    name = "constant-selection"
+    severity = Severity.WARNING
+    description = (
+        "selection condition folds to constant true (XRA013, the σ is "
+        "a no-op) or constant false (XRA014, the result is always empty)"
+    )
+
+    def check(self, node, parents):
+        if not isinstance(node, Select):
+            return
+        folded = fold_condition(node.condition, node.operand.schema)
+        if folded is True:
+            yield self.diagnostic(
+                f"selection condition {node.condition!r} is always true; "
+                "the σ never filters anything",
+                node,
+                parents,
+                hint="remove the selection",
+            )
+        elif folded is False:
+            yield Diagnostic(
+                "XRA014",
+                self.severity,
+                f"selection condition {node.condition!r} is always false; "
+                "the result is always empty",
+                hint="the whole subexpression can be replaced by an "
+                "empty relation — check the predicate for a typo",
+                path=operator_path(node, tuple(parents)),
+            )
+
+
+class UnconstrainedProduct(LintRule):
+    """XRA015: a cross product nothing downstream constrains."""
+
+    code = "XRA015"
+    name = "unconstrained-product"
+    severity = Severity.WARNING
+    description = (
+        "× (or a ⋈ whose condition does not span its operands) with no "
+        "enclosing predicate relating the two sides — a full cross "
+        "product of size |E1|·|E2|"
+    )
+
+    def run(self, root):
+        for node, parents in products_without_predicates(root):
+            kind = "product" if isinstance(node, Product) else "join"
+            yield self.diagnostic(
+                f"cartesian {kind} has no predicate relating its two "
+                "operands anywhere in the enclosing expression",
+                node,
+                parents,
+                hint=(
+                    "add a join condition (join[…](E1, E2)) or a "
+                    "selection above the product referencing both sides"
+                ),
+            )
+
+
+class DeadProjectedColumns(LintRule):
+    """XRA016: inner projection columns nobody reads."""
+
+    code = "XRA016"
+    name = "dead-projected-columns"
+    severity = Severity.INFO
+    description = (
+        "an inner projection builds columns that the enclosing "
+        "projection / group-by (and the conditions between them) never "
+        "read"
+    )
+
+    def run(self, root):
+        for inner, dead, consumer in dead_projected_columns(root):
+            columns = ", ".join(f"%{position}" for position in dead)
+            yield Diagnostic(
+                self.code,
+                self.severity,
+                f"column(s) {columns} of the inner "
+                f"{inner.operator_name()} are never read by the "
+                f"enclosing {consumer.operator_name()}",
+                hint="narrow the inner projection list",
+                path=inner.operator_name(),
+            )
+
+
+class ConstantDivisionByZero(NodeRule):
+    """XRA017: scalar division by a constant zero."""
+
+    code = "XRA017"
+    name = "constant-division-by-zero"
+    severity = Severity.WARNING
+    description = (
+        "a condition or projection expression divides by a constant "
+        "zero — evaluation raises DivisionByZeroError on the first tuple"
+    )
+
+    def check(self, node, parents):
+        if isinstance(node, Select):
+            scalars = [(node.condition, node.operand.schema)]
+        elif isinstance(node, Join):
+            scalars = [(node.condition, node.schema)]
+        elif isinstance(node, ExtendedProject):
+            scalars = [
+                (entry, node.operand.schema) for entry in node.expressions
+            ]
+        else:
+            return
+        for scalar, schema in scalars:
+            for division in constant_zero_divisions(scalar, schema):
+                yield self.diagnostic(
+                    f"{division!r} divides by a constant zero",
+                    node,
+                    parents,
+                    hint="fix the divisor; this cannot evaluate",
+                )
+
+
+#: The default registry, in diagnostic-code order.
+LINT_RULES: List[LintRule] = [
+    AggregateOverDistinct(),
+    RedundantDistinct(),
+    DistributedDistinctUnion(),
+    ConstantSelection(),
+    UnconstrainedProduct(),
+    DeadProjectedColumns(),
+    ConstantDivisionByZero(),
+]
+
+
+def register_rule(rule: LintRule) -> LintRule:
+    """Add a custom rule to the default registry (returns it back)."""
+    LINT_RULES.append(rule)
+    return rule
+
+
+def rule_catalog() -> List[Tuple[str, str, str, str]]:
+    """``(code, name, severity, description)`` for every registered rule."""
+    return [
+        (rule.code, rule.name, rule.severity.value, rule.description)
+        for rule in LINT_RULES
+    ]

@@ -33,7 +33,6 @@ from repro.algebra import (
 )
 from repro.algebra.base import AttrListLike, ConditionLike, as_attr_list, as_condition
 from repro.engine import evaluate
-from repro.expressions import ScalarExpr
 from repro.expressions.rewrite import resolve_refs, shift_refs
 from repro.relation import Relation
 from repro.schema import AttrList

@@ -20,7 +20,7 @@ DP realises.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import AlgebraExpr, Join, Product, Select
 from repro.engine import StatisticsCatalog, estimate_cost

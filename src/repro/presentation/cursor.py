@@ -20,7 +20,7 @@ boundary, drawn deliberately:
 from __future__ import annotations
 
 from functools import cmp_to_key
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.relation import Relation
 from repro.schema import AttrRefLike

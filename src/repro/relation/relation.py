@@ -27,12 +27,23 @@ from typing import (
 )
 
 from repro.aggregates import AggregateFunction
-from repro.errors import SchemaMismatchError
+from repro.errors import SchemaMismatchError, UnboundAttributeError
 from repro.multiset import Multiset
 from repro.schema import AttrRefLike, RelationSchema
 from repro.tuples import Row, concat_tuples, project_tuple, validate_tuple
 
 __all__ = ["Relation"]
+
+
+def _param_value(row: Row, param_position: int) -> Any:
+    """``row[param_position - 1]`` with the failure named on overrun."""
+    try:
+        return row[param_position - 1]
+    except IndexError:
+        raise UnboundAttributeError(
+            f"aggregate parameter %{param_position} is out of range "
+            f"for a {len(row)}-attribute tuple"
+        ) from None
 
 
 class Relation:
@@ -278,7 +289,11 @@ class Relation:
             if bag is None:
                 bag = Multiset()
                 groups[key] = bag
-            value = row[param_position - 1] if param_position is not None else row
+            value = (
+                _param_value(row, param_position)
+                if param_position is not None
+                else row
+            )
             bag.add(value, count)
 
         out_rows = Multiset(
@@ -302,7 +317,11 @@ class Relation:
         """The bag of aggregate inputs for the whole relation."""
         values: Multiset[Any] = Multiset()
         for row, count in self._tuples.pairs():
-            value = row[param_position - 1] if param_position is not None else row
+            value = (
+                _param_value(row, param_position)
+                if param_position is not None
+                else row
+            )
             values.add(value, count)
         return values
 

@@ -10,7 +10,7 @@ single quotes with ``''`` escaping, as in the SQL standard.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple
+from typing import List, NamedTuple
 
 from repro.errors import SQLParseError
 

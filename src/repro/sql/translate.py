@@ -48,7 +48,6 @@ from repro.sql.ast import (
     DeleteStatement,
     InPredicate,
     InsertStatement,
-    SelectItem,
     SelectQuery,
     SetOperation,
     TableRef,
@@ -357,7 +356,6 @@ def _apply_in_predicate(
     operand = scope.positional(predicate.operand)
     width = source.schema.degree
     from repro.expressions import Compare
-    from repro.expressions.rewrite import shift_refs
 
     condition = Compare("=", operand, AttrRef(width + 1))
     matching = Project(

@@ -41,7 +41,7 @@ __all__ = ["XRAInterpreter", "ScriptResult"]
 class ScriptResult:
     """Everything a script produced."""
 
-    __slots__ = ("outputs", "transactions", "analyze_reports")
+    __slots__ = ("outputs", "transactions", "analyze_reports", "lint_report")
 
     def __init__(self) -> None:
         #: Results of ``?E`` statements, in script order.
@@ -52,6 +52,9 @@ class ScriptResult:
         #: order (populated only while the interpreter's analyze mode
         #: is on; see :meth:`XRAInterpreter.set_analyze`).
         self.analyze_reports: List[object] = []
+        #: The script's :class:`~repro.lint.LintReport` (lint mode on),
+        #: or None while the interpreter runs with lint off.
+        self.lint_report: Optional[object] = None
 
     @property
     def committed(self) -> bool:
@@ -95,12 +98,36 @@ class XRAInterpreter:
         #: While True, ``?E`` statements run through EXPLAIN ANALYZE
         #: (reports land in :attr:`ScriptResult.analyze_reports`).
         self.analyze = False
+        #: Lint mode: None (off), "warn", or "strict"; see :meth:`set_lint`.
+        self.lint: Optional[str] = None
         #: Long-lived statistics catalog accumulating analyze feedback.
         self._analyze_catalog: Optional[object] = None
 
     def set_cache(self, cache: Optional[object]) -> None:
         """Attach or remove the interpreter's query cache."""
         self.cache = cache
+
+    def set_lint(self, mode: Optional[object]) -> Optional[str]:
+        """Set the interpreter's lint mode.
+
+        Same contract as :meth:`repro.language.Session.set_lint`:
+        ``None``/``False``/``"off"`` disables linting, ``True`` /
+        ``"warn"`` / ``"on"`` lints every script before running it and
+        attaches the report as :attr:`ScriptResult.lint_report`, and
+        ``"strict"`` additionally refuses to run a script with
+        error-severity findings.
+        """
+        if mode is None or mode is False or mode == "off":
+            self.lint = None
+        elif mode is True or mode in ("warn", "on"):
+            self.lint = "warn"
+        elif mode == "strict":
+            self.lint = "strict"
+        else:
+            raise ValueError(
+                f"lint mode must be None, 'warn', or 'strict', not {mode!r}"
+            )
+        return self.lint
 
     def set_analyze(self, on: bool, catalog: Optional[object] = None) -> None:
         """Toggle EXPLAIN ANALYZE for ``?E`` statements.
@@ -151,9 +178,23 @@ class XRAInterpreter:
         return scheduler
 
     def run(self, text: str) -> ScriptResult:
-        """Parse and execute a whole script."""
-        items = parse_script(text, self.database.schema.get)
+        """Parse and execute a whole script.
+
+        With lint mode on, the whole script is linted *first* (it sees
+        the pre-script database schema); in strict mode error findings
+        abort the run before any statement executes, so a script that
+        would fail halfway never starts.
+        """
         result = ScriptResult()
+        if self.lint is not None:
+            from repro.errors import LintError
+            from repro.lint import lint_script
+
+            report = lint_script(text, self.database.schema.get)
+            result.lint_report = report
+            if self.lint == "strict" and not report.ok:
+                raise LintError(report)
+        items = parse_script(text, self.database.schema.get)
         for item in items:
             self._run_item(item, result)
         return result

@@ -11,7 +11,6 @@ from repro.algebra import (
     Join,
     LiteralRelation,
     Product,
-    Project,
     RelationRef,
     Select,
     Union,
@@ -26,7 +25,7 @@ from repro.errors import (
     SchemaMismatchError,
 )
 from repro.relation import Relation
-from repro.schema import AttrList, RelationSchema
+from repro.schema import RelationSchema
 
 BEER = RelationSchema.of("beer", name=STRING, brewery=STRING, alcperc=REAL)
 BREWERY = RelationSchema.of("brewery", name=STRING, city=STRING, country=STRING)

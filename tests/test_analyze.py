@@ -18,7 +18,7 @@ from repro.algebra import Join, Product, RelationRef, Select, Unique
 from repro.cli import Shell
 from repro.engine.statistics import StatisticsCatalog, TableStats, estimate_cardinality
 from repro.language import Session
-from repro.obs.analyze import AnalyzeReport, OperatorStats, analyze
+from repro.obs.analyze import AnalyzeReport, analyze
 from repro.tools import explain_analyze
 from repro.workloads import join_chain_relations, tiny_beer_database
 from repro.xra import XRAInterpreter

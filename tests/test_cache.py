@@ -22,7 +22,6 @@ from repro.database import Database
 from repro.errors import EmptyAggregateError
 from repro.language import Session
 from repro.optimizer import optimize
-from repro.relation import Relation
 from repro.testing import ExpressionGenerator, random_environment
 from repro.workloads import random_int_relation, tiny_beer_database
 from repro.xra import XRAInterpreter

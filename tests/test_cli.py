@@ -4,10 +4,8 @@ import io
 import subprocess
 import sys
 
-import pytest
 
 from repro.cli import Shell
-from repro.database import Database
 from repro.workloads import tiny_beer_database
 
 

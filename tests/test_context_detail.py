@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra import GroupBy, RelationRef, render, render_tree
-from repro.database import Database
 from repro.errors import UnknownRelationError
 from repro.language import ExecutionContext
 from repro.relation import Relation

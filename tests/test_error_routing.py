@@ -1,0 +1,94 @@
+"""Eval-time failures surface as ReproError subclasses, not bare builtins.
+
+A mismatch between a tuple's width and what its schema promises (or a
+plan referencing a relation the environment lacks) used to escape as a
+bare ``IndexError`` / ``KeyError`` from deep inside the evaluator.
+These tests pin the routed versions: the error type lives in
+:mod:`repro.errors` and the message names the offending attribute
+index or relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.domains import INTEGER, STRING
+from repro.engine import plan
+from repro.errors import (
+    ReproError,
+    UnboundAttributeError,
+    UnknownRelationError,
+)
+from repro.aggregates import resolve_aggregate
+from repro.expressions import AttrRef
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+SCHEMA = RelationSchema.of("t", a=STRING, b=INTEGER, c=INTEGER)
+
+
+def short_row_relation() -> Relation:
+    """A relation whose rows are *narrower* than its schema promises."""
+    return Relation(SCHEMA, {("x",): 2}, validate=False)
+
+
+def test_attr_ref_overrun_names_the_position() -> None:
+    extract = AttrRef(3).bind(SCHEMA)
+    with pytest.raises(UnboundAttributeError) as caught:
+        extract(("only",))
+    assert "%3" in str(caught.value)
+    assert "1-attribute tuple" in str(caught.value)
+
+
+def test_attr_ref_overrun_is_a_repro_error() -> None:
+    with pytest.raises(ReproError):
+        AttrRef(2).bind(SCHEMA)(())
+
+
+def test_scan_of_missing_relation() -> None:
+    from repro.algebra import RelationRef
+
+    physical = plan(RelationRef("ghost", SCHEMA))
+    with pytest.raises(UnknownRelationError) as caught:
+        list(physical.execute({}))
+    assert "ghost" in str(caught.value)
+
+
+def test_group_by_param_overrun_reference_evaluator() -> None:
+    relation = short_row_relation()
+    with pytest.raises(UnboundAttributeError) as caught:
+        relation.group_by([1], resolve_aggregate("SUM"), 3)
+    assert "%3" in str(caught.value)
+
+
+def test_whole_relation_aggregate_param_overrun() -> None:
+    relation = short_row_relation()
+    with pytest.raises(UnboundAttributeError) as caught:
+        relation.group_by([], resolve_aggregate("SUM"), 2)
+    assert "%2" in str(caught.value)
+
+
+def test_group_by_param_overrun_physical_engine() -> None:
+    from repro.algebra import GroupBy, RelationRef
+
+    expr = GroupBy((1,), "SUM", 3, RelationRef("t", SCHEMA))
+    physical = plan(expr)
+    with pytest.raises(UnboundAttributeError) as caught:
+        list(physical.execute({"t": short_row_relation()}))
+    assert "%3" in str(caught.value)
+
+
+def test_global_aggregate_overrun_physical_engine() -> None:
+    from repro.algebra import GroupBy, RelationRef
+
+    expr = GroupBy(None, "SUM", 2, RelationRef("t", SCHEMA))
+    physical = plan(expr)
+    with pytest.raises(UnboundAttributeError) as caught:
+        list(physical.execute({"t": short_row_relation()}))
+    assert "%2" in str(caught.value)
+
+
+def test_valid_rows_still_work() -> None:
+    relation = Relation(SCHEMA, [("x", 1, 10), ("y", 2, 20), ("x", 1, 30)])
+    result = relation.group_by([1], resolve_aggregate("SUM"), 3)
+    assert sorted(result.pairs()) == [(("x", 40), 1), (("y", 20), 1)]

@@ -9,11 +9,8 @@ from repro.errors import (
     ExpressionTypeError,
 )
 from repro.expressions import (
-    Arith,
-    AttrRef,
     BoolOp,
     Compare,
-    Const,
     Neg,
     Not,
     col,

@@ -5,9 +5,7 @@ import pytest
 from repro.domains import INTEGER
 from repro.expressions import (
     AttrRef,
-    col,
     conjoin,
-    lit,
     map_attr_refs,
     parse_expression,
     rebase,

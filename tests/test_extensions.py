@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.aggregates import CNT, SUM
-from repro.algebra import LiteralRelation, RelationRef
+from repro.algebra import LiteralRelation
 from repro.database import Database
 from repro.engine import evaluate, execute
 from repro.errors import ConstraintViolationError, ExpressionTypeError

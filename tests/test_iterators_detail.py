@@ -20,7 +20,6 @@ from repro.engine.iterators import (
     collect,
 )
 from repro.relation import Relation
-from repro.schema import RelationSchema
 from repro.workloads import random_int_relation
 from repro.workloads.synthetic import int_schema
 

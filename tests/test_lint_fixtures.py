@@ -1,0 +1,151 @@
+"""The lint fixture corpus: every bad script yields its exact codes.
+
+``tests/fixtures/lint/`` holds one deliberately-wrong XRA script per
+diagnostic family.  Each is linted through the *standalone* linter
+(``tools/xralint.py --format json``) as a real subprocess, so these
+tests pin down the whole chain: file handling, the JSON output shape,
+exit codes, and — most importantly — the exact diagnostic codes, which
+are a public, stable interface.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+XRALINT = REPO_ROOT / "tools" / "xralint.py"
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+#: fixture file -> exact diagnostic codes, in report order.
+EXPECTED = {
+    "avg_over_unique.xra": ["XRA010"],
+    "redundant_unique.xra": ["XRA011", "XRA011"],
+    "distinct_union.xra": ["XRA012"],
+    "constant_selection.xra": ["XRA013", "XRA014", "XRA013"],
+    "unconstrained_product.xra": ["XRA015"],
+    "dead_columns.xra": ["XRA016"],
+    "division_by_zero.xra": ["XRA017"],
+    "bad_reference.xra": ["XRA001"],
+    "type_error.xra": ["XRA002"],
+    "schema_mismatch.xra": ["XRA003"],
+    "unknown_relation.xra": ["XRA004", "XRA004"],
+    "parse_error.xra": ["XRA000"],
+}
+
+
+def run_xralint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(XRALINT), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_corpus_is_complete() -> None:
+    """Every fixture on disk is in the manifest and vice versa."""
+    on_disk = {path.name for path in FIXTURES.glob("*.xra")}
+    assert on_disk == set(EXPECTED)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_codes(name: str) -> None:
+    result = run_xralint("--format", "json", str(FIXTURES / name))
+    assert result.returncode == 1, result.stderr
+    payload = json.loads(result.stdout)
+    codes = [entry["code"] for entry in payload["diagnostics"]]
+    assert codes == EXPECTED[name]
+    for entry in payload["diagnostics"]:
+        assert entry["file"].endswith(name)
+        assert entry["line"] >= 1
+        assert entry["severity"] in ("error", "warning", "info")
+        assert entry["message"]
+
+
+def test_example_32_hazard_is_reported() -> None:
+    """The paper's Example 3.2 projection-under-AVG hazard, by name."""
+    result = run_xralint(str(FIXTURES / "avg_over_unique.xra"))
+    assert result.returncode == 1
+    assert "XRA010" in result.stdout
+    assert "Example 3.2" in result.stdout
+    assert "AVG" in result.stdout
+
+
+def test_whole_corpus_in_one_invocation() -> None:
+    paths = [str(FIXTURES / name) for name in sorted(EXPECTED)]
+    result = run_xralint("--format", "json", *paths)
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["files"] == len(EXPECTED)
+    expected_total = sum(len(codes) for codes in EXPECTED.values())
+    assert len(payload["diagnostics"]) == expected_total
+    assert sum(payload["counts"].values()) == expected_total
+
+
+def test_clean_file_exits_zero(tmp_path: Path) -> None:
+    clean = tmp_path / "clean.xra"
+    clean.write_text(
+        "create t (a: int, b: string);\n"
+        "? sel[%1 > 0](t);\n",
+        encoding="utf-8",
+    )
+    result = run_xralint(str(clean))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout
+
+
+def test_unknown_suffix_exits_two(tmp_path: Path) -> None:
+    odd = tmp_path / "notascript.txt"
+    odd.write_text("hello", encoding="utf-8")
+    result = run_xralint(str(odd))
+    assert result.returncode == 2
+    assert "unsupported suffix" in result.stderr
+
+
+def test_sql_linting_with_schema(tmp_path: Path) -> None:
+    schema = tmp_path / "schema.xra"
+    schema.write_text(
+        "create beer (name: string, brewery: string, alcperc: real);\n",
+        encoding="utf-8",
+    )
+    sql = tmp_path / "queries.sql"
+    sql.write_text(
+        "SELECT name FROM beer WHERE alcperc > 5.0;\n"
+        "SELECT nope FROM beer;\n",
+        encoding="utf-8",
+    )
+    result = run_xralint(
+        "--format", "json", "--schema", str(schema), str(sql)
+    )
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    codes = [entry["code"] for entry in payload["diagnostics"]]
+    assert codes == ["XRA001"]
+
+    # Without --schema, SQL files are a usage error.
+    bare = run_xralint(str(sql))
+    assert bare.returncode == 2
+
+
+def test_markdown_snippets_are_linted(tmp_path: Path) -> None:
+    doc = tmp_path / "guide.md"
+    doc.write_text(
+        "# Guide\n"
+        "\n"
+        "```xra\n"
+        "create t (a: int);\n"
+        "? unique(unique(t));\n"
+        "```\n",
+        encoding="utf-8",
+    )
+    result = run_xralint("--format", "json", str(doc))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    (entry,) = payload["diagnostics"]
+    assert entry["code"] == "XRA011"
+    assert entry["line"] == 5  # real line in the .md file

@@ -206,11 +206,11 @@ class TestHigherOrder:
     def test_product_multiplies_multiplicities(self):
         left = Multiset({"a": 2})
         right = Multiset({"x": 3})
-        result = left.product(right, lambda l, r: (l, r))
+        result = left.product(right, lambda x, y: (x, y))
         assert result(("a", "x")) == 6
 
     def test_product_with_empty_is_empty(self):
-        assert not Multiset({"a": 1}).product(Multiset.empty(), lambda l, r: (l, r))
+        assert not Multiset({"a": 1}).product(Multiset.empty(), lambda x, y: (x, y))
 
 
 class TestMutation:

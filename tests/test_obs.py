@@ -12,10 +12,9 @@ import json
 import pytest
 
 from repro import obs
-from repro.algebra import LiteralRelation, RelationRef
+from repro.algebra import LiteralRelation
 from repro.cli import Shell
-from repro.database import Database
-from repro.domains import INTEGER, STRING
+from repro.domains import INTEGER
 from repro.language import Insert, Session
 from repro.obs import (
     NULL_SPAN,

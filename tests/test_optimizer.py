@@ -1,6 +1,5 @@
 """Tests for the rewrite rules, the pipeline, and semantic preservation."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

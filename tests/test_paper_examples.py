@@ -12,7 +12,6 @@
 import pytest
 
 from repro.algebra import RelationRef, Select
-from repro.database import Database
 from repro.engine import evaluate, evaluate_set
 from repro.language import Session, Update
 from repro.sql import sql_to_algebra, sql_to_statement

@@ -5,7 +5,6 @@ import pytest
 from repro.algebra import Product, RelationRef, Select
 from repro.engine import evaluate
 from repro.engine.profiler import execute_profiled
-from repro.optimizer import optimize
 from repro.workloads import tiny_beer_database
 
 

@@ -7,7 +7,6 @@ selection interplay, group-by totals, product cardinalities).
 """
 
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.aggregates import CNT, SUM
 from tests.conftest import int_relations, int_relations_deg3

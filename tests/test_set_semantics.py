@@ -1,6 +1,5 @@
 """Tests for the set-semantics foil evaluator (the paper's comparison model)."""
 
-import pytest
 from hypothesis import given
 
 from repro.algebra import (

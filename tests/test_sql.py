@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.database import Database
-from repro.engine import evaluate
 from repro.errors import SQLParseError, SQLTranslationError
 from repro.language import Session
 from repro.sql import (

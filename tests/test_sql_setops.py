@@ -8,7 +8,7 @@ onto ⊎ / − / ∩ with δ exactly where the standard says duplicates go.
 import pytest
 
 from repro.engine import evaluate, execute
-from repro.errors import SQLParseError, SQLTranslationError
+from repro.errors import SQLTranslationError
 from repro.language import Session
 from repro.sql import parse_sql, sql_to_algebra, sql_to_statement
 from repro.sql.ast import SetOperation

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.algebra import Product, RelationRef, Select
-from repro.engine import evaluate, execute
-from repro.tools import ExplainReport, explain
+from repro.engine import evaluate
+from repro.tools import explain
 from repro.workloads import tiny_beer_database
 
 

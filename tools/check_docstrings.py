@@ -12,6 +12,12 @@ Usage::
 
     python tools/check_docstrings.py            # report + exit status
     python tools/check_docstrings.py --min-length 20
+    python tools/check_docstrings.py --require repro.lint
+
+``--require PACKAGE`` (repeatable) additionally asserts that the named
+package actually contributes modules to the sweep — a rename or an
+accidental underscore-prefix would otherwise silently remove a package
+from coverage while the gate kept passing.
 
 Exit status 0 when every module passes, 1 otherwise (the offending
 modules are listed).
@@ -69,15 +75,40 @@ def main(argv: List[str] | None = None) -> int:
         metavar="CHARS",
         help="minimum stripped docstring length (default 10)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PACKAGE",
+        help=(
+            "dotted package under repro that must contribute at least "
+            "one module to the sweep (repeatable), e.g. repro.lint"
+        ),
+    )
     options = parser.parse_args(argv)
 
     failures: List[Tuple[Path, str]] = []
     checked = 0
+    seen_packages = set()
     for path in public_modules():
         checked += 1
+        relative = path.relative_to(PACKAGE_ROOT)
+        prefix = "repro"
+        seen_packages.add(prefix)
+        for part in relative.parts[:-1]:
+            prefix = f"{prefix}.{part}"
+            seen_packages.add(prefix)
         ok, reason = check_module(path, options.min_length)
         if not ok:
             failures.append((path, reason))
+
+    missing = [name for name in options.require if name not in seen_packages]
+    if missing:
+        print(
+            "required package(s) absent from the docstring sweep: "
+            + ", ".join(sorted(missing))
+        )
+        return 1
 
     label = f"{checked} public module(s) under src/repro"
     if failures:

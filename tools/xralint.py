@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Standalone file linter for XRA scripts, SQL files, and doc snippets.
+
+A thin command-line front end over :mod:`repro.lint` for use outside a
+shell session — pre-commit hooks, CI, editors.  It understands three
+kinds of input:
+
+* ``*.xra`` — an XRA script, linted statement by statement with
+  script-local DDL tracked (:func:`repro.lint.lint_script`);
+* ``*.sql`` — ``;``-separated SQL statements, parsed and translated
+  through the normal SQL front end (:func:`repro.lint.lint_sql`); SQL
+  has no DDL in this subset, so table schemas must be supplied with
+  ``--schema SCRIPT.xra`` (an XRA file whose ``create`` statements
+  declare them);
+* ``*.md`` — every fenced ```` ```xra ```` code block is linted as a
+  self-contained script at its real line offset, so docs stay honest.
+
+Usage::
+
+    python tools/xralint.py examples/*.xra
+    python tools/xralint.py --format json tests/fixtures/lint/*.xra
+    python tools/xralint.py --schema schema.xra queries.sql
+    python tools/xralint.py docs/xra_reference.md
+
+Exit status 0 when every file is clean, 1 when any diagnostic was
+reported, 2 on usage errors (unreadable file, unknown suffix).  The
+JSON format is one object::
+
+    {"files": N,
+     "diagnostics": [{"file": ..., "line": ..., "code": ..., ...}],
+     "counts": {"error": E, "warning": W, "info": I}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ReproError, UnknownRelationError  # noqa: E402
+from repro.lint import (  # noqa: E402
+    Diagnostic,
+    LintReport,
+    lint_script,
+    lint_sql,
+)
+from repro.schema import DatabaseSchema, RelationSchema  # noqa: E402
+
+SchemaLookup = Callable[[str], RelationSchema]
+
+
+def schema_from_xra(path: Path) -> DatabaseSchema:
+    """Collect the ``create`` declarations of an XRA file into a schema."""
+    from repro.xra.parser import CreateRelation, parse_script
+
+    def missing(name: str) -> RelationSchema:
+        raise UnknownRelationError(name)
+
+    db_schema = DatabaseSchema()
+    for item in parse_script(path.read_text(encoding="utf-8"), missing):
+        if isinstance(item, CreateRelation):
+            db_schema.add(item.schema)
+    return db_schema
+
+
+def xra_blocks(text: str) -> List[Tuple[int, str]]:
+    """``(1-based first content line, body)`` of each ```xra fence."""
+    blocks: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    body: Optional[List[str]] = None
+    start = 0
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if body is None:
+            if stripped in ("```xra", "``` xra"):
+                body = []
+                start = number + 1
+        elif stripped.startswith("```"):
+            blocks.append((start, "\n".join(body)))
+            body = None
+        else:
+            body.append(line)
+    return blocks
+
+
+def lint_file(
+    path: Path, schema: Optional[DatabaseSchema]
+) -> Tuple[LintReport, List[Diagnostic]]:
+    """Lint one file; returns ``(report, positioned diagnostics)``.
+
+    The second element carries the per-file line offsets already folded
+    in (markdown blocks start mid-file), ready for rendering.
+    """
+    lookup = schema.get if schema is not None else None
+    text = path.read_text(encoding="utf-8")
+    suffix = path.suffix.lower()
+    if suffix == ".xra":
+        report = lint_script(text, lookup)
+        return report, list(report)
+    if suffix == ".sql":
+        if schema is None:
+            raise ReproError(
+                f"{path}: linting SQL needs table schemas; pass "
+                "--schema SCRIPT.xra declaring them"
+            )
+        report = lint_sql(text, schema)
+        return report, list(report)
+    if suffix in (".md", ".markdown"):
+        diagnostics: List[Diagnostic] = []
+        for offset, body in xra_blocks(text):
+            for found in lint_script(body, lookup):
+                diagnostics.append(
+                    Diagnostic(
+                        found.code,
+                        found.severity,
+                        found.message,
+                        hint=found.hint,
+                        path=found.path,
+                        line=offset + ((found.line or 1) - 1),
+                        source=found.source,
+                    )
+                )
+        return LintReport(diagnostics), diagnostics
+    raise ReproError(
+        f"{path}: unsupported suffix {path.suffix!r} "
+        "(expected .xra, .sql, or .md)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="xralint",
+        description="Static semantic linter for XRA/SQL files "
+        "(bag-semantics hazards, schema/type errors)",
+    )
+    parser.add_argument(
+        "paths", nargs="+", metavar="FILE", help=".xra, .sql, or .md files"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--schema",
+        metavar="SCRIPT.xra",
+        help="XRA file whose create statements supply base-relation "
+        "schemas (required for .sql, optional for .xra/.md)",
+    )
+    options = parser.parse_args(argv)
+
+    schema: Optional[DatabaseSchema] = None
+    if options.schema:
+        try:
+            schema = schema_from_xra(Path(options.schema))
+        except (ReproError, OSError) as error:
+            print(f"xralint: {error}", file=sys.stderr)
+            return 2
+
+    all_diagnostics: List[Tuple[str, Diagnostic]] = []
+    counts = {"error": 0, "warning": 0, "info": 0}
+    failed = False
+    for name in options.paths:
+        path = Path(name)
+        try:
+            _, diagnostics = lint_file(path, schema)
+        except (ReproError, OSError) as error:
+            print(f"xralint: {error}", file=sys.stderr)
+            return 2
+        for found in diagnostics:
+            all_diagnostics.append((str(path), found))
+            counts[found.severity.value] += 1
+            failed = True
+
+    if options.format == "json":
+        payload = {
+            "files": len(options.paths),
+            "diagnostics": [
+                dict(entry.to_dict(), file=name)
+                for name, entry in all_diagnostics
+            ],
+            "counts": counts,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, entry in all_diagnostics:
+            print(f"{name}: {entry.render()}")
+        total = sum(counts.values())
+        if total:
+            summary = ", ".join(
+                f"{count} {severity}(s)"
+                for severity, count in counts.items()
+                if count
+            )
+            print(f"xralint: {total} finding(s) in "
+                  f"{len(options.paths)} file(s): {summary}")
+        else:
+            print(
+                f"xralint: {len(options.paths)} file(s) clean"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
