@@ -7,16 +7,18 @@ equal, what diverges).  EXPERIMENTS.md records paper-vs-measured.
 
 Besides the human-readable table, every bench run also emits
 machine-readable results: one ``BENCH_<experiment>.json`` file per bench
-module (under ``benchmarks/results/``, or ``$BENCH_RESULTS_DIR``), each
-a list of ``{"name", "group", "n", "seconds", ...}`` records — so
+module at the *repo root* (or ``$BENCH_RESULTS_DIR``), each a list of
+``{"name", "group", "n", "seconds", ...}`` records — committed so
 successive PRs can diff the perf trajectory without scraping terminal
-output.
+output (``tools/bench_diff.py`` compares them to
+``benchmarks/baselines/``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
 
 import pytest
@@ -62,12 +64,18 @@ def pytest_sessionfinish(session, exitstatus):
         # fullname looks like 'benchmarks/bench_e5_example31.py::test_x'.
         module = Path(bench.fullname.split("::", 1)[0]).stem
         module = module.removeprefix("bench_")
+        # Key the file by experiment id ('e5_example31' -> 'e5'), so the
+        # trajectory reads BENCH_e5.json regardless of the module's
+        # descriptive suffix.
+        match = re.match(r"(e\d+)_", module)
+        if match:
+            module = match.group(1)
         by_module.setdefault(module, []).append(_bench_record(bench))
     if not by_module:
         return
     results_dir = Path(
         os.environ.get(
-            "BENCH_RESULTS_DIR", Path(__file__).parent / "results"
+            "BENCH_RESULTS_DIR", Path(__file__).parent.parent
         )
     )
     results_dir.mkdir(parents=True, exist_ok=True)

@@ -41,7 +41,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.algebra import AlgebraExpr
 from repro.cache.fingerprint import base_relations, fingerprint
 from repro.engine.evaluator import evaluate as reference_evaluate
-from repro.engine.planner import execute as physical_execute, plan as physical_plan
+from repro.engine.planner import (
+    execute as physical_execute,
+    plan_physical,
+)
 from repro import obs
 from repro.relation import Relation
 
@@ -110,18 +113,21 @@ class _PlanEntry:
         self.normalized = normalized
         self.fingerprint = fingerprint(normalized)
         self.deps = base_relations(normalized)
-        #: ``(scheduler-or-None, physical plan)`` pairs, identity-keyed —
-        #: a plan embeds its scheduler, so it is only reusable with it.
-        self.plans: List[Tuple[Optional[Any], Any]] = []
+        #: ``((scheduler-or-None, engine), physical plan)`` pairs,
+        #: identity-keyed on the scheduler — a plan embeds its scheduler
+        #: and its operator family, so it is only reusable with both.
+        self.plans: List[Tuple[Tuple[Optional[Any], str], Any]] = []
 
-    def plan_for(self, scheduler: Optional[Any]) -> Optional[Any]:
-        for owner, plan in self.plans:
-            if owner is scheduler:
+    def plan_for(self, scheduler: Optional[Any], engine: str) -> Optional[Any]:
+        for (owner, owner_engine), plan in self.plans:
+            if owner is scheduler and owner_engine == engine:
                 return plan
         return None
 
-    def store_plan(self, scheduler: Optional[Any], plan: Any) -> None:
-        self.plans.append((scheduler, plan))
+    def store_plan(
+        self, scheduler: Optional[Any], engine: str, plan: Any
+    ) -> None:
+        self.plans.append(((scheduler, engine), plan))
         if len(self.plans) > _MAX_PLANS_PER_ENTRY:
             self.plans.pop(0)
 
@@ -275,12 +281,17 @@ class QueryCache:
         if not context.use_physical_engine:
             return reference_evaluate(entry.normalized, env)
         scheduler = context.parallel
-        physical = entry.plan_for(scheduler)
+        engine = getattr(context, "engine", "pairs")
+        physical = entry.plan_for(scheduler, engine)
         if physical is None:
-            physical = physical_plan(entry.normalized, scheduler)
-            entry.store_plan(scheduler, physical)
+            physical = plan_physical(entry.normalized, scheduler, engine)
+            entry.store_plan(scheduler, engine, physical)
         return physical_execute(
-            entry.normalized, env, parallel=scheduler, physical=physical
+            entry.normalized,
+            env,
+            parallel=scheduler,
+            physical=physical,
+            engine=engine,
         )
 
     # -- result storage ---------------------------------------------------

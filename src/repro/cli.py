@@ -36,6 +36,11 @@ start with a dot:
                           workers (BACKEND: process|thread|serial,
                           default process); .parallel off goes back to
                           serial; bare .parallel shows the status
+    .engine NAME          select the physical operator family: "pairs"
+                          (tuple-at-a-time streams, the default) or
+                          "vector" (columnar batches with compiled
+                          expression kernels); bare .engine shows the
+                          current engine
     .cache on [MB]        cache query results (epoch-invalidated) with
                           an optional size budget in MiB (default 64);
                           .cache off disables, .cache clear empties,
@@ -63,7 +68,7 @@ from typing import List, Optional, TextIO
 from repro.algebra import render
 from repro.cache import QueryCache
 from repro.database import Database
-from repro.engine import StatisticsCatalog, make_scheduler, plan
+from repro.engine import StatisticsCatalog, make_scheduler, plan_physical
 from repro.errors import ReproError
 from repro import obs
 from repro.optimizer import optimize
@@ -271,6 +276,9 @@ class Shell:
         if command == ".parallel":
             self.parallel_command(argument)
             return None
+        if command == ".engine":
+            self.engine_command(argument)
+            return None
         if command == ".cache":
             self.cache_command(argument)
             return None
@@ -373,6 +381,28 @@ class Shell:
         self.session.set_parallel(scheduler)
         self.interpreter.set_parallel(scheduler)
         return scheduler
+
+    ENGINE_USAGE = ".engine [pairs | vector]"
+
+    def engine_command(self, argument: str) -> None:
+        """``.engine pairs|vector`` / bare ``.engine``."""
+        argument = argument.strip()
+        if not argument:
+            self.print(
+                f"engine: {self.session.engine}; usage: {self.ENGINE_USAGE}"
+            )
+            return
+        try:
+            self.set_engine(argument)
+        except ValueError as error:
+            self.print_error(ReproError(str(error)))
+            return
+        self.print(f"engine: {self.session.engine}")
+
+    def set_engine(self, engine: str) -> None:
+        """Point the session *and* the script interpreter at one engine."""
+        self.session.set_engine(engine)
+        self.interpreter.set_engine(engine)
 
     CACHE_USAGE = ".cache [on [MB] | off | clear | stats]"
 
@@ -499,7 +529,11 @@ class Shell:
         optimized = optimize(expr, catalog)
         self.print("optimized: " + render(optimized))
         self.print("physical:")
-        self.print(plan(optimized).explain(indent=1))
+        self.print(
+            plan_physical(optimized, engine=self.session.engine).explain(
+                indent=1
+            )
+        )
 
     ANALYZE_USAGE = ".analyze EXPRESSION | .analyze on | .analyze off"
 
@@ -540,7 +574,9 @@ class Shell:
             return
         from repro.engine.profiler import execute_profiled
 
-        result, report = execute_profiled(expr, dict(self.database.as_env()))
+        result, report = execute_profiled(
+            expr, dict(self.database.as_env()), engine=self.session.engine
+        )
         self.print(str(report))
         self.print(f"result: {len(result)} tuple(s), "
                    f"{result.distinct_count} distinct")
@@ -648,6 +684,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker pool backend for --parallel (default: process)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("pairs", "vector"),
+        default="pairs",
+        help="physical operator family: pairs (tuple-at-a-time streams) "
+        "or vector (columnar batches with compiled kernels)",
+    )
+    parser.add_argument(
         "--lint",
         action="store_true",
         help="lint every statement before running it; findings print "
@@ -686,6 +729,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         shell.query_log.slow_threshold = options.slow_log
     if options.parallel > 0:
         shell.set_parallel(options.parallel, options.parallel_backend)
+    if options.engine != "pairs":
+        shell.set_engine(options.engine)
     if options.cache:
         shell.set_cache(QueryCache(max_bytes=int(options.cache_mb * 1024 * 1024)))
     if options.strict_lint:

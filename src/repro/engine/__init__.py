@@ -22,7 +22,12 @@ from repro.engine.parallel import (
     ParallelConfig,
     make_scheduler,
 )
-from repro.engine.planner import execute, extract_equi_conjuncts, plan
+from repro.engine.planner import (
+    execute,
+    extract_equi_conjuncts,
+    plan,
+    plan_physical,
+)
 from repro.engine.profiler import ProfileReport, execute_profiled
 from repro.engine.set_semantics import evaluate_set
 from repro.engine.statistics import (
@@ -30,12 +35,23 @@ from repro.engine.statistics import (
     TableStats,
     estimate_cardinality,
 )
+from repro.engine.vector import (
+    ColumnBatch,
+    VectorOp,
+    collect_batches,
+    plan_vector,
+)
 
 __all__ = [
     "evaluate",
     "evaluate_set",
     "Environment",
     "plan",
+    "plan_physical",
+    "plan_vector",
+    "VectorOp",
+    "ColumnBatch",
+    "collect_batches",
     "execute",
     "execute_profiled",
     "ProfileReport",

@@ -101,6 +101,13 @@ class PhysicalOp:
 
     __slots__ = ("schema",)
 
+    #: True when the operator's stream is duplicate-free — every row
+    #: appears in at most one pair.  :func:`collect` then adopts the
+    #: stream with a C-speed ``dict`` build instead of counting.
+    #: Operators that merely drop or combine pairs (filter, joins)
+    #: override this with a property delegating to their children.
+    consolidated = False
+
     def __init__(self, schema: RelationSchema) -> None:
         self.schema = schema
 
@@ -141,6 +148,7 @@ class ScanOp(PhysicalOp):
     """Scan a named database relation."""
 
     __slots__ = ("name",)
+    consolidated = True  # multiset pairs enumerate distinct rows
 
     def __init__(self, name: str, schema: RelationSchema) -> None:
         super().__init__(schema)
@@ -163,6 +171,7 @@ class LiteralOp(PhysicalOp):
     """Stream a constant relation."""
 
     __slots__ = ("relation",)
+    consolidated = True
 
     def __init__(self, relation: Relation) -> None:
         super().__init__(relation.schema)
@@ -190,6 +199,11 @@ class FilterOp(PhysicalOp):
         self.predicate = predicate
         self.child = child
         self._describe = describe
+
+    @property
+    def consolidated(self) -> bool:
+        # Selection only drops pairs; a duplicate-free input stays so.
+        return self.child.consolidated
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
@@ -286,6 +300,7 @@ class DifferenceOp(PhysicalOp):
     """Monus difference: consolidate both sides, emit max(0, l - r)."""
 
     __slots__ = ("left", "right")
+    consolidated = True
 
     def __init__(self, left: PhysicalOp, right: PhysicalOp) -> None:
         super().__init__(left.schema)
@@ -308,6 +323,7 @@ class IntersectOp(PhysicalOp):
     """Min intersection: consolidate both sides, emit min(l, r)."""
 
     __slots__ = ("left", "right")
+    consolidated = True
 
     def __init__(self, left: PhysicalOp, right: PhysicalOp) -> None:
         super().__init__(left.schema)
@@ -338,6 +354,10 @@ class ProductOp(PhysicalOp):
         self.left = left
         self.right = right
 
+    @property
+    def consolidated(self) -> bool:
+        return self.left.consolidated and self.right.consolidated
+
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
@@ -364,6 +384,10 @@ class NestedLoopJoinOp(PhysicalOp):
         self.left = left
         self.right = right
         self.predicate = predicate
+
+    @property
+    def consolidated(self) -> bool:
+        return self.left.consolidated and self.right.consolidated
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
@@ -408,6 +432,12 @@ class HashJoinOp(PhysicalOp):
         self.right_key = right_key
         self.residual = residual
 
+    @property
+    def consolidated(self) -> bool:
+        # Each (left row, right row) combination is emitted at most once
+        # and concatenation is injective at fixed operand degrees.
+        return self.left.consolidated and self.right.consolidated
+
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
@@ -438,6 +468,7 @@ class DistinctOp(PhysicalOp):
     """Duplicate elimination: hash the support, emit each row once."""
 
     __slots__ = ("child",)
+    consolidated = True
 
     def __init__(self, child: PhysicalOp) -> None:
         super().__init__(child.schema)
@@ -448,9 +479,10 @@ class DistinctOp(PhysicalOp):
 
     def execute(self, env: Dict[str, Relation]) -> Pairs:
         seen: set[Row] = set()
+        add = seen.add
         for row, _count in self.child.execute(env):
             if row not in seen:
-                seen.add(row)
+                add(row)
                 yield row, 1
 
 
@@ -463,6 +495,7 @@ class GroupByOp(PhysicalOp):
     """
 
     __slots__ = ("positions", "extract", "aggregate", "param_position", "child")
+    consolidated = True  # one pair per group key
 
     def __init__(
         self,
@@ -520,9 +553,19 @@ class GroupByOp(PhysicalOp):
 
 
 def collect(op: PhysicalOp, env: Dict[str, Relation]) -> Relation:
-    """Execute ``op`` and materialise the stream into a relation."""
-    counts = consolidate(op.execute(env))
+    """Execute ``op`` and materialise the stream into a relation.
+
+    A stream flagged :attr:`~PhysicalOp.consolidated` (each row in at
+    most one pair) is adopted with a single ``dict`` build — no
+    per-pair counting loop.
+    """
+    if op.consolidated:
+        counts: Dict[Row, int] = dict(op.execute(env))
+    else:
+        counts = dict(consolidate(op.execute(env)))
     if obs.enabled():
         obs.add("engine.collected.pairs", len(counts))
         obs.add("engine.collected.rows", sum(counts.values()))
-    return Relation.from_multiset(op.schema, Multiset(counts))
+    # Streams carry positive counts by invariant, so the multiset can
+    # adopt the dictionary without re-validating every multiplicity.
+    return Relation.from_multiset(op.schema, Multiset._from_counts(counts))

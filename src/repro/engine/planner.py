@@ -15,6 +15,7 @@ not search (search lives in :mod:`repro.optimizer`, which rewrites the
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.algebra import (
@@ -51,6 +52,7 @@ from repro.engine.iterators import (
 from repro.errors import EvaluationError
 from repro import obs
 from repro.expressions import (
+    AttrRef,
     Compare,
     ScalarExpr,
     conjoin,
@@ -61,7 +63,7 @@ from repro.relation import Relation
 from repro.schema import RelationSchema
 from repro.tuples import Row
 
-__all__ = ["plan", "execute", "extract_equi_conjuncts"]
+__all__ = ["plan", "plan_physical", "execute", "extract_equi_conjuncts"]
 
 
 def extract_equi_conjuncts(
@@ -102,6 +104,14 @@ def extract_equi_conjuncts(
 def _key_extractor(
     expressions: List[ScalarExpr], schema: RelationSchema
 ) -> Callable[[Row], Any]:
+    # Plain attribute keys — the common case once the optimizer has
+    # normalised conditions — extract via a cached C-level itemgetter
+    # instead of re-entering one bound closure per key part per row.
+    if all(isinstance(expression, AttrRef) for expression in expressions):
+        indices = tuple(
+            schema.resolve(expression.ref) - 1 for expression in expressions
+        )
+        return itemgetter(*indices)
     bound = [expression.bind(schema) for expression in expressions]
     if len(bound) == 1:
         only = bound[0]
@@ -208,6 +218,7 @@ class _ExtensionOp(PhysicalOp):
     """
 
     __slots__ = ("expr",)
+    consolidated = True  # streams straight off an evaluated relation
 
     def __init__(self, expr: AlgebraExpr) -> None:
         super().__init__(expr.schema)
@@ -222,11 +233,43 @@ class _ExtensionOp(PhysicalOp):
         return f"extension [{self.expr.operator_name()}]"
 
 
+def plan_physical(
+    expr: AlgebraExpr,
+    parallel: Optional[Any] = None,
+    engine: str = "pairs",
+) -> PhysicalOp:
+    """Plan ``expr`` for the selected physical engine.
+
+    ``engine`` is ``"pairs"`` (the pair-stream operators) or
+    ``"vector"`` (the columnar batch operators of
+    :mod:`repro.engine.vector`); both honour the ``parallel``
+    fragment-scheduler rewrite.
+    """
+    if engine == "vector":
+        from repro.engine.vector import plan_vector
+
+        return plan_vector(expr, parallel)
+    if engine != "pairs":
+        raise EvaluationError(f"unknown physical engine {engine!r}")
+    return plan(expr, parallel)
+
+
+def _collect_result(physical: PhysicalOp, env: dict[str, Relation]) -> Relation:
+    """Materialise a plan's result via the engine-appropriate collect."""
+    from repro.engine.iterators import collect
+    from repro.engine.vector.operators import VectorOp, collect_batches
+
+    if isinstance(physical, VectorOp):
+        return collect_batches(physical, env)
+    return collect(physical, env)
+
+
 def execute(
     expr: AlgebraExpr,
     env: dict[str, Relation],
     parallel: Optional[Any] = None,
     physical: Optional[PhysicalOp] = None,
+    engine: str = "pairs",
 ) -> Relation:
     """Plan and run ``expr`` on the physical engine.
 
@@ -234,9 +277,13 @@ def execute(
     :class:`repro.engine.parallel.FragmentScheduler`; the plan is then
     rewritten into fragment-parallel form (see :func:`plan`).
     ``physical`` optionally supplies a previously planned operator tree
-    for exactly this expression/scheduler pair — the plan cache
+    for exactly this expression/scheduler/engine triple — the plan cache
     (:mod:`repro.cache`) uses it to skip re-planning on repeated
     queries; the planning stage is then a no-op.
+    ``engine`` selects the operator family: ``"pairs"`` streams
+    ``(row, count)`` pairs, ``"vector"`` runs the columnar batch
+    operators with compiled expression kernels
+    (:mod:`repro.engine.vector`).
 
     While observability is enabled (:mod:`repro.obs`), the plan and
     execute stages run under trace spans and the plan is wrapped with
@@ -244,18 +291,16 @@ def execute(
     row/pair counts and the ``operator.*`` metrics accumulate.  Disabled
     (the default), this is the bare plan-and-collect path.
     """
-    from repro.engine.iterators import collect
-
     if not obs.enabled():
         if physical is None:
-            physical = plan(expr, parallel)
-        return collect(physical, env)
+            physical = plan_physical(expr, parallel, engine)
+        return _collect_result(physical, env)
 
     from repro.engine.profiler import ProfileReport, profile_plan
 
     with obs.span("plan") as plan_span:
         if physical is None:
-            physical = plan(expr, parallel)
+            physical = plan_physical(expr, parallel, engine)
         else:
             plan_span.set(cached=True)
         plan_span.set(shape=physical.explain())
@@ -263,7 +308,7 @@ def execute(
             plan_span.set(parallel_workers=parallel.workers)
     with obs.span("execute") as execute_span:
         instrumented, profiles = profile_plan(physical)
-        result = collect(instrumented, env)
+        result = _collect_result(instrumented, env)
         report = ProfileReport(profiles)
         report.emit_metrics(obs.metrics())
         execute_span.set(

@@ -27,7 +27,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.algebra import AlgebraExpr
 from repro.engine.iterators import Pairs, PhysicalOp, collect
-from repro.engine.planner import plan
 from repro.obs.metrics import MetricsRegistry
 from repro.relation import Relation
 
@@ -256,13 +255,19 @@ def execute_profiled(
     expr: AlgebraExpr,
     env: Dict[str, Relation],
     registry: Optional[MetricsRegistry] = None,
+    engine: str = "pairs",
 ) -> Tuple[Relation, ProfileReport]:
     """Plan, instrument, and run ``expr``; return (result, profile).
 
     With ``registry``, the per-operator counts are also folded into the
     given metrics registry (see :meth:`ProfileReport.emit_metrics`).
+    ``engine`` selects the operator family (``"pairs"``/``"vector"``);
+    either way the counters observe the pair-stream view of every
+    operator, so profiles are comparable across engines.
     """
-    instrumented, profiles = profile_plan(plan(expr))
+    from repro.engine.planner import plan_physical
+
+    instrumented, profiles = profile_plan(plan_physical(expr, engine=engine))
     result = collect(instrumented, env)
     report = ProfileReport(profiles)
     if registry is not None:

@@ -1,0 +1,58 @@
+"""Vectorized columnar execution engine.
+
+The third physical engine (after the reference evaluator and the
+pair-stream iterators): relations stream as :class:`ColumnBatch` chunks
+— one value list per attribute plus a multiplicity column — and
+predicates, projections, and join/group keys run as Python closures
+compiled once per plan by :mod:`repro.expressions.compile` instead of
+being interpreted per row.
+
+Select it with ``Session(engine="vector")``, ``--engine vector`` on the
+CLI, or ``execute(expr, env, engine="vector")``; see
+``docs/vectorized.md`` for the batch model, the expression compiler,
+and exactly when operators fall back to the pair-stream path.
+"""
+
+from repro.engine.vector.batch import (
+    ColumnBatch,
+    DEFAULT_BATCH_SIZE,
+    batches_from_pairs,
+)
+from repro.engine.vector.operators import (
+    VDifferenceOp,
+    VDistinctOp,
+    VFilterOp,
+    VGroupByOp,
+    VHashJoinOp,
+    VIntersectOp,
+    VLiteralOp,
+    VMapOp,
+    VProjectOp,
+    VScanOp,
+    VUnionOp,
+    VectorOp,
+    child_batches,
+    collect_batches,
+)
+from repro.engine.vector.planner import plan_vector
+
+__all__ = [
+    "ColumnBatch",
+    "DEFAULT_BATCH_SIZE",
+    "batches_from_pairs",
+    "VectorOp",
+    "VScanOp",
+    "VLiteralOp",
+    "VFilterOp",
+    "VProjectOp",
+    "VMapOp",
+    "VUnionOp",
+    "VDifferenceOp",
+    "VIntersectOp",
+    "VHashJoinOp",
+    "VDistinctOp",
+    "VGroupByOp",
+    "child_batches",
+    "collect_batches",
+    "plan_vector",
+]

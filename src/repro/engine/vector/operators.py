@@ -1,0 +1,975 @@
+"""Batch-at-a-time physical operators over :class:`ColumnBatch` chunks.
+
+Each operator mirrors the bag semantics of its pair-stream counterpart
+in :mod:`repro.engine.iterators` exactly — the differential test matrix
+(``tests/test_vector_engine.py``) pins vector results to both the
+reference evaluator and the pairs engine.  The difference is purely
+physical: predicates, projections, and key extraction run as compiled
+batch kernels (:mod:`repro.expressions.compile`) over whole columns,
+falling back to the AST interpreter row path when an expression cannot
+be lowered (MONEY arithmetic, extension expressions).
+
+Interoperability: every :class:`VectorOp` still implements
+``execute(env)`` returning a pair stream, and accepts *any*
+:class:`~repro.engine.iterators.PhysicalOp` as a child (non-vector
+children are adapted through :func:`~repro.engine.vector.batch.batches_from_pairs`).
+That keeps the operator profiler, ``explain_analyze``, the parallel
+exchange operators, and extension nodes working unchanged — a profiled
+vector plan simply degrades to pair-stream pulls between operators.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from operator import itemgetter
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.aggregates import AggregateFunction, Average, Count, Sum
+from repro.domains import INTEGER
+from repro.engine.iterators import Pairs, PhysicalOp
+from repro.engine.vector.batch import (
+    ColumnBatch,
+    DEFAULT_BATCH_SIZE,
+    batches_from_lists,
+    batches_from_pairs,
+)
+from repro.errors import UnboundAttributeError, UnknownRelationError
+from repro.expressions import AttrRef, ScalarExpr
+from repro.expressions.compile import (
+    compile_filter_kernel,
+    compile_filter_kernel_rows,
+    compile_key_kernel,
+    compile_key_kernel_rows,
+    compile_map_kernel,
+    compile_map_kernel_rows,
+    compile_row,
+)
+from repro.multiset import Multiset
+from repro import obs
+from repro.relation import Relation
+from repro.schema import RelationSchema
+from repro.tuples import Row
+
+__all__ = [
+    "VectorOp",
+    "VScanOp",
+    "VLiteralOp",
+    "VFilterOp",
+    "VProjectOp",
+    "VMapOp",
+    "VUnionOp",
+    "VDifferenceOp",
+    "VIntersectOp",
+    "VHashJoinOp",
+    "VDistinctOp",
+    "VGroupByOp",
+    "child_batches",
+    "collect_batches",
+]
+
+
+def child_batches(
+    op: PhysicalOp, env: Dict[str, Relation], batch_size: int
+) -> Iterator[ColumnBatch]:
+    """Pull batches from any child operator, adapting pair streams.
+
+    Vector children hand over their batches directly; anything else
+    (exchange operators, profiler wrappers, extension nodes, pair-stream
+    fallbacks) is chunked through :func:`batches_from_pairs`.
+    """
+    if isinstance(op, VectorOp):
+        return op.batches(env)
+    return batches_from_pairs(op.execute(env), op.schema.degree, batch_size)
+
+
+class VectorOp(PhysicalOp):
+    """Base class: a batch-producing physical operator.
+
+    ``batches(env)`` is the native interface; ``execute(env)`` adapts it
+    back to the pair-stream protocol so vector operators compose with
+    the rest of the engine (profiler, exchange, ``collect``).
+    """
+
+    __slots__ = ("batch_size",)
+
+    def __init__(
+        self, schema: RelationSchema, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        super().__init__(schema)
+        self.batch_size = batch_size
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        raise NotImplementedError
+
+    def execute(self, env: Dict[str, Relation]) -> Pairs:
+        for batch in self.batches(env):
+            yield from zip(batch.rows(), batch.counts)
+
+
+class VScanOp(VectorOp):
+    """Scan a named database relation in column batches."""
+
+    __slots__ = ("name",)
+    consolidated = True  # relation pairs enumerate distinct rows
+
+    def __init__(
+        self, name: str, schema: RelationSchema, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        super().__init__(schema, batch_size)
+        self.name = name
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        try:
+            relation = env[self.name]
+        except KeyError:
+            raise UnknownRelationError(self.name) from None
+        # Bulk list accessors + slicing: no per-pair iteration at all.
+        return batches_from_lists(
+            relation.rows_list(),
+            relation.counts_list(),
+            self.schema.degree,
+            self.batch_size,
+        )
+
+    def label(self) -> str:
+        return f"v-scan {self.name}"
+
+
+class VLiteralOp(VectorOp):
+    """Stream a constant relation in column batches."""
+
+    __slots__ = ("relation",)
+    consolidated = True
+
+    def __init__(
+        self, relation: Relation, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        super().__init__(relation.schema, batch_size)
+        self.relation = relation
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        return batches_from_lists(
+            self.relation.rows_list(),
+            self.relation.counts_list(),
+            self.schema.degree,
+            self.batch_size,
+        )
+
+    def label(self) -> str:
+        return f"v-literal[{len(self.relation)}]"
+
+
+def _compress(batch: ColumnBatch, selected: Sequence[int]) -> ColumnBatch:
+    """A new batch holding only the selected row indices.
+
+    Compresses whichever layout the input batch already holds — one
+    C-speed ``map`` per cached row list (or per column), never a
+    transpose.
+    """
+    counts = list(map(batch.counts.__getitem__, selected))
+    if batch.has_rows:
+        rows = batch.rows()
+        return ColumnBatch.from_rows(
+            list(map(rows.__getitem__, selected)), counts, batch.width
+        )
+    columns = tuple(
+        list(map(column.__getitem__, selected)) for column in batch.columns
+    )
+    return ColumnBatch(columns, counts)
+
+
+class VFilterOp(VectorOp):
+    """Batch selection through a compiled, conjunction-fused kernel."""
+
+    __slots__ = (
+        "condition",
+        "child",
+        "kernel",
+        "row_kernel",
+        "fallback",
+        "_describe",
+    )
+
+    def __init__(
+        self,
+        condition: ScalarExpr,
+        child: PhysicalOp,
+        describe: str = "",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(child.schema, batch_size)
+        self.condition = condition
+        self.child = child
+        # Both layouts compile from the same lowering, so either both
+        # succeed or neither does.
+        self.kernel = compile_filter_kernel(condition, child.schema)
+        self.row_kernel = compile_filter_kernel_rows(condition, child.schema)
+        self.fallback = (
+            condition.bind(child.schema) if self.kernel is None else None
+        )
+        self._describe = describe
+
+    @property
+    def consolidated(self) -> bool:
+        # Selection only drops pairs, so a duplicate-free input stays so.
+        return self.child.consolidated
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        kernel = self.kernel
+        row_kernel = self.row_kernel
+        predicate = self.fallback
+        for batch in child_batches(self.child, env, self.batch_size):
+            size = len(batch.counts)
+            if not size:
+                continue
+            if kernel is None:
+                selected = [
+                    index
+                    for index, row in enumerate(batch.rows())
+                    if predicate(row)
+                ]
+            elif batch.has_columns or row_kernel is None:
+                selected = kernel(batch.columns, size)
+            else:
+                selected = row_kernel(batch.rows(), size)
+            hits = len(selected)
+            if not hits:
+                continue
+            if hits == size:
+                yield batch
+                continue
+            yield _compress(batch, selected)
+
+    def label(self) -> str:
+        suffix = f" [{self._describe}]" if self._describe else ""
+        fallback = " (interpreted)" if self.kernel is None else ""
+        return f"v-filter{suffix}{fallback}"
+
+
+class VProjectOp(VectorOp):
+    """Positional projection: alias the kept columns, copy nothing."""
+
+    __slots__ = ("positions", "child", "_row_project")
+
+    def __init__(
+        self,
+        positions: Sequence[int],
+        schema: RelationSchema,
+        child: PhysicalOp,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(schema, batch_size)
+        self.positions = tuple(position - 1 for position in positions)
+        self.child = child
+        self._row_project = _row_projector(self.positions)
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        positions = self.positions
+        project_rows = self._row_project
+        degree = len(positions)
+        for batch in child_batches(self.child, env, self.batch_size):
+            if batch.has_columns:
+                columns = batch.columns
+                yield ColumnBatch(
+                    tuple(columns[index] for index in positions), batch.counts
+                )
+            else:
+                # Row-backed input: one C-speed itemgetter pass, no
+                # transpose.
+                yield ColumnBatch.from_rows(
+                    project_rows(batch.rows()), batch.counts, degree
+                )
+
+    def label(self) -> str:
+        attrs = ", ".join(f"%{index + 1}" for index in self.positions)
+        return f"v-project [{attrs}]"
+
+
+def _row_projector(
+    positions: Sequence[int],
+) -> Callable[[Sequence[Row]], List[Row]]:
+    """Bulk positional projection over a row list (0-based positions)."""
+    if not positions:
+        return lambda rows: [()] * len(rows)
+    if len(positions) == 1:
+        getter = itemgetter(positions[0])
+        # zip() re-wraps the bare values as the required 1-tuples.
+        return lambda rows: list(zip(map(getter, rows)))
+    getter = itemgetter(*positions)
+    return lambda rows: list(map(getter, rows))
+
+
+class VMapOp(VectorOp):
+    """Extended projection through a fused batch kernel.
+
+    Plain attribute references alias their input column (zero copy);
+    the remaining expressions are computed by one fused kernel pass.
+    Falls back to bound row functions when any expression refuses to
+    lower (e.g. MONEY arithmetic).
+    """
+
+    __slots__ = (
+        "expressions",
+        "child",
+        "_plan",
+        "kernel",
+        "row_kernel",
+        "row_functions",
+    )
+
+    def __init__(
+        self,
+        expressions: Sequence[ScalarExpr],
+        schema: RelationSchema,
+        child: PhysicalOp,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(schema, batch_size)
+        self.expressions = tuple(expressions)
+        self.child = child
+        operand_schema = child.schema
+        # Output recipe: ("alias", input column) or ("computed", kernel slot).
+        plan: List[Tuple[str, int]] = []
+        computed: List[ScalarExpr] = []
+        for expression in self.expressions:
+            if isinstance(expression, AttrRef):
+                plan.append(("alias", operand_schema.resolve(expression.ref) - 1))
+            else:
+                plan.append(("computed", len(computed)))
+                computed.append(expression)
+        kernel = (
+            compile_map_kernel(computed, operand_schema) if computed else None
+        )
+        if computed and kernel is None:
+            self._plan = None
+            self.kernel = None
+            self.row_kernel = None
+            self.row_functions = tuple(
+                expression.bind(operand_schema)
+                for expression in self.expressions
+            )
+        else:
+            self._plan = tuple(plan)
+            self.kernel = kernel
+            # Row-layout twin building whole output tuples in one pass
+            # (attribute references included) for row-backed inputs.
+            self.row_kernel = compile_map_kernel_rows(
+                self.expressions, operand_schema
+            )
+            self.row_functions = None
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        recipe = self._plan
+        kernel = self.kernel
+        row_kernel = self.row_kernel
+        degree = self.schema.degree
+        for batch in child_batches(self.child, env, self.batch_size):
+            if recipe is None:
+                functions = self.row_functions
+                rows = [
+                    tuple(function(row) for function in functions)
+                    for row in batch.rows()
+                ]
+                yield ColumnBatch.from_rows(rows, batch.counts, degree)
+                continue
+            if row_kernel is not None and not batch.has_columns:
+                yield ColumnBatch.from_rows(
+                    row_kernel(batch.rows(), len(batch.counts)),
+                    batch.counts,
+                    degree,
+                )
+                continue
+            computed = (
+                kernel(batch.columns, len(batch.counts))
+                if kernel is not None
+                else ()
+            )
+            columns = tuple(
+                batch.columns[index] if kind == "alias" else computed[index]
+                for kind, index in recipe
+            )
+            yield ColumnBatch(columns, batch.counts)
+
+    def label(self) -> str:
+        fallback = " (interpreted)" if self.row_functions is not None else ""
+        return f"v-xproject [{len(self.expressions)} exprs]{fallback}"
+
+
+class VUnionOp(VectorOp):
+    """Additive union: concatenate the operand batch streams."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(left.schema, batch_size)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        yield from child_batches(self.left, env, self.batch_size)
+        yield from child_batches(self.right, env, self.batch_size)
+
+    def label(self) -> str:
+        return "v-union"
+
+
+def _consolidated_counts(
+    op: PhysicalOp, env: Dict[str, Relation], batch_size: int
+) -> Dict[Row, int]:
+    """Total multiplicity per row of an operand's batch stream."""
+    if getattr(op, "consolidated", False):
+        counts: Dict[Row, int] = {}
+        if isinstance(op, VectorOp):
+            for batch in op.batches(env):
+                counts.update(zip(batch.rows(), batch.counts))
+        else:
+            counts.update(op.execute(env))
+        return counts
+    totals: Dict[Row, int] = defaultdict(int)
+    for batch in child_batches(op, env, batch_size):
+        for row, count in zip(batch.rows(), batch.counts):
+            totals[row] += count
+    return totals
+
+
+class VDifferenceOp(VectorOp):
+    """Monus difference: consolidate both sides, emit ``max(0, l - r)``."""
+
+    __slots__ = ("left", "right")
+    consolidated = True
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(left.schema, batch_size)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        left_counts = _consolidated_counts(self.left, env, self.batch_size)
+        right_counts = _consolidated_counts(self.right, env, self.batch_size)
+        pairs = (
+            (row, count - right_counts.get(row, 0))
+            for row, count in left_counts.items()
+        )
+        survivors = ((row, left) for row, left in pairs if left > 0)
+        return batches_from_pairs(survivors, self.schema.degree, self.batch_size)
+
+    def label(self) -> str:
+        return "v-difference"
+
+
+class VIntersectOp(VectorOp):
+    """Min intersection: consolidate both sides, emit ``min(l, r)``."""
+
+    __slots__ = ("left", "right")
+    consolidated = True
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(left.schema, batch_size)
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        left_counts = _consolidated_counts(self.left, env, self.batch_size)
+        right_counts = _consolidated_counts(self.right, env, self.batch_size)
+        shared = (
+            (row, min(count, right_counts.get(row, 0)))
+            for row, count in left_counts.items()
+        )
+        survivors = ((row, count) for row, count in shared if count > 0)
+        return batches_from_pairs(survivors, self.schema.degree, self.batch_size)
+
+    def label(self) -> str:
+        return "v-intersect"
+
+
+def _compile_probe(
+    output_positions: Optional[Sequence[int]],
+    left_degree: int,
+    residual: bool,
+) -> Callable[..., None]:
+    """Generate the hash-join probe loop.
+
+    The loop is specialised at plan time: the residual check appears
+    only when a residual predicate exists, and when ``output_positions``
+    is given (project-into-join fusion) the emit builds the projected
+    output tuple directly from the probe and build rows — the full
+    concatenated row is never materialised unless the residual needs it.
+    """
+    if output_positions is None:
+        fused_emit = None
+    else:
+        picks = [
+            f"_l[{position}]"
+            if position < left_degree
+            else f"_r2[{position - left_degree}]"
+            for position in output_positions
+        ]
+        fused_emit = "(" + ", ".join(picks) + ("," if len(picks) == 1 else "") + ")"
+    lines = [
+        "def _probe(_keys, _lrows, _counts, _get, _res, _pr, _pc):\n",
+        "    for _k, _l, _c in zip(_keys, _lrows, _counts):\n",
+        "        _m = _get(_k)\n",
+        "        if _m is None:\n",
+        "            continue\n",
+        "        for _r2, _c2 in _m:\n",
+    ]
+    if residual:
+        lines.append("            _cmb = _l + _r2\n")
+        lines.append("            if _res(_cmb):\n")
+        emit = fused_emit if fused_emit is not None else "_cmb"
+        lines.append(f"                _pr({emit})\n")
+        lines.append("                _pc(_c * _c2)\n")
+    else:
+        emit = fused_emit if fused_emit is not None else "_l + _r2"
+        lines.append(f"            _pr({emit})\n")
+        lines.append("            _pc(_c * _c2)\n")
+    source = "".join(lines)
+    scope: Dict[str, Any] = {}
+    code = compile(source, "<repro.engine.vector.operators>", "exec")
+    exec(code, scope)  # noqa: S102 - source is generated above, not user input
+    probe = scope["_probe"]
+    probe.__compiled_source__ = source
+    return probe
+
+
+class VHashJoinOp(VectorOp):
+    """Equi-join with batch key kernels and a compiled probe loop.
+
+    Keys are extracted per batch — plain attribute keys alias the key
+    column outright — then a plan-time-generated build/probe runs over
+    the row-wise view, multiplying multiplicities as the product
+    semantics requires.  With ``output_positions`` the planner fuses a
+    parent projection into the join: the probe emits projected tuples
+    directly and the concatenated row is never built (unless a residual
+    predicate needs it).
+    """
+
+    __slots__ = (
+        "left",
+        "right",
+        "left_exprs",
+        "right_exprs",
+        "left_kernel",
+        "right_kernel",
+        "left_row_kernel",
+        "right_row_kernel",
+        "left_fallback",
+        "right_fallback",
+        "residual_expr",
+        "residual",
+        "output_positions",
+        "_probe",
+    )
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_exprs: Sequence[ScalarExpr],
+        right_exprs: Sequence[ScalarExpr],
+        schema: RelationSchema,
+        residual_expr: Optional[ScalarExpr] = None,
+        combined: Optional[RelationSchema] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        output_positions: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(schema, batch_size)
+        self.left = left
+        self.right = right
+        self.left_exprs = tuple(left_exprs)
+        self.right_exprs = tuple(right_exprs)
+        self.left_kernel = compile_key_kernel(self.left_exprs, left.schema)
+        self.right_kernel = compile_key_kernel(self.right_exprs, right.schema)
+        self.left_row_kernel = compile_key_kernel_rows(
+            self.left_exprs, left.schema
+        )
+        self.right_row_kernel = compile_key_kernel_rows(
+            self.right_exprs, right.schema
+        )
+        self.left_fallback = (
+            _row_key(self.left_exprs, left.schema)
+            if self.left_kernel is None
+            else None
+        )
+        self.right_fallback = (
+            _row_key(self.right_exprs, right.schema)
+            if self.right_kernel is None
+            else None
+        )
+        self.residual_expr = residual_expr
+        if residual_expr is not None:
+            residual_schema = (
+                combined
+                if combined is not None
+                else left.schema.concat(right.schema)
+            )
+            self.residual = compile_row(residual_expr, residual_schema)
+        else:
+            self.residual = None
+        self.output_positions = (
+            tuple(output_positions) if output_positions is not None else None
+        )
+        self._probe = _compile_probe(
+            self.output_positions, left.schema.degree, self.residual is not None
+        )
+
+    @property
+    def consolidated(self) -> bool:
+        # Each (left row, right row) combination is emitted at most once,
+        # and the concatenation is injective, so duplicate-free operands
+        # give a duplicate-free output stream.  A fused projection can
+        # merge rows, so it forfeits the guarantee.
+        if self.output_positions is not None:
+            return False
+        return self.left.consolidated and self.right.consolidated
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def _keys(
+        self,
+        batch: ColumnBatch,
+        kernel: Optional[Callable],
+        row_kernel: Optional[Callable],
+        fallback: Optional[Callable[[Row], Any]],
+        rows: Sequence[Row],
+    ) -> Sequence[Any]:
+        # The probe/build loops force rows anyway, so the row kernel is
+        # the default; already-columnar batches alias key columns instead.
+        if kernel is not None and batch.has_columns:
+            return kernel(batch.columns, len(batch.counts))
+        if row_kernel is not None:
+            return row_kernel(rows, len(batch.counts))
+        if kernel is not None:
+            return kernel(batch.columns, len(batch.counts))
+        return [fallback(row) for row in rows]
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        table: Dict[Any, List[Tuple[Row, int]]] = {}
+        setdefault = table.setdefault
+        for batch in child_batches(self.right, env, self.batch_size):
+            rows = batch.rows()
+            keys = self._keys(
+                batch,
+                self.right_kernel,
+                self.right_row_kernel,
+                self.right_fallback,
+                rows,
+            )
+            for key, row, count in zip(keys, rows, batch.counts):
+                setdefault(key, []).append((row, count))
+        if not table:
+            return
+        degree = self.schema.degree
+        residual = self.residual
+        probe = self._probe
+        get = table.get
+        for batch in child_batches(self.left, env, self.batch_size):
+            rows = batch.rows()
+            keys = self._keys(
+                batch,
+                self.left_kernel,
+                self.left_row_kernel,
+                self.left_fallback,
+                rows,
+            )
+            out_rows: List[Row] = []
+            out_counts: List[int] = []
+            probe(
+                keys,
+                rows,
+                batch.counts,
+                get,
+                residual,
+                out_rows.append,
+                out_counts.append,
+            )
+            if out_rows:
+                yield ColumnBatch.from_rows(out_rows, out_counts, degree)
+
+    def label(self) -> str:
+        suffix = " +residual" if self.residual is not None else ""
+        fused = " +project" if self.output_positions is not None else ""
+        return f"v-hash-join{suffix}{fused}"
+
+
+def _row_key(
+    expressions: Sequence[ScalarExpr], schema: RelationSchema
+) -> Callable[[Row], Any]:
+    """Row-at-a-time key extraction (fallback for unlowerable keys)."""
+    bound = [compile_row(expression, schema) for expression in expressions]
+    if len(bound) == 1:
+        return bound[0]
+    return lambda row: tuple(function(row) for function in bound)
+
+
+class VDistinctOp(VectorOp):
+    """Duplicate elimination: hash the support, emit each row once."""
+
+    __slots__ = ("child",)
+    consolidated = True
+
+    def __init__(
+        self, child: PhysicalOp, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> None:
+        super().__init__(child.schema, batch_size)
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        seen: set[Row] = set()
+        add = seen.add
+        degree = self.schema.degree
+        for batch in child_batches(self.child, env, self.batch_size):
+            fresh: List[Row] = []
+            push = fresh.append
+            for row in batch.rows():
+                if row not in seen:
+                    add(row)
+                    push(row)
+            if fresh:
+                yield ColumnBatch.from_rows(fresh, [1] * len(fresh), degree)
+
+    def label(self) -> str:
+        return "v-distinct"
+
+
+def _compile_group_accumulator(
+    positions: Sequence[int], param_index: Optional[int], fold: str = "bag"
+) -> Callable[..., None]:
+    """Generate the group-by accumulation loop with literal indices.
+
+    The loop body is pure C byte-code ops (subscripts and in-place adds
+    into ``defaultdict`` accumulators) — no per-row extractor calls.
+    ``positions`` must be non-empty; the empty grouping is handled by
+    the caller.  Keys are bare values for a single grouping attribute.
+
+    ``fold`` picks the accumulator shape:
+
+    * ``"bag"`` — nested value bags (exact for every aggregate):
+      ``_acc(rows, counts, groups)``;
+    * ``"count"`` — running tuple count: ``_acc(rows, counts, ns)``;
+    * ``"sum"`` — running weighted sum: ``_acc(rows, counts, sums)``.
+
+    The decomposed folds skip building per-group bags entirely (one
+    dictionary operation per row instead of two); ``VGroupByOp`` only
+    selects them where they are *exactly* equal to the bag-based
+    compute.  AVG deliberately has no fold: maintaining two running
+    accumulators costs more dictionary traffic than the bag loop saves.
+    """
+    if len(positions) == 1:
+        key = f"_r[{positions[0]}]"
+    else:
+        key = "(" + ", ".join(f"_r[{index}]" for index in positions) + ")"
+    if fold == "bag":
+        value = f"_r[{param_index}]" if param_index is not None else "_r"
+        signature = "_rows, _counts, _groups"
+        body = f"        _groups[{key}][{value}] += _c\n"
+    elif fold == "count":
+        signature = "_rows, _counts, _ns"
+        body = f"        _ns[{key}] += _c\n"
+    elif fold == "sum":
+        signature = "_rows, _counts, _sums"
+        body = f"        _sums[{key}] += _r[{param_index}] * _c\n"
+    else:  # pragma: no cover - planner bug
+        raise ValueError(f"unknown fold {fold!r}")
+    source = (
+        f"def _acc({signature}):\n"
+        "    for _r, _c in zip(_rows, _counts):\n"
+        f"{body}"
+    )
+    scope: Dict[str, Any] = {}
+    code = compile(source, "<repro.engine.vector.operators>", "exec")
+    exec(code, scope)  # noqa: S102 - source is generated above, not user input
+    accumulator = scope["_acc"]
+    accumulator.__compiled_source__ = source
+    return accumulator
+
+
+class VGroupByOp(VectorOp):
+    """Hash aggregation over key columns.
+
+    Group keys come straight off the key columns (a C-speed ``zip``);
+    aggregate inputs are the parameter column (or the row view) weighted
+    by multiplicity.  Per-group bags stay :class:`~repro.multiset.Multiset`
+    instances so every aggregate — including the partial ones that raise
+    :class:`~repro.errors.EmptyAggregateError` — computes exactly as in
+    the pairs engine.  The empty-grouping form emits exactly one tuple,
+    matching Definition 3.4.
+    """
+
+    __slots__ = ("positions", "aggregate", "param_position", "child", "fold")
+    consolidated = True
+
+    def __init__(
+        self,
+        positions: Sequence[int],
+        aggregate: AggregateFunction,
+        param_position: Optional[int],
+        schema: RelationSchema,
+        child: PhysicalOp,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(schema, batch_size)
+        self.positions = tuple(position - 1 for position in positions)
+        self.aggregate = aggregate
+        self.param_position = param_position
+        self.child = child
+        # Decomposed folds (running sums instead of per-group bags) are
+        # only selected where they are bit-for-bit equal to the
+        # bag-based compute: CNT is pure integer counting, and SUM over
+        # an INTEGER parameter stays in exact integer arithmetic, so
+        # re-associating the sum over rows instead of over distinct bag
+        # values cannot change the result.  REAL and MONEY parameters
+        # keep the bag path (float/Decimal addition is order-sensitive),
+        # as does every other aggregate.
+        fold = "bag"
+        if self.positions:
+            if isinstance(aggregate, Count):
+                fold = "count"
+            elif (
+                isinstance(aggregate, Sum)
+                and param_position is not None
+                and child.schema.attribute(param_position).domain == INTEGER
+            ):
+                fold = "sum"
+        self.fold = fold
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def batches(self, env: Dict[str, Relation]) -> Iterator[ColumnBatch]:
+        positions = self.positions
+        single = len(positions) == 1
+        fold = self.fold
+        param_index = (
+            self.param_position - 1 if self.param_position is not None else None
+        )
+        # Keys are bare values for a single grouping attribute (hashing
+        # an int or string beats allocating and hashing a 1-tuple per
+        # row); output rows re-wrap them below.
+        groups: Dict[Any, Dict[Any, int]] = defaultdict(lambda: defaultdict(int))
+        totals: Dict[Any, int] = defaultdict(int)
+        if not positions:
+            accumulate = None
+        else:
+            accumulate = _compile_group_accumulator(positions, param_index, fold)
+        accumulator = groups if fold == "bag" else totals
+        for batch in child_batches(self.child, env, self.batch_size):
+            if param_index is not None and param_index >= batch.width:
+                raise UnboundAttributeError(
+                    f"aggregate parameter %{param_index + 1} is out of "
+                    f"range for a {batch.width}-attribute tuple"
+                )
+            if accumulate is None:
+                # Empty grouping: one bag for the single () group.
+                bag = groups[()]
+                if param_index is not None:
+                    values: Sequence[Any] = (
+                        batch.columns[param_index]
+                        if batch.has_columns
+                        else map(itemgetter(param_index), batch.rows())
+                    )
+                else:
+                    values = batch.rows()
+                for value, count in zip(values, batch.counts):
+                    bag[value] += count
+            else:
+                accumulate(batch.rows(), batch.counts, accumulator)
+        compute = self.aggregate.compute
+        if not positions:
+            counts = dict(groups[()]) if groups else {}
+            # One output row even on empty input (partial aggregates
+            # raise EmptyAggregateError from compute, as the pairs
+            # engine does).
+            yield ColumnBatch.from_rows(
+                [(compute(Multiset._from_counts(counts)),)], [1], 1
+            )
+            return
+        if fold == "bag":
+            results: Sequence[Tuple[Any, Any]] = [
+                (key, compute(Multiset._from_counts(dict(bag))))
+                for key, bag in groups.items()
+            ]
+        else:
+            # count/sum folds: the running totals are the results.
+            results = totals.items()
+        if single:
+            out_rows = list(results)
+        else:
+            out_rows = [key + (value,) for key, value in results]
+        if out_rows:
+            yield ColumnBatch.from_rows(
+                out_rows, [1] * len(out_rows), self.schema.degree
+            )
+
+    def label(self) -> str:
+        attrs = ", ".join(f"%{index + 1}" for index in self.positions)
+        return f"v-hash-groupby [({attrs}), {self.aggregate.name}]"
+
+
+def collect_batches(op: PhysicalOp, env: Dict[str, Relation]) -> Relation:
+    """Execute a (vector) plan and materialise the result relation.
+
+    The vector analogue of :func:`repro.engine.iterators.collect`:
+    consolidated streams adopt their rows with a C-speed ``dict`` build;
+    everything else totals multiplicities per row.  Non-vector roots
+    (profiler wrappers, exchange operators) fall back to the pair-stream
+    collect.
+    """
+    if not isinstance(op, VectorOp):
+        from repro.engine.iterators import collect
+
+        return collect(op, env)
+    if op.consolidated:
+        counts: Dict[Row, int] = {}
+        for batch in op.batches(env):
+            counts.update(zip(batch.rows(), batch.counts))
+    else:
+        # defaultdict, not Counter: a distinct-heavy stream misses on
+        # almost every row, and defaultdict.__missing__ is C-level.
+        totals: Dict[Row, int] = defaultdict(int)
+        for batch in op.batches(env):
+            for row, count in zip(batch.rows(), batch.counts):
+                totals[row] += count
+        counts = dict(totals)
+    if obs.enabled():
+        obs.add("engine.collected.pairs", len(counts))
+        obs.add("engine.collected.rows", sum(counts.values()))
+    # Batch streams carry positive counts by invariant; adopt directly.
+    return Relation.from_multiset(op.schema, Multiset._from_counts(counts))

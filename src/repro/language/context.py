@@ -38,6 +38,7 @@ class ExecutionContext:
         parallel: Optional[object] = None,
         cache: Optional[object] = None,
         database: Optional[object] = None,
+        engine: str = "pairs",
     ) -> None:
         #: Working copies of the base relations.
         self.relations: Dict[str, Relation] = dict(relations)
@@ -55,6 +56,9 @@ class ExecutionContext:
         #: The database this working state was snapshotted from — the
         #: cache needs it to check epochs and working-state divergence.
         self.database = database
+        #: Physical operator family: ``"pairs"`` or ``"vector"``
+        #: (ignored by the reference evaluator).
+        self._engine = engine
 
     # -- name resolution -------------------------------------------------
 
@@ -105,6 +109,11 @@ class ExecutionContext:
     def parallel(self) -> Optional[object]:
         return self._parallel
 
+    @property
+    def engine(self) -> str:
+        """The physical operator family (``"pairs"`` or ``"vector"``)."""
+        return self._engine
+
     # -- expression evaluation --------------------------------------------------
 
     def evaluate(self, expr: AlgebraExpr) -> Relation:
@@ -115,7 +124,9 @@ class ExecutionContext:
             expr = self._optimizer(expr)
         env = self.environment()
         if self._use_physical_engine:
-            return execute(expr, env, parallel=self._parallel)
+            return execute(
+                expr, env, parallel=self._parallel, engine=self._engine
+            )
         return evaluate(expr, env)
 
     def statistics(self) -> StatisticsCatalog:

@@ -81,6 +81,7 @@ class Transaction:
         record_intermediate_states: bool = False,
         parallel: Optional[object] = None,
         cache: Optional[object] = None,
+        engine: str = "pairs",
     ) -> TransactionResult:
         """Execute against ``database`` with full atomicity.
 
@@ -108,6 +109,7 @@ class Transaction:
             parallel=parallel,
             cache=cache,
             database=database,
+            engine=engine,
         )
         intermediate_states: List[IntermediateState] = []
         if record_intermediate_states:

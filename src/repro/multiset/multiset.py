@@ -27,6 +27,7 @@ from typing import (
     Hashable,
     Iterable,
     Iterator,
+    List,
     Mapping,
     Tuple,
     TypeVar,
@@ -141,6 +142,20 @@ class Multiset(Generic[T]):
     def support(self) -> frozenset[T]:
         """The set of distinct elements."""
         return frozenset(self._counts)
+
+    def support_list(self) -> List[T]:
+        """Distinct elements as a list, parallel to :meth:`counts_list`.
+
+        Bulk accessors for engines that chunk a relation: both lists
+        come off the same dictionary in one C-speed pass and share the
+        iteration order, so ``support_list()[i]`` has multiplicity
+        ``counts_list()[i]``.
+        """
+        return list(self._counts.keys())
+
+    def counts_list(self) -> List[int]:
+        """Multiplicities as a list, parallel to :meth:`support_list`."""
+        return list(self._counts.values())
 
     # -- comparisons (Definition 2.3) ----------------------------------------
 

@@ -46,7 +46,10 @@ MISESTIMATE_THRESHOLD = 10.0
 
 #: Operator classes whose job is to collapse input rows; the report
 #: shows their consolidation count (rows in minus rows out).
-_CONSOLIDATING = {"distinct", "group-by", "difference", "intersect", "exchange"}
+_CONSOLIDATING = {
+    "distinct", "group-by", "difference", "intersect", "exchange",
+    "v-distinct", "v-group-by", "v-difference", "v-intersect",
+}
 
 
 class OperatorStats:
@@ -357,6 +360,17 @@ def _child_pairs(expr: Any, op: Any) -> List[Any]:
         UnionOp,
     )
     from repro.engine.parallel import ExchangeOp, FragmentedJoinOp
+    from repro.engine.vector.operators import (
+        VDifferenceOp,
+        VDistinctOp,
+        VFilterOp,
+        VGroupByOp,
+        VHashJoinOp,
+        VIntersectOp,
+        VMapOp,
+        VProjectOp,
+        VUnionOp,
+    )
 
     def join_operands(node: Any) -> Optional[Any]:
         if isinstance(node, Join):
@@ -365,12 +379,25 @@ def _child_pairs(expr: Any, op: Any) -> List[Any]:
             return node.operand.left, node.operand.right
         return None
 
-    if isinstance(op, (HashJoinOp, NestedLoopJoinOp, FragmentedJoinOp)):
+    if isinstance(op, (HashJoinOp, NestedLoopJoinOp, FragmentedJoinOp, VHashJoinOp)):
+        # Project-into-join fusion: the vector planner folds π(⋈) into
+        # one probe loop, so the physical join answers for the Project.
+        if isinstance(op, VHashJoinOp) and isinstance(expr, Project):
+            inner = expr.operand
+            if isinstance(inner, Join):
+                return [(inner.left, op.left), (inner.right, op.right)]
+            return []
         operands = join_operands(expr)
         if operands is None:
             return []
         left, right = operands
         return [(left, op.left), (right, op.right)]
+    if isinstance(op, VFilterOp) and isinstance(expr, Select):
+        # Selection fusion: one VFilterOp may implement a σ stack.
+        node = expr.operand
+        while isinstance(node, Select):
+            node = node.operand
+        return [(node, op.child)]
     if isinstance(op, ExchangeOp):
         # Re-peel the σ/π/π̂ pipeline the parallel planner fused into
         # the exchange's fragment task, down to the fragmented base.
@@ -389,19 +416,19 @@ def _child_pairs(expr: Any, op: Any) -> List[Any]:
         return [(node, op.child)]
     if isinstance(op, FilterOp) and isinstance(expr, Select):
         return [(expr.operand, op.child)]
-    if isinstance(op, ProjectOp) and isinstance(expr, Project):
+    if isinstance(op, (ProjectOp, VProjectOp)) and isinstance(expr, Project):
         return [(expr.operand, op.child)]
-    if isinstance(op, MapOp) and isinstance(expr, ExtendedProject):
+    if isinstance(op, (MapOp, VMapOp)) and isinstance(expr, ExtendedProject):
         return [(expr.operand, op.child)]
-    if isinstance(op, DistinctOp) and isinstance(expr, Unique):
+    if isinstance(op, (DistinctOp, VDistinctOp)) and isinstance(expr, Unique):
         return [(expr.operand, op.child)]
-    if isinstance(op, GroupByOp) and isinstance(expr, GroupBy):
+    if isinstance(op, (GroupByOp, VGroupByOp)) and isinstance(expr, GroupBy):
         return [(expr.operand, op.child)]
-    if isinstance(op, UnionOp) and isinstance(expr, Union):
+    if isinstance(op, (UnionOp, VUnionOp)) and isinstance(expr, Union):
         return [(expr.left, op.left), (expr.right, op.right)]
-    if isinstance(op, DifferenceOp) and isinstance(expr, Difference):
+    if isinstance(op, (DifferenceOp, VDifferenceOp)) and isinstance(expr, Difference):
         return [(expr.left, op.left), (expr.right, op.right)]
-    if isinstance(op, IntersectOp) and isinstance(expr, Intersect):
+    if isinstance(op, (IntersectOp, VIntersectOp)) and isinstance(expr, Intersect):
         return [(expr.left, op.left), (expr.right, op.right)]
     if isinstance(op, ProductOp) and isinstance(expr, Product):
         return [(expr.left, op.left), (expr.right, op.right)]
@@ -462,6 +489,7 @@ def analyze(
     threshold: float = MISESTIMATE_THRESHOLD,
     record: bool = False,
     cache: Optional[Any] = None,
+    engine: str = "pairs",
 ) -> AnalyzeReport:
     """Run ``expr`` instrumented and return the annotated report.
 
@@ -475,7 +503,10 @@ def analyze(
     it immediately.  ``cache`` (a :class:`repro.cache.QueryCache`)
     contributes hit/miss provenance to the report; the analyzed
     execution itself never serves from the cache — actuals require an
-    actual run.
+    actual run.  ``engine`` selects the physical operator family
+    (``"pairs"`` or ``"vector"``); either way the instrumented plan is
+    profiled through the pair-stream wrappers, so the per-operator
+    numbers are comparable across engines.
 
     ``analyze.runs`` / ``analyze.operators`` / ``analyze.seconds`` and
     ``plan.misestimate{op=...}`` accumulate in the metrics registry on
@@ -485,7 +516,7 @@ def analyze(
     from repro import obs
     from repro.algebra import render
     from repro.engine.iterators import collect
-    from repro.engine.planner import plan as plan_physical
+    from repro.engine.planner import plan_physical
     from repro.engine.profiler import profile_plan
     from repro.engine.statistics import StatisticsCatalog
     from repro.optimizer import optimize
@@ -497,7 +528,7 @@ def analyze(
         optimized = (
             optimize(expr, catalog, rewrite_trace) if use_optimizer else expr
         )
-        physical = plan_physical(optimized, parallel)
+        physical = plan_physical(optimized, parallel, engine)
         annotations = annotate_estimates(optimized, physical, catalog)
         instrumented, profiles = profile_plan(physical)
         started = time.perf_counter()

@@ -145,6 +145,18 @@ class Relation:
         """The set of distinct tuples."""
         return self._tuples.support()
 
+    def rows_list(self) -> List[Row]:
+        """Distinct tuples as a list, parallel to :meth:`counts_list`.
+
+        Bulk accessors used by the vectorized engine to chunk a stored
+        relation with list slices instead of per-pair iteration.
+        """
+        return self._tuples.support_list()
+
+    def counts_list(self) -> List[int]:
+        """Multiplicities as a list parallel to :meth:`rows_list`."""
+        return self._tuples.counts_list()
+
     def rows_sorted(self) -> List[Row]:
         """All tuples (with duplicates), sorted — presentation only.
 

@@ -80,9 +80,15 @@ class XRAInterpreter:
         constraints: Sequence[object] = (),
         parallel: Optional[object] = None,
         cache: Optional[object] = None,
+        engine: str = "pairs",
     ) -> None:
         self.database = database
         self.use_physical_engine = use_physical_engine
+        #: Physical operator family: ``"pairs"`` or ``"vector"``; see
+        #: :meth:`set_engine`.
+        self.engine = "pairs"
+        if engine != "pairs":
+            self.set_engine(engine)
         self.constraints = list(constraints)
         self._optimizer: Optional[Callable[[AlgebraExpr], AlgebraExpr]] = (
             optimize if use_optimizer else None
@@ -106,6 +112,25 @@ class XRAInterpreter:
     def set_cache(self, cache: Optional[object]) -> None:
         """Attach or remove the interpreter's query cache."""
         self.cache = cache
+
+    def set_engine(self, engine: str) -> str:
+        """Select the physical operator family for script execution.
+
+        Same contract as :meth:`repro.language.Session.set_engine`:
+        ``"pairs"`` or ``"vector"``; the vector engine requires the
+        physical engine.
+        """
+        if engine not in ("pairs", "vector"):
+            raise ValueError(
+                f"engine must be 'pairs' or 'vector', not {engine!r}"
+            )
+        if engine == "vector" and not self.use_physical_engine:
+            raise ValueError(
+                "the vector engine requires the physical engine "
+                "(use_physical_engine=True)"
+            )
+        self.engine = engine
+        return self.engine
 
     def set_lint(self, mode: Optional[object]) -> Optional[str]:
         """Set the interpreter's lint mode.
@@ -234,6 +259,7 @@ class XRAInterpreter:
                 parallel=self._parallel,
                 record=True,
                 cache=self.cache,
+                engine=self.engine,
             )
             result.analyze_reports.append(report)
             result.outputs.append(report.result)
@@ -255,6 +281,7 @@ class XRAInterpreter:
             constraints=self.constraints,
             parallel=self._parallel,
             cache=self.cache,
+            engine=self.engine,
         )
         result.transactions.append(outcome)
         result.outputs.extend(outcome.outputs)

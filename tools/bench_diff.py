@@ -4,7 +4,7 @@
 The benches (``benchmarks/bench_e*.py``) emit machine-readable
 ``BENCH_<experiment>.json`` files — one list of ``{"name", "fullname",
 "group", "n", "seconds", "min_seconds", "stddev_seconds"}`` records per
-bench module — into ``benchmarks/results/`` (or ``$BENCH_RESULTS_DIR``).
+bench module — at the repo root (or ``$BENCH_RESULTS_DIR``).
 This tool compares those fresh numbers to the baselines committed under
 ``benchmarks/baselines/`` and exits non-zero when any benchmark got more
 than ``--threshold`` (default 30%) slower.
@@ -35,9 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_RESULTS = Path(
-    os.environ.get("BENCH_RESULTS_DIR", REPO_ROOT / "benchmarks" / "results")
-)
+DEFAULT_RESULTS = Path(os.environ.get("BENCH_RESULTS_DIR", REPO_ROOT))
 DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
 
 #: name -> (module, record); the fullname is unique across modules.
@@ -96,7 +94,7 @@ def main(argv: List[str] | None = None) -> int:
         type=Path,
         default=DEFAULT_RESULTS,
         help="directory of fresh BENCH_*.json files "
-        "(default: benchmarks/results or $BENCH_RESULTS_DIR)",
+        "(default: the repo root, or $BENCH_RESULTS_DIR)",
     )
     parser.add_argument(
         "--baselines",
