@@ -26,10 +26,12 @@ for the full story.
 """
 
 from repro.cache.cache import CachedResult, CacheStats, QueryCache
+from repro.cache.concurrent import ConcurrentQueryCache
 from repro.cache.fingerprint import base_relations, canonical_text, fingerprint
 
 __all__ = [
     "QueryCache",
+    "ConcurrentQueryCache",
     "CacheStats",
     "CachedResult",
     "fingerprint",

@@ -1,0 +1,135 @@
+"""A thread-safe :class:`~repro.cache.QueryCache` for concurrent readers.
+
+:class:`QueryCache` assumes single-threaded use: both levels are
+``OrderedDict``\\ s mutated on every lookup (LRU movement, eviction), so
+sharing one between the server's executor threads would corrupt them.
+:class:`ConcurrentQueryCache` keeps the exact same semantics — same
+fingerprints, same epoch validity rule, same eviction budget — but takes
+an internal lock around every *bookkeeping* step while leaving query
+**execution** outside the lock.  Concurrent misses of the same query may
+therefore both execute (the second store wins harmlessly: relations are
+immutable values and both were computed at the same epochs or the later
+store carries the later epochs); what can never happen is a torn LRU
+structure or a result served under the wrong epoch tag.
+
+This is the cache :mod:`repro.server` attaches to its sessions, one
+instance shared by every connection over the shared database.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.algebra import AlgebraExpr
+from repro.cache.cache import QueryCache, _PlanEntry
+from repro import obs
+from repro.relation import Relation
+
+__all__ = ["ConcurrentQueryCache"]
+
+
+class ConcurrentQueryCache(QueryCache):
+    """Epoch-invalidated query cache safe to share across threads."""
+
+    def __init__(
+        self,
+        max_bytes: int = 64 * 1024 * 1024,
+        max_entries: int = 1024,
+    ) -> None:
+        super().__init__(max_bytes=max_bytes, max_entries=max_entries)
+        self._lock = threading.RLock()
+
+    # -- the lookup path, re-sequenced around the lock -------------------
+
+    @property
+    def synchronized(self) -> threading.RLock:
+        """The cache's internal lock.
+
+        Writers that *install* new database states (bumping epochs) while
+        readers are mid-lookup should hold this lock around the install:
+        the cache snapshots its epoch vector under the same lock, so an
+        install can never interleave a half-bumped vector into a lookup
+        (which could mistag or misserve an entry).  :mod:`repro.server`
+        does exactly this on its commit path.
+        """
+        return self._lock
+
+    def evaluate(self, expr: AlgebraExpr, context: Any) -> Relation:
+        """Evaluate ``expr`` for ``context``; bookkeeping under the lock."""
+        entry = self._locked_plan_entry(expr, context)
+        database = getattr(context, "database", None)
+        deps = entry.deps
+        epochs: dict = {}
+        with self._lock:
+            # Applicability + the epoch snapshot are one atomic read:
+            # installs hold the same lock (see :attr:`synchronized`).
+            if not self._result_level_applies(deps, context, database):
+                self.stats.bypasses += 1
+                applies = False
+            else:
+                applies = True
+                epochs = {name: database.epoch(name) for name in deps}
+                cached = self._results.get(entry.fingerprint)
+                if cached is not None:
+                    if cached.epochs == epochs:
+                        self._results.move_to_end(entry.fingerprint)
+                        self.stats.result_hits += 1
+                        obs.add("cache.hits", level="result")
+                        return cached.relation
+                    self._drop(entry.fingerprint)
+                    self.stats.invalidations += 1
+                    obs.add("cache.invalidations")
+                self.stats.result_misses += 1
+        if not applies:
+            obs.add("cache.bypasses")
+            return self._execute(entry, context)
+        obs.add("cache.misses", level="result")
+        relation = self._execute(entry, context)
+        with self._lock:
+            self._store(entry.fingerprint, relation, deps, epochs)
+        return relation
+
+    def _locked_plan_entry(
+        self, expr: AlgebraExpr, context: Any
+    ) -> _PlanEntry:
+        """Plan-level lookup; the optimizer runs outside the lock.
+
+        Two threads missing the same key may both normalize the tree;
+        the first insert wins and the loser adopts it, so one expression
+        never ends up with two live entries (the result level keys on
+        the entry's fingerprint).
+        """
+        optimizer = context.optimizer
+        key = (expr, optimizer is not None)
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                self._plans.move_to_end(key)
+                self.stats.plan_hits += 1
+                obs.add("cache.hits", level="plan")
+                return entry
+            self.stats.plan_misses += 1
+            obs.add("cache.misses", level="plan")
+        normalized = optimizer(expr) if optimizer is not None else expr
+        entry = _PlanEntry(normalized)
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                return existing
+            self._plans[key] = entry
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+        return entry
+
+    # -- maintenance -----------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def fingerprint_for(
+        self, expr: AlgebraExpr, optimized: bool = True
+    ) -> Optional[str]:
+        with self._lock:
+            return super().fingerprint_for(expr, optimized)

@@ -5,6 +5,8 @@ Usage::
     python -m repro                 # interactive XRA shell
     python -m repro script.xra      # run an XRA script file
     python -m repro --sql script.sql  # run a file of SQL statements
+    python -m repro serve --port 7474   # start the concurrent query server
+    python -m repro --connect HOST:PORT  # shell against a running server
 
 Interactive input is XRA by default; statements run when their
 terminating ``;`` arrives (multi-line input is buffered).  Meta-commands
@@ -630,7 +632,269 @@ class Shell:
             self.print_error(error)
 
 
+# -- the server-side CLI (python -m repro serve) -----------------------------
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro serve`` — run the concurrent query server."""
+    import asyncio
+
+    from repro.server import QueryServer, ServerConfig
+    from repro.xra import XRAInterpreter
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve one shared database to concurrent clients over "
+        "the newline-delimited JSON protocol (see docs/server.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7474,
+        help="port to listen on (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--script", metavar="PATH",
+        help="XRA script that seeds the database before serving",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("reference", "pairs", "vector"),
+        default="reference",
+        help="evaluation strategy: the reference evaluator or the "
+        "physical pairs/vector engines",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared epoch-invalidated result cache",
+    )
+    parser.add_argument(
+        "--lint", choices=("warn", "strict"),
+        help="lint every XRA request; 'strict' refuses error findings "
+        "with wire code REPRO-LINT",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=32,
+        help="refuse connections beyond this with REPRO-BUSY (default 32)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="executor slots; admission control bounds in-flight work "
+        "(default 8)",
+    )
+    parser.add_argument(
+        "--admission-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long a request may wait for a slot before REPRO-BUSY "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--query-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock budget per statement batch; exceeding it "
+        "answers REPRO-TIMEOUT (default 30)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="seconds shutdown waits for in-flight requests (default 10)",
+    )
+    parser.add_argument(
+        "--slow-log", type=float, metavar="SECONDS",
+        help="flag statements at/above this wall time in the query log",
+    )
+    options = parser.parse_args(argv)
+
+    database = Database()
+    if options.script:
+        with open(options.script, encoding="utf-8") as handle:
+            XRAInterpreter(database).run(handle.read())
+    config = ServerConfig(
+        host=options.host,
+        port=options.port,
+        max_connections=options.max_connections,
+        max_inflight=options.max_inflight,
+        admission_timeout=options.admission_timeout,
+        query_timeout=options.query_timeout,
+        drain_timeout=options.drain_timeout,
+        engine=options.engine,
+        cache=not options.no_cache,
+        lint=options.lint,
+        slow_query_threshold=options.slow_log,
+    )
+    server = QueryServer(database, config)
+
+    async def _runner() -> None:
+        host, port = await server.start()
+        print(f"repro server listening on {host}:{port} "
+              f"(ctrl-c to drain and stop)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            await server.shutdown()
+            raise
+
+    try:
+        asyncio.run(_runner())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+# -- the client-side remote shell (python -m repro --connect) ----------------
+
+
+class RemoteShell:
+    """A line-oriented shell speaking the wire protocol to a server."""
+
+    PROMPT = "xra@remote> "
+    CONTINUATION = "...> "
+
+    def __init__(
+        self,
+        client: "object",
+        out: TextIO = sys.stdout,
+        err: TextIO = sys.stderr,
+    ) -> None:
+        self.client = client
+        self.out = out
+        self.err = err
+        self._buffer: List[str] = []
+
+    def print(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    def print_error(self, error: BaseException) -> None:
+        self.err.write(f"error: {error}\n")
+
+    def run(self, source: TextIO) -> int:
+        hello = getattr(self.client, "hello", {})
+        self.print(
+            f"connected to {hello.get('server', '?')} "
+            f"(protocol {hello.get('protocol', '?')}, "
+            f"t={hello.get('logical_time', '?')}, "
+            f"relations: {', '.join(hello.get('relations', [])) or 'none'})"
+        )
+        interactive = source is sys.stdin and sys.stdin.isatty()
+        while True:
+            if interactive:
+                prompt = self.CONTINUATION if self._buffer else self.PROMPT
+                self.out.write(prompt)
+                self.out.flush()
+            line = source.readline()
+            if not line:
+                return 0
+            if not self._buffer and line.strip().startswith("."):
+                if self.handle_meta(line.strip()) == "quit":
+                    return 0
+                continue
+            self._buffer.append(line)
+            if self._statement_complete():
+                text = "".join(self._buffer)
+                self._buffer = []
+                self.execute(text, op="xra")
+
+    # The buffered-completeness scanner is shared with the local shell.
+    _statement_complete = Shell._statement_complete
+
+    def execute(self, text: str, op: str = "xra") -> None:
+        from repro.server.client import RemoteError
+
+        try:
+            response = self.client.request(op, q=text)
+        except RemoteError as error:
+            self.print_error(error)
+            return
+        except (ConnectionError, OSError) as error:
+            self.print_error(error)
+            return
+        for finding in response.get("lint", []):
+            self.print(
+                f"lint {finding.get('severity', '?')} "
+                f"{finding.get('code', '?')}: {finding.get('message', '')}"
+            )
+        from repro.server.protocol import relation_from_wire
+
+        for document in response.get("results", []):
+            self.print(
+                format_relation(
+                    relation_from_wire(document), show_multiplicity=True
+                )
+            )
+        if response.get("committed"):
+            self.print(f"ok (t={response.get('logical_time')})")
+
+    def handle_meta(self, line: str) -> Optional[str]:
+        from repro.server.client import RemoteError
+
+        command, _, argument = line.partition(" ")
+        argument = argument.strip()
+        try:
+            if command in (".quit", ".exit"):
+                return "quit"
+            if command == ".help":
+                self.print(
+                    ".tables  .time  .sql STATEMENT  .begin  .commit  "
+                    ".rollback  .quit"
+                )
+                return None
+            if command == ".tables":
+                for entry in self.client.tables():
+                    self.print(
+                        f"{entry['name']:20s} {entry['rows']:8d} tuple(s), "
+                        f"epoch {entry['epoch']}"
+                    )
+                return None
+            if command == ".time":
+                self.print(f"logical time: {self.client.ping()}")
+                return None
+            if command == ".sql":
+                self.execute(argument, op="sql")
+                return None
+            if command == ".begin":
+                pinned = self.client.begin()
+                self.print(f"transaction open (pinned at t={pinned})")
+                return None
+            if command == ".commit":
+                response = self.client.commit()
+                self.print(f"committed (t={response.get('logical_time')})")
+                return None
+            if command == ".rollback":
+                self.client.rollback()
+                self.print("rolled back")
+                return None
+        except RemoteError as error:
+            self.print_error(error)
+            return None
+        self.print(f"unknown command {command!r}; try .help")
+        return None
+
+
+def connect_main(target: str, source: TextIO) -> int:
+    """``python -m repro --connect HOST:PORT`` — the remote shell."""
+    from repro.server.client import ServerClient
+
+    host, _, port_text = target.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --connect expects HOST:PORT, got {target!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        client = ServerClient(host, port)
+    except (ConnectionError, OSError, ReproError) as error:
+        print(f"error: cannot connect to {host}:{port}: {error}",
+              file=sys.stderr)
+        return 1
+    try:
+        return RemoteShell(client).run(source)
+    finally:
+        client.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Multi-set extended relational algebra shell "
@@ -641,6 +905,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--sql", action="store_true", help="treat the script file as SQL"
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="connect the shell to a running 'repro serve' instance "
+        "instead of an in-process database",
     )
     parser.add_argument(
         "--trace",
@@ -715,6 +985,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="result-cache size budget in MiB for --cache (default 64)",
     )
     options = parser.parse_args(argv)
+
+    if options.connect:
+        if options.script:
+            with open(options.script, encoding="utf-8") as handle:
+                return connect_main(options.connect, handle)
+        return connect_main(options.connect, sys.stdin)
 
     shell = Shell()
     if options.trace:

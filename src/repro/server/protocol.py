@@ -1,0 +1,190 @@
+"""The wire protocol: newline-delimited JSON, one message per line.
+
+Both directions speak the same framing: a message is one JSON object
+serialized without embedded newlines, terminated by ``\\n``.  Requests
+carry an ``op`` (and usually a client-chosen ``id`` echoed back);
+responses carry ``ok`` plus either the operation's payload or an
+``error`` object with a stable code from :mod:`repro.errors`.
+
+Requests::
+
+    {"id": 1, "op": "xra", "q": "? proj[%1](beer);"}
+    {"id": 2, "op": "sql", "q": "SELECT name FROM beer"}
+    {"id": 3, "op": "begin"}        {"op": "commit"}   {"op": "rollback"}
+    {"id": 4, "op": "ping"}         {"op": "tables"}
+
+Responses::
+
+    {"id": 1, "ok": true, "results": [<relation>], "committed": true,
+     "logical_time": 7, "seconds": 0.0012}
+    {"id": 1, "ok": false,
+     "error": {"code": "REPRO-TIMEOUT", "type": "QueryTimeoutError",
+               "message": "query exceeded the 30s time budget"}}
+
+A relation travels in the paper's (tuple, multiplicity) pair notation —
+compact for highly duplicated bags and explicitly *unordered*, matching
+the algebra's semantics::
+
+    {"schema": {"name": "beer", "attributes": [
+         {"name": "name", "domain": "string"}, ...]},
+     "pairs": [[["Pils", "Grolsch", 4.5], 2], ...]}
+
+Values of non-JSON domains (DATE, TIME, TIMESTAMP, MONEY) travel as
+strings; decoding routes them back through the domain's normalization,
+so a round-tripped relation is bag-equal to the original.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.domains import DomainRegistry, default_registry
+from repro.errors import ProtocolError, ReproError, wire_code
+from repro.relation import Relation
+from repro.schema import RelationSchema
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "encode_message",
+    "decode_request",
+    "relation_to_wire",
+    "relation_from_wire",
+    "error_to_wire",
+]
+
+#: Bumped on incompatible wire changes; the hello message carries it.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line — a runaway client cannot balloon the
+#: server's read buffer.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Every operation the server understands.
+OPS = frozenset(
+    {"xra", "sql", "begin", "commit", "rollback", "ping", "tables", "close"}
+)
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One message as a newline-terminated JSON line."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; malformed input raises :class:`ProtocolError`.
+
+    Checks framing only (valid JSON object, known ``op``, ``q`` a string
+    where required) — semantic validation belongs to the operation
+    handlers.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"request is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    op = message.get("op")
+    if op is None:
+        raise ProtocolError("request lacks an 'op' field")
+    if op not in OPS:
+        known = ", ".join(sorted(OPS))
+        raise ProtocolError(f"unknown op {op!r} (known: {known})")
+    if op in ("xra", "sql"):
+        statement = message.get("q")
+        if not isinstance(statement, str) or not statement.strip():
+            raise ProtocolError(f"op {op!r} requires a non-empty 'q' string")
+    return message
+
+
+# -- relations over the wire -------------------------------------------------
+
+
+def _wire_value(value: Any) -> Any:
+    """A JSON-representable rendering of one attribute value."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def relation_to_wire(relation: Relation) -> Dict[str, Any]:
+    """Encode a relation as its wire document (pair notation, sorted)."""
+    return {
+        "schema": {
+            "name": relation.schema.name,
+            "attributes": [
+                {"name": attribute.name, "domain": attribute.domain.name}
+                for attribute in relation.schema.attributes
+            ],
+        },
+        "pairs": [
+            [[_wire_value(value) for value in row], count]
+            for row, count in sorted(
+                relation.pairs(), key=lambda pair: tuple(map(str, pair[0]))
+            )
+        ],
+        "rows": len(relation),
+        "distinct": relation.distinct_count,
+    }
+
+
+def relation_from_wire(
+    document: Dict[str, Any], registry: Optional[DomainRegistry] = None
+) -> Relation:
+    """Decode a wire document back into a typed relation.
+
+    Values pass through the declared domain's normalization
+    (``Relation.from_pairs`` validates), so stringly-encoded dates and
+    money come back as their native types.
+    """
+    registry = registry or default_registry
+    try:
+        schema_doc = document["schema"]
+        attributes = [
+            (column["name"], registry.resolve(column["domain"]))
+            for column in schema_doc["attributes"]
+        ]
+        schema = RelationSchema(schema_doc.get("name"), attributes)
+        pairs = [(tuple(row), count) for row, count in document["pairs"]]
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"malformed relation document: {error}"
+        ) from None
+    return Relation.from_pairs(schema, pairs)
+
+
+def error_to_wire(error: BaseException) -> Dict[str, Any]:
+    """The error object attached to a failed response."""
+    payload: Dict[str, Any] = {
+        "code": wire_code(error),
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    conflicts = getattr(error, "relations", None)
+    if conflicts:
+        payload["relations"] = list(conflicts)
+    return payload
+
+
+def hello_message(
+    server_name: str, relations: List[str], logical_time: int
+) -> Dict[str, Any]:
+    """The banner the server sends on connect (before any request)."""
+    return {
+        "server": server_name,
+        "protocol": PROTOCOL_VERSION,
+        "relations": relations,
+        "logical_time": logical_time,
+    }

@@ -1,0 +1,242 @@
+"""Per-connection server sessions with epoch-pinned snapshots.
+
+One :class:`ServerSession` lives for the duration of one client
+connection.  Outside transaction brackets every request is auto-commit:
+reads pin the current state for just that statement, writes run under
+the server's global write lock.  ``begin`` pins a snapshot *and* the
+per-relation epochs at that instant; until ``commit``/``rollback`` every
+statement of the connection executes against that pinned working state —
+reads see the snapshot (plus the transaction's own writes), never a
+concurrent committer's.  This is readers-writer snapshot isolation built
+directly on the cache's epoch machinery (PR 4): the pinned epoch vector
+is both the isolation witness and, at commit, the first-committer-wins
+conflict check — a written relation whose database epoch moved past the
+pinned value aborts the transaction with ``REPRO-CONFLICT``.
+
+The session itself is plain synchronous state; the asyncio orchestration
+(locks, executor dispatch, timeouts) lives in
+:mod:`repro.server.core`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    LintError,
+    ProtocolError,
+    TransactionConflictError,
+)
+from repro.language.context import ExecutionContext
+from repro.language.statements import (
+    Assign,
+    Delete,
+    Insert,
+    Query,
+    Statement,
+    Update,
+)
+from repro.relation import Relation
+from repro.sql.ast import SelectQuery
+from repro.sql.parser import parse_sql
+from repro.sql.translate import translate_statement
+from repro.xra.parser import (
+    CreateRelation,
+    DeclareConstraint,
+    DropConstraint,
+    DropRelation,
+    ScriptItem,
+    StatementItem,
+    TransactionItem,
+    parse_script,
+)
+
+__all__ = ["ServerSession", "PinnedTransaction", "ParsedScript"]
+
+#: DDL item classes — applied against the live database, never inside a
+#: pinned transaction.
+_DDL_ITEMS = (CreateRelation, DropRelation, DeclareConstraint, DropConstraint)
+
+
+class ParsedScript:
+    """A classified request body: DDL items and/or plain statements."""
+
+    __slots__ = ("items", "statements", "has_ddl", "read_only")
+
+    def __init__(self, items: Sequence[ScriptItem]) -> None:
+        self.items = list(items)
+        self.statements: List[Statement] = []
+        self.has_ddl = False
+        for item in self.items:
+            if isinstance(item, _DDL_ITEMS):
+                self.has_ddl = True
+            elif isinstance(item, StatementItem):
+                self.statements.append(item.statement)
+            elif isinstance(item, TransactionItem):
+                self.statements.extend(item.statements)
+        self.read_only = not self.has_ddl and all(
+            isinstance(statement, Query) for statement in self.statements
+        )
+
+    def write_targets(self) -> List[str]:
+        """Names targeted by write statements, in order, deduplicated."""
+        seen: Dict[str, None] = {}
+        for statement in self.statements:
+            if isinstance(statement, (Insert, Delete, Update, Assign)):
+                seen.setdefault(statement.target)
+        return list(seen)
+
+
+class PinnedTransaction:
+    """An open transaction: pinned working state + pinned epoch vector."""
+
+    __slots__ = ("context", "epochs", "logical_time", "written", "started")
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        epochs: Dict[str, int],
+        logical_time: int,
+    ) -> None:
+        self.context = context
+        self.epochs = epochs
+        self.logical_time = logical_time
+        #: Base relations this transaction has written (conflict set).
+        self.written: set[str] = set()
+        self.started = time.perf_counter()
+
+
+class ServerSession:
+    """State for one client connection."""
+
+    def __init__(self, server: "object", client_id: int) -> None:
+        self.server = server
+        self.database = server.database  # type: ignore[attr-defined]
+        self.client_id = client_id
+        #: The open pinned transaction, or None between brackets.
+        self.txn: Optional[PinnedTransaction] = None
+        self.closed = False
+        #: Request/statement counters surfaced as per-connection metrics.
+        self.requests = 0
+        self.statements = 0
+
+    # -- parsing / classification ----------------------------------------
+
+    def parse_xra(self, text: str) -> ParsedScript:
+        """Parse an XRA request body against the current schema."""
+        return ParsedScript(parse_script(text, self.database.schema.get))
+
+    def parse_sql(self, text: str) -> ParsedScript:
+        """Parse one SQL statement into the same classified form."""
+        parsed = parse_sql(text)
+        translated = translate_statement(parsed, self.database.schema)
+        if isinstance(parsed, SelectQuery):
+            statement: Statement = Query(translated)
+        else:
+            statement = translated
+        return ParsedScript([StatementItem(statement)])
+
+    def lint_gate(self, text: str) -> Optional[object]:
+        """Lint an XRA body per the server's lint mode.
+
+        Returns the report (``None`` with lint off); raises
+        :class:`~repro.errors.LintError` in strict mode on error-severity
+        findings — the strict-lint refusal travels as ``REPRO-LINT``.
+        """
+        mode = self.server.config.lint  # type: ignore[attr-defined]
+        if mode is None:
+            return None
+        from repro.lint import lint_script
+
+        report = lint_script(text, self.database.schema.get)
+        if mode == "strict" and not report.ok:
+            raise LintError(report)
+        return report
+
+    # -- transaction brackets --------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+    def begin(self, context: ExecutionContext, epochs: Dict[str, int],
+              logical_time: int) -> None:
+        if self.txn is not None:
+            raise ProtocolError(
+                "transaction already open (commit or rollback first)"
+            )
+        self.txn = PinnedTransaction(context, epochs, logical_time)
+
+    def require_txn(self) -> PinnedTransaction:
+        if self.txn is None:
+            raise ProtocolError("no open transaction (send 'begin' first)")
+        return self.txn
+
+    def rollback(self) -> None:
+        """Discard the pinned working state (the database was never touched)."""
+        self.require_txn()
+        self.txn = None
+
+    # -- statement execution (runs on executor threads) -------------------
+
+    @staticmethod
+    def run_statements(
+        statements: Sequence[Statement], context: ExecutionContext
+    ) -> List[Relation]:
+        """Execute ``statements`` in order against ``context``.
+
+        Returns the query outputs this batch produced (the context
+        accumulates across a transaction; only the new tail is
+        returned).  Exceptions propagate — the caller decides whether
+        they abort a pinned transaction or just the one auto-commit
+        request.
+        """
+        before = len(context.outputs)
+        for statement in statements:
+            statement.execute(context)
+        return context.outputs[before:]
+
+    @staticmethod
+    def check_constraints(
+        constraints: Sequence[object], state: Dict[str, Relation]
+    ) -> None:
+        """Constraint-check a would-be post-state (commit-time hook)."""
+        for constraint in constraints:
+            check = getattr(constraint, "check", None)
+            if check is None:
+                raise TypeError(f"{constraint!r} is not a constraint")
+            check(state)
+
+    def conflict_check(
+        self, txn: PinnedTransaction, current_epochs: Dict[str, int]
+    ) -> None:
+        """First-committer-wins: written relations must be at pinned epochs."""
+        conflicts = [
+            name
+            for name in sorted(txn.written)
+            if name not in txn.context.temporaries
+            and current_epochs.get(name, 0) != txn.epochs.get(name, 0)
+        ]
+        if conflicts:
+            raise TransactionConflictError(conflicts)
+
+    def merged_post_state(
+        self, txn: PinnedTransaction, current_state: Dict[str, Relation]
+    ) -> Tuple[Dict[str, Relation], List[str]]:
+        """The commit image: current state overlaid with this txn's writes.
+
+        Installing the pinned working state wholesale would clobber
+        concurrent commits to *other* relations; only the relations this
+        transaction actually wrote (and that are base, not temporary)
+        are taken from the working state.
+        """
+        merged = dict(current_state)
+        written = [
+            name
+            for name in sorted(txn.written)
+            if name not in txn.context.temporaries
+        ]
+        for name in written:
+            merged[name] = txn.context.relations[name]
+        return merged, written

@@ -60,7 +60,7 @@ def extract_python_blocks(path: Path) -> List[CodeBlock]:
 def test_every_doc_page_is_scanned():
     names = {path.name for path in DOC_FILES}
     assert "README.md" in names
-    # The docs index in the README promises these eight pages exist.
+    # The docs index in the README promises these pages exist.
     for page in (
         "architecture.md",
         "caching.md",
@@ -68,7 +68,9 @@ def test_every_doc_page_is_scanned():
         "lint.md",
         "observability.md",
         "parallel.md",
+        "server.md",
         "sql_reference.md",
+        "vectorized.md",
         "xra_reference.md",
     ):
         assert page in names, f"docs/{page} missing"
