@@ -57,6 +57,36 @@ def test_xra_script_end_to_end(benchmark):
 
 
 @pytest.mark.benchmark(group="e9-xra")
+def test_xra_script_telemetry_on(benchmark):
+    """The same script with live telemetry accounting switched on.
+
+    Metrics-only recording plus an active
+    :class:`~repro.obs.telemetry.ResourceAccount` is exactly what every
+    server request pays when ``--telemetry`` is configured (with no
+    scraper attached).  ``tools/bench_diff.py`` compares this against
+    ``test_xra_script_end_to_end`` and warns when the overhead exceeds
+    its ``--telemetry-budget`` (default 3%).
+    """
+    from repro import obs
+    from repro.obs.telemetry import ResourceAccount, activate
+
+    obs.enable_metrics()
+    try:
+
+        def run_script():
+            database = fresh_database()
+            interpreter = XRAInterpreter(database)
+            with activate(ResourceAccount()):
+                return interpreter.run(SCRIPT)
+
+        result = benchmark(run_script)
+    finally:
+        obs.reset()
+    assert result.committed
+    assert len(result.outputs) == 2
+
+
+@pytest.mark.benchmark(group="e9-xra")
 def test_equivalent_python_api(benchmark):
     def run_api():
         database = fresh_database()

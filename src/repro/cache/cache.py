@@ -46,6 +46,7 @@ from repro.engine.planner import (
     plan_physical,
 )
 from repro import obs
+from repro.obs.telemetry import account as _active_account
 from repro.relation import Relation
 
 __all__ = ["QueryCache", "CacheStats", "CachedResult"]
@@ -226,6 +227,8 @@ class QueryCache:
                 self._results.move_to_end(entry.fingerprint)
                 self.stats.result_hits += 1
                 obs.add("cache.hits", level="result")
+                if (acct := _active_account()) is not None:
+                    acct.cache_hits += 1
                 return cached.relation
             # A transition bumped an epoch this entry depends on.
             self._drop(entry.fingerprint)
@@ -233,6 +236,8 @@ class QueryCache:
             obs.add("cache.invalidations")
         self.stats.result_misses += 1
         obs.add("cache.misses", level="result")
+        if (acct := _active_account()) is not None:
+            acct.cache_misses += 1
         relation = self._execute(entry, context)
         self._store(entry.fingerprint, relation, deps, epochs)
         return relation

@@ -24,6 +24,7 @@ from typing import Any, Optional
 from repro.algebra import AlgebraExpr
 from repro.cache.cache import QueryCache, _PlanEntry
 from repro import obs
+from repro.obs.telemetry import account as _active_account
 from repro.relation import Relation
 
 __all__ = ["ConcurrentQueryCache"]
@@ -76,6 +77,8 @@ class ConcurrentQueryCache(QueryCache):
                         self._results.move_to_end(entry.fingerprint)
                         self.stats.result_hits += 1
                         obs.add("cache.hits", level="result")
+                        if (acct := _active_account()) is not None:
+                            acct.cache_hits += 1
                         return cached.relation
                     self._drop(entry.fingerprint)
                     self.stats.invalidations += 1
@@ -85,6 +88,8 @@ class ConcurrentQueryCache(QueryCache):
             obs.add("cache.bypasses")
             return self._execute(entry, context)
         obs.add("cache.misses", level="result")
+        if (acct := _active_account()) is not None:
+            acct.cache_misses += 1
         relation = self._execute(entry, context)
         with self._lock:
             self._store(entry.fingerprint, relation, deps, epochs)

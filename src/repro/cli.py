@@ -699,6 +699,16 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         "--slow-log", type=float, metavar="SECONDS",
         help="flag statements at/above this wall time in the query log",
     )
+    parser.add_argument(
+        "--telemetry", type=int, metavar="PORT",
+        help="serve the HTTP admin plane (/metrics, /healthz, /readyz, "
+        "/slowlog, /stats) on this port (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--telemetry-host", default="127.0.0.1", metavar="ADDRESS",
+        help="bind address for the admin plane (default loopback — it "
+        "has no auth)",
+    )
     options = parser.parse_args(argv)
 
     database = Database()
@@ -717,6 +727,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         cache=not options.no_cache,
         lint=options.lint,
         slow_query_threshold=options.slow_log,
+        telemetry=options.telemetry,
+        telemetry_host=options.telemetry_host,
     )
     server = QueryServer(database, config)
 
@@ -724,6 +736,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         host, port = await server.start()
         print(f"repro server listening on {host}:{port} "
               f"(ctrl-c to drain and stop)")
+        if server.telemetry_address is not None:
+            admin_host, admin_port = server.telemetry_address
+            print(f"telemetry admin plane on "
+                  f"http://{admin_host}:{admin_port}/metrics")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -830,9 +846,14 @@ class RemoteShell:
                 return "quit"
             if command == ".help":
                 self.print(
-                    ".tables  .time  .sql STATEMENT  .begin  .commit  "
-                    ".rollback  .quit"
+                    ".tables  .time  .top  .sql STATEMENT  .begin  "
+                    ".commit  .rollback  .quit"
                 )
+                return None
+            if command == ".top":
+                from repro.obs.telemetry import render_top
+
+                self.print(render_top(self.client.stats()))
                 return None
             if command == ".tables":
                 for entry in self.client.tables():

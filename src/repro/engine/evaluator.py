@@ -33,6 +33,7 @@ from repro.algebra import (
 )
 from repro.errors import EvaluationError, UnknownRelationError
 from repro import obs
+from repro.obs.telemetry import account as _active_account
 from repro.relation import Relation
 
 __all__ = ["evaluate", "Environment"]
@@ -50,12 +51,15 @@ def evaluate(expr: AlgebraExpr, env: Environment) -> Relation:
     bag cardinality exactly, those counters double as correctness
     cross-checks against the physical engine's numbers.
     """
-    if not obs.enabled():
+    if not obs.recording() and _active_account() is None:
         return _evaluate_node(expr, env)
     result = _evaluate_node(expr, env)
     op = type(expr).__name__
     obs.add("operator.rows", len(result), op=op, engine="reference")
     obs.add("operator.pairs", result.distinct_count, op=op, engine="reference")
+    acct = _active_account()
+    if acct is not None and isinstance(expr, RelationRef):
+        acct.rows_scanned += len(result)
     return result
 
 
@@ -92,7 +96,14 @@ def _evaluate_node(expr: AlgebraExpr, env: Environment) -> Relation:
         ]
         return evaluate(expr.operand, env).extended_project(functions, expr.schema)
     if isinstance(expr, Unique):
-        return evaluate(expr.operand, env).distinct()
+        operand = evaluate(expr.operand, env)
+        result = operand.distinct()
+        acct = _active_account()
+        if acct is not None:
+            # δ's in/out bag cardinalities — the measured duplicate factor.
+            acct.dedup_rows_in += len(operand)
+            acct.dedup_rows_out += len(result)
+        return result
     if isinstance(expr, GroupBy):
         operand = evaluate(expr.operand, env)
         refs = list(expr.positions)

@@ -26,6 +26,7 @@ from repro.aggregates import AggregateFunction
 from repro.errors import UnboundAttributeError, UnknownRelationError
 from repro.multiset import Multiset
 from repro import obs
+from repro.obs.telemetry import account as _active_account
 from repro.relation import Relation
 from repro.schema import RelationSchema
 from repro.tuples import Row
@@ -161,6 +162,9 @@ class ScanOp(PhysicalOp):
             relation = env[self.name]
         except KeyError:
             raise UnknownRelationError(self.name) from None
+        acct = _active_account()
+        if acct is not None:
+            acct.rows_scanned += len(relation)
         return relation.pairs()
 
     def label(self) -> str:
@@ -480,10 +484,23 @@ class DistinctOp(PhysicalOp):
     def execute(self, env: Dict[str, Relation]) -> Pairs:
         seen: set[Row] = set()
         add = seen.add
-        for row, _count in self.child.execute(env):
+        acct = _active_account()
+        if acct is None:
+            for row, _count in self.child.execute(env):
+                if row not in seen:
+                    add(row)
+                    yield row, 1
+            return
+        # Metered variant: tally in/out multiplicity for the account's
+        # duplicate factor without touching the unmetered loop above.
+        rows_in = 0
+        for row, count in self.child.execute(env):
+            rows_in += count
             if row not in seen:
                 add(row)
                 yield row, 1
+        acct.dedup_rows_in += rows_in
+        acct.dedup_rows_out += len(seen)
 
 
 class GroupByOp(PhysicalOp):
@@ -563,7 +580,7 @@ def collect(op: PhysicalOp, env: Dict[str, Relation]) -> Relation:
         counts: Dict[Row, int] = dict(op.execute(env))
     else:
         counts = dict(consolidate(op.execute(env)))
-    if obs.enabled():
+    if obs.recording():
         obs.add("engine.collected.pairs", len(counts))
         obs.add("engine.collected.rows", sum(counts.values()))
     # Streams carry positive counts by invariant, so the multiset can

@@ -46,6 +46,7 @@ from repro.expressions.compile import (
 )
 from repro.multiset import Multiset
 from repro import obs
+from repro.obs.telemetry import account as _active_account
 from repro.relation import Relation
 from repro.schema import RelationSchema
 from repro.tuples import Row
@@ -76,10 +77,38 @@ def child_batches(
     Vector children hand over their batches directly; anything else
     (exchange operators, profiler wrappers, extension nodes, pair-stream
     fallbacks) is chunked through :func:`batches_from_pairs`.
+
+    When a :class:`~repro.obs.telemetry.ResourceAccount` is active, the
+    handover is counted — batches served natively vs. adapted from a
+    pair stream — which is how a ``stats`` payload shows whether a
+    workload actually runs vectorized or keeps dropping to the fallback.
     """
     if isinstance(op, VectorOp):
-        return op.batches(env)
-    return batches_from_pairs(op.execute(env), op.schema.degree, batch_size)
+        batches = op.batches(env)
+        vectorized = True
+    else:
+        batches = batches_from_pairs(
+            op.execute(env), op.schema.degree, batch_size
+        )
+        vectorized = False
+    acct = _active_account()
+    if acct is None:
+        return batches
+    return _counted_batches(batches, acct, vectorized)
+
+
+def _counted_batches(
+    batches: Iterator[ColumnBatch],
+    acct: Any,
+    vectorized: bool,
+) -> Iterator[ColumnBatch]:
+    """Yield batches unchanged, crediting the account per batch."""
+    for batch in batches:
+        if vectorized:
+            acct.batches_vectorized += 1
+        else:
+            acct.batches_fallback += 1
+        yield batch
 
 
 class VectorOp(PhysicalOp):
@@ -123,6 +152,9 @@ class VScanOp(VectorOp):
             relation = env[self.name]
         except KeyError:
             raise UnknownRelationError(self.name) from None
+        acct = _active_account()
+        if acct is not None:
+            acct.rows_scanned += len(relation)
         # Bulk list accessors + slicing: no per-pair iteration at all.
         return batches_from_lists(
             relation.rows_list(),
@@ -755,7 +787,11 @@ class VDistinctOp(VectorOp):
         seen: set[Row] = set()
         add = seen.add
         degree = self.schema.degree
+        acct = _active_account()
+        rows_in = 0
         for batch in child_batches(self.child, env, self.batch_size):
+            if acct is not None:
+                rows_in += sum(batch.counts)
             fresh: List[Row] = []
             push = fresh.append
             for row in batch.rows():
@@ -764,6 +800,9 @@ class VDistinctOp(VectorOp):
                     push(row)
             if fresh:
                 yield ColumnBatch.from_rows(fresh, [1] * len(fresh), degree)
+        if acct is not None:
+            acct.dedup_rows_in += rows_in
+            acct.dedup_rows_out += len(seen)
 
     def label(self) -> str:
         return "v-distinct"
@@ -956,19 +995,25 @@ def collect_batches(op: PhysicalOp, env: Dict[str, Relation]) -> Relation:
         from repro.engine.iterators import collect
 
         return collect(op, env)
+    acct = _active_account()
+    batches = op.batches(env)
+    if acct is not None:
+        # The root's batches don't pass through child_batches; count them
+        # here so the vectorized tally covers the whole plan.
+        batches = _counted_batches(batches, acct, True)
     if op.consolidated:
         counts: Dict[Row, int] = {}
-        for batch in op.batches(env):
+        for batch in batches:
             counts.update(zip(batch.rows(), batch.counts))
     else:
         # defaultdict, not Counter: a distinct-heavy stream misses on
         # almost every row, and defaultdict.__missing__ is C-level.
         totals: Dict[Row, int] = defaultdict(int)
-        for batch in op.batches(env):
+        for batch in batches:
             for row, count in zip(batch.rows(), batch.counts):
                 totals[row] += count
         counts = dict(totals)
-    if obs.enabled():
+    if obs.recording():
         obs.add("engine.collected.pairs", len(counts))
         obs.add("engine.collected.rows", sum(counts.values()))
     # Batch streams carry positive counts by invariant; adopt directly.

@@ -39,6 +39,7 @@ class ExecutionContext:
         cache: Optional[object] = None,
         database: Optional[object] = None,
         engine: str = "pairs",
+        account: Optional[object] = None,
     ) -> None:
         #: Working copies of the base relations.
         self.relations: Dict[str, Relation] = dict(relations)
@@ -59,6 +60,11 @@ class ExecutionContext:
         #: Physical operator family: ``"pairs"`` or ``"vector"``
         #: (ignored by the reference evaluator).
         self._engine = engine
+        #: Optional :class:`~repro.obs.telemetry.ResourceAccount` metering
+        #: this context's evaluations (the server attaches one per
+        #: request).  Mutable: a pinned transaction context outlives a
+        #: single request, so each request swaps its own account in.
+        self.account = account
 
     # -- name resolution -------------------------------------------------
 
@@ -117,7 +123,25 @@ class ExecutionContext:
     # -- expression evaluation --------------------------------------------------
 
     def evaluate(self, expr: AlgebraExpr) -> Relation:
-        """Evaluate ``expr`` against the working state."""
+        """Evaluate ``expr`` against the working state.
+
+        When an :attr:`account` is attached, it is activated for the
+        calling thread around the evaluation so the engine's scan /
+        duplicate-elimination / cache call sites can credit it, and the
+        result cardinalities are tallied here.
+        """
+        if self.account is None:
+            return self._evaluate_direct(expr)
+        from repro.obs.telemetry import activate
+
+        with activate(self.account) as acct:
+            result = self._evaluate_direct(expr)
+            acct.evaluations += 1
+            acct.rows_emitted += len(result)  # bag cardinality
+            acct.pairs_emitted += result.distinct_count
+        return result
+
+    def _evaluate_direct(self, expr: AlgebraExpr) -> Relation:
         if self.cache is not None:
             return self.cache.evaluate(expr, self)
         if self._optimizer is not None:

@@ -18,8 +18,16 @@ into.  It has three layers:
 one optional active tracer; while it is ``None`` (the default),
 :func:`span` returns the shared no-op span and :func:`add` /
 :func:`observe` / :func:`gauge` return immediately, so the instrumented
-hot paths pay a single ``None`` check.  The tier-1 suite and the benches
+hot paths pay a single flag check.  The tier-1 suite and the benches
 run entirely in this disabled mode.
+
+**Metrics without spans.**  :func:`enable_metrics` turns on counter /
+histogram / gauge recording *without* a tracer — the mode the query
+server's telemetry plane runs in, where aggregate totals must accumulate
+continuously but per-span bookkeeping would be waste.  :func:`add` /
+:func:`observe` / :func:`gauge` record whenever either a tracer is
+active or metrics-only mode is on (one ``_recording`` flag check);
+:func:`span` still requires a tracer.
 
 Usage::
 
@@ -43,11 +51,26 @@ from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
     export_jsonl,
+    export_stitched_trace,
     render_summary,
+    stitch_trace_events,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.querylog import QueryLog, QueryRecord
-from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+from repro.obs.telemetry import (
+    ResourceAccount,
+    TelemetryServer,
+    render_prometheus,
+    render_top,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "Tracer",
@@ -67,9 +90,20 @@ __all__ = [
     "render_summary",
     "chrome_trace_events",
     "export_chrome_trace",
+    "stitch_trace_events",
+    "export_stitched_trace",
+    "ResourceAccount",
+    "TelemetryServer",
+    "render_prometheus",
+    "render_top",
+    "new_trace_id",
+    "new_span_id",
     "enable",
     "disable",
     "enabled",
+    "enable_metrics",
+    "disable_metrics",
+    "recording",
     "tracer",
     "metrics",
     "span",
@@ -79,10 +113,14 @@ __all__ = [
     "reset",
 ]
 
-#: The active tracer; None means observability is disabled.
+#: The active tracer; None means span tracing is disabled.
 _tracer: Optional[Tracer] = None
 #: The process-wide registry (kept across enable/disable cycles).
 _metrics = MetricsRegistry()
+#: True while metrics-only recording is on (independent of the tracer).
+_metrics_only = False
+#: Derived: metrics calls record iff a tracer is active OR metrics-only.
+_recording = False
 
 
 def enable(sink: Optional[Any] = None, max_spans: int = 50_000) -> Tracer:
@@ -92,24 +130,58 @@ def enable(sink: Optional[Any] = None, max_spans: int = 50_000) -> Tracer:
     :class:`JsonLinesSink`).  Re-enabling replaces the active tracer but
     keeps the accumulated metrics.
     """
-    global _tracer
+    global _tracer, _recording
     _tracer = Tracer(sink=sink, max_spans=max_spans)
+    _recording = True
     return _tracer
 
 
 def disable() -> None:
-    """Turn observability off (closing the tracer's sink, if any)."""
-    global _tracer
+    """Turn span tracing off (closing the tracer's sink, if any).
+
+    Metrics-only recording, if separately enabled, stays on.
+    """
+    global _tracer, _recording
     if _tracer is not None and _tracer.sink is not None:
         close = getattr(_tracer.sink, "close", None)
         if close is not None:
             close()
     _tracer = None
+    _recording = _metrics_only
 
 
 def enabled() -> bool:
     """True while a tracer is active."""
     return _tracer is not None
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Record counters/histograms/gauges without span tracing.
+
+    The query server turns this on when its telemetry plane is
+    configured: ``/metrics`` needs live totals, but per-span tracing
+    under production load would be pure overhead.  Returns the registry.
+    """
+    global _metrics_only, _recording
+    _metrics_only = True
+    _recording = True
+    return _metrics
+
+
+def disable_metrics() -> None:
+    """Turn metrics-only recording off (an active tracer still records)."""
+    global _metrics_only, _recording
+    _metrics_only = False
+    _recording = _tracer is not None
+
+
+def recording() -> bool:
+    """True while metric updates are being recorded (tracer or metrics-only).
+
+    Call sites computing a non-trivial amount (``len``, a sum) before an
+    :func:`add` should guard on this, mirroring ``span.recording``.
+    """
+    return _recording
 
 
 def tracer() -> Optional[Tracer]:
@@ -131,27 +203,28 @@ def span(name: str, **attrs: Any) -> Union[Span, NullSpan]:
 
 
 def add(name: str, amount: int = 1, **labels: Any) -> None:
-    """Increment a counter — only while observability is enabled."""
-    if _tracer is None:
+    """Increment a counter — only while recording (tracer or metrics-only)."""
+    if not _recording:
         return
     _metrics.counter(name, **labels).inc(amount)
 
 
 def observe(name: str, value: float, **labels: Any) -> None:
-    """Record a histogram observation — only while enabled."""
-    if _tracer is None:
+    """Record a histogram observation — only while recording."""
+    if not _recording:
         return
     _metrics.histogram(name, **labels).observe(value)
 
 
 def gauge(name: str, value: Any, **labels: Any) -> None:
-    """Set a gauge — only while enabled."""
-    if _tracer is None:
+    """Set a gauge — only while recording."""
+    if not _recording:
         return
     _metrics.gauge(name, **labels).set(value)
 
 
 def reset() -> None:
-    """Disable tracing and wipe the registry (test isolation helper)."""
+    """Disable all recording and wipe the registry (test isolation helper)."""
+    disable_metrics()
     disable()
     _metrics.reset()

@@ -22,7 +22,8 @@ before parents).
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, List, Optional, Union
+import os
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -33,6 +34,8 @@ __all__ = [
     "render_summary",
     "chrome_trace_events",
     "export_chrome_trace",
+    "stitch_trace_events",
+    "export_stitched_trace",
 ]
 
 
@@ -214,6 +217,164 @@ def export_chrome_trace(
     ``chrome://tracing`` and https://ui.perfetto.dev as-is.
     """
     events = chrome_trace_events(tracer, analyze)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=_default)
+    else:
+        json.dump(payload, target, default=_default)
+    return len(events)
+
+
+#: Stitched-timeline process ids: the client lane and the server lane.
+_CLIENT_PID = 1
+_SERVER_PID = 2
+
+#: A stitch source: a tracer, a JSONL path, or an iterable of records.
+StitchSource = Union[Tracer, str, "os.PathLike[str]", Iterable[Dict[str, Any]]]
+
+
+def _span_records(source: Optional[StitchSource]) -> List[Dict[str, Any]]:
+    """Span records from a tracer, a JSONL file, or a record iterable."""
+    if source is None:
+        return []
+    if isinstance(source, Tracer):
+        return [span.to_record() for span in source.ordered()]
+    if isinstance(source, (str, os.PathLike)):
+        records = []
+        with open(source, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("event") == "span":
+                    records.append(record)
+    else:
+        records = [
+            record for record in source if record.get("event") == "span"
+        ]
+    return sorted(records, key=lambda record: record["index"])
+
+
+def stitch_trace_events(
+    client: Optional[StitchSource],
+    server: Optional[StitchSource],
+) -> List[Dict[str, Any]]:
+    """One Chrome/Perfetto timeline from client-side and server-side spans.
+
+    The wire protocol propagates trace context: every client request
+    carries a ``trace_id`` (per connection) and a ``span_id`` (per
+    request), and the server's ``server.request`` span echoes them as
+    ``trace_id``/``parent_span_id`` attributes.  This function joins the
+    two span sets on exactly that key, so one query's
+    admission-wait → write-lock-wait → snapshot-pin → execute → commit
+    phases appear *inside* its client-side request span even though the
+    two sides traced independently (possibly in different processes).
+
+    Each source is a :class:`Tracer`, a JSONL trace file path, or an
+    iterable of span records.  Client spans go on process 1, server
+    spans on process 2.  A matched server request span (and its subtree
+    of phase spans) is shifted so it centers inside the matching client
+    span — the midpoint correction absorbs the clock offset between the
+    two processes, since the client span must strictly contain the
+    server work plus symmetric-ish network time.  Unmatched server spans
+    fall back to aligning the two traces' origins.  Every server event
+    carries a ``stitched`` arg telling the two cases apart.
+    """
+    client_records = _span_records(client)
+    server_records = _span_records(server)
+    events: List[Dict[str, Any]] = []
+    if not client_records and not server_records:
+        return events
+    if client_records:
+        events.append(
+            {"ph": "M", "pid": _CLIENT_PID, "tid": 1, "name": "process_name",
+             "args": {"name": "client"}}
+        )
+    if server_records:
+        events.append(
+            {"ph": "M", "pid": _SERVER_PID, "tid": 1, "name": "process_name",
+             "args": {"name": "server"}}
+        )
+    starts = [record["start"] for record in client_records]
+    client_base = min(starts) if starts else min(
+        record["start"] for record in server_records
+    )
+    #: Client request spans keyed by the propagated (trace_id, span_id).
+    requests: Dict[Any, Dict[str, Any]] = {}
+    for record in client_records:
+        attrs = record.get("attrs", {})
+        trace_id = attrs.get("trace_id")
+        span_id = attrs.get("span_id")
+        if trace_id and span_id:
+            requests[(trace_id, span_id)] = record
+        events.append(
+            {
+                "ph": "X",
+                "pid": _CLIENT_PID,
+                "tid": 1,
+                "name": record["name"],
+                "ts": round((record["start"] - client_base) * 1e6, 3),
+                "dur": round(record["seconds"] * 1e6, 3),
+                "args": dict(attrs),
+            }
+        )
+    server_starts = [record["start"] for record in server_records]
+    default_offset = (
+        client_base - min(server_starts) if server_starts else 0.0
+    )
+    children: Dict[Any, List[int]] = {}
+    for record in server_records:
+        children.setdefault(record.get("parent"), []).append(record["index"])
+    offsets: Dict[int, float] = {}
+    for record in server_records:
+        attrs = record.get("attrs", {})
+        key = (attrs.get("trace_id"), attrs.get("parent_span_id"))
+        match = requests.get(key)
+        if match is None:
+            continue
+        offset = (
+            match["start"]
+            + (match["seconds"] - record["seconds"]) / 2.0
+            - record["start"]
+        )
+        stack = [record["index"]]
+        while stack:
+            index = stack.pop()
+            offsets[index] = offset
+            stack.extend(children.get(index, []))
+    for record in server_records:
+        offset = offsets.get(record["index"], default_offset)
+        args = dict(record.get("attrs", {}))
+        args["stitched"] = record["index"] in offsets
+        events.append(
+            {
+                "ph": "X",
+                "pid": _SERVER_PID,
+                "tid": 1,
+                "name": record["name"],
+                "ts": round(
+                    (record["start"] + offset - client_base) * 1e6, 3
+                ),
+                "dur": round(record["seconds"] * 1e6, 3),
+                "args": args,
+            }
+        )
+    return events
+
+
+def export_stitched_trace(
+    target: Union[str, IO[str]],
+    client: Optional[StitchSource],
+    server: Optional[StitchSource],
+) -> int:
+    """Write a stitched client+server Perfetto trace; returns event count.
+
+    Same ``{"traceEvents": [...]}`` envelope as
+    :func:`export_chrome_trace`, loadable in https://ui.perfetto.dev.
+    """
+    events = stitch_trace_events(client, server)
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     if isinstance(target, str):
         with open(target, "w", encoding="utf-8") as handle:

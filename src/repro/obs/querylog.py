@@ -25,7 +25,7 @@ class QueryRecord:
 
     __slots__ = (
         "kind", "text", "seconds", "plan", "rows", "distinct",
-        "logical_time", "slow", "fingerprint",
+        "logical_time", "slow", "fingerprint", "resources", "trace_id",
     )
 
     def __init__(
@@ -39,6 +39,8 @@ class QueryRecord:
         logical_time: Optional[int],
         slow: bool,
         fingerprint: Optional[str] = None,
+        resources: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.kind = kind
         self.text = text
@@ -51,6 +53,12 @@ class QueryRecord:
         #: Normal-form plan-cache fingerprint — correlates a slow query
         #: with its :class:`~repro.cache.QueryCache` entry.
         self.fingerprint = fingerprint
+        #: The statement's :class:`~repro.obs.telemetry.ResourceAccount`
+        #: as a dict (rows scanned/emitted, dedup in/out, cache h/m, ...).
+        self.resources = resources
+        #: Propagated wire trace id — joins a slow-log entry to its spans
+        #: in a stitched client/server trace.
+        self.trace_id = trace_id
 
     def to_record(self) -> Dict[str, Any]:
         """JSON-friendly form (one JSONL event)."""
@@ -71,6 +79,10 @@ class QueryRecord:
             record["logical_time"] = self.logical_time
         if self.fingerprint is not None:
             record["fingerprint"] = self.fingerprint
+        if self.resources is not None:
+            record["resources"] = self.resources
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         return record
 
     def __repr__(self) -> str:
@@ -107,6 +119,8 @@ class QueryLog:
         distinct: Optional[int] = None,
         logical_time: Optional[int] = None,
         fingerprint: Optional[str] = None,
+        resources: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> QueryRecord:
         """Append one entry; classifies it against the slow threshold."""
         slow = (
@@ -115,7 +129,7 @@ class QueryLog:
         )
         entry = QueryRecord(
             kind, text, seconds, plan, rows, distinct, logical_time, slow,
-            fingerprint,
+            fingerprint, resources, trace_id,
         )
         self.records.append(entry)
         self.recorded += 1

@@ -25,10 +25,38 @@ so an instrumented call site pays one ``None`` check and an empty
 
 from __future__ import annotations
 
+import secrets
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["Span", "NullSpan", "NULL_SPAN", "Tracer"]
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "new_trace_id",
+    "new_span_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 hex chars, W3C-traceparent sized).
+
+    The server client mints one per connection and carries it in every
+    request envelope, so all spans of one wire session — on both sides of
+    the socket — share it and can be stitched into a single timeline.
+    """
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 hex chars).
+
+    Minted per request on the client; the server echoes it as the
+    ``parent_span_id`` of its request-handling span, which is the join
+    key :func:`repro.obs.export.stitch_trace_events` matches on.
+    """
+    return secrets.token_hex(8)
 
 
 class Span:

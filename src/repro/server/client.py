@@ -20,7 +20,9 @@ import json
 import socket
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.errors import ProtocolError, ServerError
+from repro.obs.trace import new_span_id, new_trace_id
 from repro.relation import Relation
 from repro.server.protocol import (
     MAX_LINE_BYTES,
@@ -59,6 +61,10 @@ class ServerClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
         self._next_id = 0
+        #: This connection's trace id — every request envelope carries it
+        #: (with a fresh per-request span id), so the server's spans link
+        #: back to this client's and a stitched export joins 1:1.
+        self.trace_id = new_trace_id()
         #: The server's hello banner: name, protocol version, relation
         #: names, logical time, and this connection's ``client_id``.
         self.hello = self._read_message()
@@ -91,9 +97,18 @@ class ServerClient:
         document itself.
         """
         self._next_id += 1
-        payload = {"id": self._next_id, "op": op, **fields}
-        self._sock.sendall(encode_message(payload))
-        response = self._read_message()
+        span_id = new_span_id()
+        payload = {
+            "id": self._next_id,
+            "op": op,
+            "trace": {"trace_id": self.trace_id, "span_id": span_id},
+            **fields,
+        }
+        with obs.span(
+            "client.request", op=op, trace_id=self.trace_id, span_id=span_id
+        ):
+            self._sock.sendall(encode_message(payload))
+            response = self._read_message()
         if not response.get("ok", False):
             raise RemoteError(response.get("error", {}))
         return response
@@ -142,6 +157,16 @@ class ServerClient:
     def tables(self) -> List[Dict[str, Any]]:
         """Name, row count, and epoch of every base relation."""
         return list(self.request("tables")["relations"])
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's aggregated statistics document.
+
+        Same shape as the admin plane's ``/stats`` endpoint: health,
+        headline totals, per-connection resource accounts, the metrics
+        snapshot, and query-log tallies.  Feed it to
+        :func:`repro.obs.render_top` for the shell's ``.top`` screen.
+        """
+        return dict(self.request("stats")["stats"])
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -51,6 +51,8 @@ from repro.errors import (
 )
 from repro.language.context import ExecutionContext
 from repro.obs import QueryLog
+from repro.obs.telemetry import ResourceAccount, TelemetryServer
+from repro.obs.trace import new_span_id
 from repro.optimizer import optimize
 from repro.relation import Relation
 from repro.server.protocol import (
@@ -93,6 +95,8 @@ class ServerConfig:
         cache: Any = True,
         lint: Optional[str] = None,
         slow_query_threshold: Optional[float] = None,
+        telemetry: Optional[int] = None,
+        telemetry_host: str = "127.0.0.1",
     ) -> None:
         if engine not in ("reference", "pairs", "vector"):
             raise ValueError(
@@ -133,6 +137,15 @@ class ServerConfig:
         self.lint = lint
         #: Seconds at/above which the query log flags a statement slow.
         self.slow_query_threshold = slow_query_threshold
+        #: Port for the HTTP admin plane (``/metrics``, ``/healthz``,
+        #: ``/readyz``, ``/slowlog``, ``/stats``); 0 picks an ephemeral
+        #: port, None (the default) runs without telemetry.  Configuring
+        #: a port also turns on metrics-only recording
+        #: (:func:`repro.obs.enable_metrics`) for the process.
+        self.telemetry = telemetry
+        #: Interface the admin plane binds (loopback by default — the
+        #: admin plane has no auth; expose it deliberately).
+        self.telemetry_host = telemetry_host
 
 
 class QueryServer:
@@ -178,21 +191,48 @@ class QueryServer:
         self._draining = False
         self._inflight = 0
         self._idle: Optional[asyncio.Event] = None
+        #: The HTTP admin plane, when config.telemetry is set.
+        self.telemetry: Optional[TelemetryServer] = None
+        self._metrics_enabled_here = False
+        self._started_at: Optional[float] = None
+        #: When the write lock was acquired (perf_counter), while held.
+        self._write_lock_acquired_at: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting connections; returns ``(host, port)``."""
+        """Bind and start accepting connections; returns ``(host, port)``.
+
+        When ``config.telemetry`` is set, the HTTP admin plane starts on
+        the same event loop and metrics-only recording is switched on so
+        ``/metrics`` has live totals to serve.
+        """
         self._write_lock = asyncio.Lock()
         self._admission = asyncio.Semaphore(self.config.max_inflight)
         self._idle = asyncio.Event()
         self._idle.set()
+        self._started_at = time.perf_counter()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
             self.config.port,
             limit=MAX_LINE_BYTES + 1024,
         )
+        if self.config.telemetry is not None:
+            if not obs.recording():
+                obs.enable_metrics()
+                self._metrics_enabled_here = True
+            self.telemetry = TelemetryServer(
+                host=self.config.telemetry_host,
+                port=self.config.telemetry,
+                health=self.health_payload,
+                stats=self.stats_payload,
+                slowlog=lambda: [
+                    record.to_record()
+                    for record in self.query_log.tail(limit=100)
+                ],
+            )
+            await self.telemetry.start()
         return self.address
 
     @property
@@ -203,6 +243,80 @@ class QueryServer:
         sock = self._server.sockets[0]
         host, port = sock.getsockname()[:2]
         return host, port
+
+    @property
+    def telemetry_address(self) -> Optional[Tuple[str, int]]:
+        """The admin plane's ``(host, port)``, or None when not configured."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.address
+
+    # -- introspection -----------------------------------------------------
+
+    def health_payload(self) -> Dict[str, Any]:
+        """Liveness/readiness snapshot served by ``/healthz``/``/readyz``.
+
+        ``admission_saturated`` mirrors the admission semaphore: when
+        every executor slot is occupied a new request would queue (and
+        possibly be refused), so ``/readyz`` reports not-ready.
+        """
+        held = self._write_lock is not None and self._write_lock.locked()
+        held_seconds = 0.0
+        if held and self._write_lock_acquired_at is not None:
+            held_seconds = time.perf_counter() - self._write_lock_acquired_at
+        return {
+            "status": "draining" if self._draining else "ok",
+            "draining": self._draining,
+            "connections": len(self._sessions),
+            "max_connections": self.config.max_connections,
+            "inflight": self._inflight,
+            "max_inflight": self.config.max_inflight,
+            "admission_saturated": self._inflight >= self.config.max_inflight,
+            "write_lock": {
+                "held": held,
+                "held_seconds": round(held_seconds, 6),
+            },
+            "logical_time": self.database.logical_time,
+            "uptime_seconds": (
+                round(time.perf_counter() - self._started_at, 3)
+                if self._started_at is not None
+                else None
+            ),
+        }
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """Aggregated server statistics (``/stats``, the ``stats`` op).
+
+        One composite document: health, registry totals for the headline
+        counters, one :meth:`~repro.server.sessions.ServerSession.describe`
+        record per live connection (with its accumulated resource
+        account), the full metrics snapshot (the stable schema of
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`), and query
+        log tallies.
+        """
+        registry = obs.metrics()
+        totals = {
+            "requests": registry.total("server.requests"),
+            "errors": registry.total("server.errors"),
+            "timeouts": registry.total("server.timeouts"),
+            "busy": registry.total("server.busy"),
+            "refused": registry.total("server.refused"),
+            "admitted": registry.total("server.admitted"),
+            "commits": registry.total("server.transactions.committed"),
+            "rollbacks": registry.total("server.transactions.rolled_back"),
+        }
+        return {
+            "server": {"name": self.config.name, **self.health_payload()},
+            "totals": totals,
+            "connections": [
+                session.describe() for session in self._sessions.values()
+            ],
+            "metrics": registry.snapshot(),
+            "querylog": {
+                "recorded": self.query_log.recorded,
+                "slow": self.query_log.slow_count,
+            },
+        }
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -238,6 +352,14 @@ class QueryServer:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._executor.shutdown(wait=False)
+        # The admin plane goes down last so a scraper can watch
+        # ``/healthz`` flip to draining during the drain window above.
+        if self.telemetry is not None:
+            await self.telemetry.stop()
+            self.telemetry = None
+        if self._metrics_enabled_here:
+            obs.disable_metrics()
+            self._metrics_enabled_here = False
 
     # -- connection handling ----------------------------------------------
 
@@ -346,7 +468,10 @@ class QueryServer:
         request_id: Any = None
         op = "?"
         text = ""
+        trace_id: Optional[str] = None
+        account: Optional[ResourceAccount] = None
         self._inflight += 1
+        obs.gauge("server.inflight", self._inflight)
         if self._idle is not None:
             self._idle.clear()
         try:
@@ -354,11 +479,28 @@ class QueryServer:
             request_id = message.get("id")
             op = message["op"]
             text = str(message.get("q", ""))
+            # Propagated wire trace context (see docs/server.md): the
+            # server-side request span links to the client's span so a
+            # stitched export shows both sides of one query.
+            trace = message.get("trace") or {}
+            trace_id = str(trace.get("trace_id") or "") or None
+            parent_span_id = str(trace.get("span_id") or "") or None
             if self._draining:
                 raise ServerShutdownError("server is draining")
             session.requests += 1
-            with obs.span("server.request", op=op, client=session.client_id):
-                response = await self._dispatch(session, op, message)
+            if op in ("xra", "sql"):
+                account = ResourceAccount()
+            span_attrs: Dict[str, Any] = {
+                "op": op,
+                "client": session.client_id,
+            }
+            if trace_id is not None:
+                span_attrs["trace_id"] = trace_id
+                span_attrs["parent_span_id"] = parent_span_id
+            with obs.span("server.request", **span_attrs) as span:
+                if span.recording:
+                    span.set(span_id=new_span_id())
+                response = await self._dispatch(session, op, message, account)
             obs.add("server.requests", op=op, client=session.client_id)
             response.setdefault("ok", True)
         except Exception as error:  # every failure becomes a wire error
@@ -374,29 +516,77 @@ class QueryServer:
             }
         finally:
             self._inflight -= 1
+            obs.gauge("server.inflight", self._inflight)
             if self._idle is not None and self._inflight == 0:
                 self._idle.set()
         seconds = time.perf_counter() - started
+        obs.observe("server.request_seconds", seconds, op=op)
         response["seconds"] = round(seconds, 6)
         if request_id is not None:
             response["id"] = request_id
+        if account is not None:
+            session.resources.merge(account)
+            self._emit_session_gauges(session)
+            response["resources"] = account.to_dict()
         if op in ("xra", "sql"):
             self.query_log.record(
                 kind=f"client-{session.client_id}:{op}",
                 text=text,
                 seconds=seconds,
                 logical_time=self.database.logical_time,
+                resources=account.to_dict() if account is not None else None,
+                trace_id=trace_id,
             )
         return response
 
+    def _emit_session_gauges(self, session: ServerSession) -> None:
+        """Per-connection resource gauges (labelled by client id)."""
+        if not obs.recording():
+            return
+        client = session.client_id
+        resources = session.resources
+        obs.gauge("server.session.requests", session.requests, client=client)
+        obs.gauge(
+            "server.session.statements", session.statements, client=client
+        )
+        obs.gauge(
+            "server.session.rows_scanned",
+            resources.rows_scanned,
+            client=client,
+        )
+        obs.gauge(
+            "server.session.rows_emitted",
+            resources.rows_emitted,
+            client=client,
+        )
+        obs.gauge(
+            "server.session.cache_hits", resources.cache_hits, client=client
+        )
+        obs.gauge(
+            "server.session.cache_misses",
+            resources.cache_misses,
+            client=client,
+        )
+        ratio = resources.dedup_ratio
+        if ratio is not None:
+            obs.gauge(
+                "server.session.dedup_ratio", round(ratio, 4), client=client
+            )
+
     async def _dispatch(
-        self, session: ServerSession, op: str, message: Dict[str, Any]
+        self,
+        session: ServerSession,
+        op: str,
+        message: Dict[str, Any],
+        account: Optional[ResourceAccount] = None,
     ) -> Dict[str, Any]:
         if op == "ping":
             return {
                 "pong": True,
                 "logical_time": self.database.logical_time,
             }
+        if op == "stats":
+            return {"stats": self.stats_payload()}
         if op == "tables":
             return {
                 "relations": [
@@ -431,12 +621,18 @@ class QueryServer:
             report = None
             parsed = session.parse_sql(text)
         session.statements += len(parsed.statements)
+        if account is not None:
+            account.statements += len(parsed.statements)
         if session.in_transaction:
-            response = await self._op_statements_in_txn(session, parsed)
+            response = await self._op_statements_in_txn(
+                session, parsed, account
+            )
         elif parsed.read_only:
-            response = await self._op_autocommit_read(session, parsed)
+            response = await self._op_autocommit_read(session, parsed, account)
         else:
-            response = await self._op_autocommit_write(session, parsed)
+            response = await self._op_autocommit_write(
+                session, parsed, account
+            )
         if report is not None and self.config.lint == "warn":
             findings = [diagnostic.to_dict() for diagnostic in report]
             if findings:
@@ -445,7 +641,11 @@ class QueryServer:
 
     # -- operations --------------------------------------------------------
 
-    def _make_context(self, relations: Dict[str, Relation]) -> ExecutionContext:
+    def _make_context(
+        self,
+        relations: Dict[str, Relation],
+        account: Optional[ResourceAccount] = None,
+    ) -> ExecutionContext:
         return ExecutionContext(
             relations,
             use_physical_engine=self.config.engine != "reference",
@@ -455,12 +655,24 @@ class QueryServer:
             engine=self.config.engine
             if self.config.engine != "reference"
             else "pairs",
+            account=account,
         )
 
+    def _pin_context(
+        self, account: Optional[ResourceAccount] = None
+    ) -> ExecutionContext:
+        """Pin the current snapshot into a fresh execution context.
+
+        Pins happen on the event loop, where installs happen too —
+        snapshot, epochs, and logical time are mutually consistent.
+        """
+        with obs.span("server.snapshot.pin"):
+            return self._make_context(
+                dict(self.database.snapshot()), account
+            )
+
     def _op_begin(self, session: ServerSession) -> Dict[str, Any]:
-        # Pins happen on the event loop, where installs happen too —
-        # snapshot, epochs, and logical time are mutually consistent.
-        context = self._make_context(dict(self.database.snapshot()))
+        context = self._pin_context()
         session.begin(
             context, self.database.epochs(), self.database.logical_time
         )
@@ -471,10 +683,13 @@ class QueryServer:
         }
 
     async def _op_autocommit_read(
-        self, session: ServerSession, parsed: ParsedScript
+        self,
+        session: ServerSession,
+        parsed: ParsedScript,
+        account: Optional[ResourceAccount] = None,
     ) -> Dict[str, Any]:
         pinned_time = self.database.logical_time
-        context = self._make_context(dict(self.database.snapshot()))
+        context = self._pin_context(account)
         outputs = await self._run_in_executor(
             lambda: session.run_statements(parsed.statements, context)
         )
@@ -486,7 +701,10 @@ class QueryServer:
         }
 
     async def _op_autocommit_write(
-        self, session: ServerSession, parsed: ParsedScript
+        self,
+        session: ServerSession,
+        parsed: ParsedScript,
+        account: Optional[ResourceAccount] = None,
     ) -> Dict[str, Any]:
         await self._acquire_write_lock()
         hold_lock_past_return: List["asyncio.Future[Any]"] = []
@@ -514,9 +732,7 @@ class QueryServer:
                         if isinstance(item, StatementItem)
                         else item.statements
                     )
-                    context = self._make_context(
-                        dict(self.database.snapshot())
-                    )
+                    context = self._pin_context(account)
                     outputs.extend(
                         await self._run_in_executor(
                             lambda s=statements, c=context: (
@@ -544,7 +760,10 @@ class QueryServer:
         }
 
     async def _op_statements_in_txn(
-        self, session: ServerSession, parsed: ParsedScript
+        self,
+        session: ServerSession,
+        parsed: ParsedScript,
+        account: Optional[ResourceAccount] = None,
     ) -> Dict[str, Any]:
         txn = session.require_txn()
         if parsed.has_ddl:
@@ -552,6 +771,9 @@ class QueryServer:
                 "DDL is not allowed inside a transaction; "
                 "commit or rollback first"
             )
+        # The pinned context outlives this request; meter it with this
+        # request's account for the duration of the statement batch.
+        txn.context.account = account
         try:
             outputs = await self._run_in_executor(
                 lambda: session.run_statements(parsed.statements, txn.context)
@@ -564,6 +786,9 @@ class QueryServer:
                 "server.transactions.rolled_back", client=session.client_id
             )
             raise
+        finally:
+            if session.txn is not None:
+                txn.context.account = None
         txn.written.update(parsed.write_targets())
         return {
             "results": [relation_to_wire(relation) for relation in outputs],
@@ -589,26 +814,27 @@ class QueryServer:
         await self._acquire_write_lock()
         hold_lock_past_return: List["asyncio.Future[Any]"] = []
         try:
-            try:
-                session.conflict_check(txn, self.database.epochs())
-                merged, written = session.merged_post_state(
-                    txn, dict(self.database.snapshot())
-                )
-                await self._run_in_executor(
-                    lambda: session.check_constraints(
-                        self.constraints, merged
-                    ),
-                    abandoned=hold_lock_past_return,
-                )
-            except Exception:
-                session.txn = None
-                obs.add(
-                    "server.transactions.rolled_back",
-                    client=session.client_id,
-                )
-                raise
-            with self._install_guard():
-                self.database.install(merged)
+            with obs.span("server.commit", client=session.client_id):
+                try:
+                    session.conflict_check(txn, self.database.epochs())
+                    merged, written = session.merged_post_state(
+                        txn, dict(self.database.snapshot())
+                    )
+                    await self._run_in_executor(
+                        lambda: session.check_constraints(
+                            self.constraints, merged
+                        ),
+                        abandoned=hold_lock_past_return,
+                    )
+                except Exception:
+                    session.txn = None
+                    obs.add(
+                        "server.transactions.rolled_back",
+                        client=session.client_id,
+                    )
+                    raise
+                with self._install_guard():
+                    self.database.install(merged)
             session.txn = None
             obs.add(
                 "server.transactions.committed", client=session.client_id
@@ -632,16 +858,21 @@ class QueryServer:
 
     async def _acquire_write_lock(self) -> None:
         assert self._write_lock is not None
+        started = time.perf_counter()
         try:
-            await asyncio.wait_for(
-                self._write_lock.acquire(), self.config.admission_timeout
-            )
+            with obs.span("server.write_lock.wait"):
+                await asyncio.wait_for(
+                    self._write_lock.acquire(), self.config.admission_timeout
+                )
         except asyncio.TimeoutError:
             obs.add("server.busy", where="write-lock")
             raise ServerBusyError(
                 f"write lock not acquired within "
                 f"{self.config.admission_timeout:g}s; retry later"
             ) from None
+        now = time.perf_counter()
+        obs.observe("server.write_lock_wait_seconds", now - started)
+        self._write_lock_acquired_at = now
 
     def _release_write_lock(
         self, abandoned: List["asyncio.Future[Any]"]
@@ -654,9 +885,19 @@ class QueryServer:
         """
         write_lock = self._write_lock
         assert write_lock is not None
+
+        def _observe_hold() -> None:
+            if self._write_lock_acquired_at is not None:
+                obs.observe(
+                    "server.write_lock_hold_seconds",
+                    time.perf_counter() - self._write_lock_acquired_at,
+                )
+                self._write_lock_acquired_at = None
+
         pending = [future for future in abandoned if not future.done()]
         if not pending:
             if write_lock.locked():
+                _observe_hold()
                 write_lock.release()
             return
         remaining = {"n": len(pending)}
@@ -664,6 +905,7 @@ class QueryServer:
         def _on_done(_future: "asyncio.Future[Any]") -> None:
             remaining["n"] -= 1
             if remaining["n"] == 0 and write_lock.locked():
+                _observe_hold()
                 write_lock.release()
 
         for future in pending:
@@ -684,23 +926,31 @@ class QueryServer:
         the still-running future on timeout for lock-transfer handling.
         """
         assert self._admission is not None
+        admission_started = time.perf_counter()
         try:
-            await asyncio.wait_for(
-                self._admission.acquire(), self.config.admission_timeout
-            )
+            with obs.span("server.admission.wait"):
+                await asyncio.wait_for(
+                    self._admission.acquire(), self.config.admission_timeout
+                )
         except asyncio.TimeoutError:
             obs.add("server.busy", where="executor")
             raise ServerBusyError(
                 f"executor pool saturated for "
                 f"{self.config.admission_timeout:g}s; retry later"
             ) from None
+        obs.add("server.admitted")
+        obs.observe(
+            "server.admission_wait_seconds",
+            time.perf_counter() - admission_started,
+        )
         loop = asyncio.get_running_loop()
         future = loop.run_in_executor(self._executor, fn)
         future.add_done_callback(self._release_admission)
         try:
-            return await asyncio.wait_for(
-                asyncio.shield(future), self.config.query_timeout
-            )
+            with obs.span("server.execute"):
+                return await asyncio.wait_for(
+                    asyncio.shield(future), self.config.query_timeout
+                )
         except asyncio.TimeoutError:
             if abandoned is not None:
                 abandoned.append(future)

@@ -11,7 +11,19 @@ Requests::
     {"id": 1, "op": "xra", "q": "? proj[%1](beer);"}
     {"id": 2, "op": "sql", "q": "SELECT name FROM beer"}
     {"id": 3, "op": "begin"}        {"op": "commit"}   {"op": "rollback"}
-    {"id": 4, "op": "ping"}         {"op": "tables"}
+    {"id": 4, "op": "ping"}         {"op": "tables"}   {"op": "stats"}
+
+Every request may carry a ``trace`` object with client-minted hex ids::
+
+    {"id": 5, "op": "xra", "q": "...",
+     "trace": {"trace_id": "4bf9...32 hex...", "span_id": "a1b2c3d4e5f60718"}}
+
+The server opens its request span with that ``trace_id`` and records the
+client's ``span_id`` as its parent, so a stitched export
+(:func:`repro.obs.export_stitched_trace`) shows both processes on one
+timeline.  Responses to ``xra``/``sql`` additionally carry a
+``resources`` object — the request's
+:class:`~repro.obs.telemetry.ResourceAccount` tallies.
 
 Responses::
 
@@ -64,7 +76,10 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: Every operation the server understands.
 OPS = frozenset(
-    {"xra", "sql", "begin", "commit", "rollback", "ping", "tables", "close"}
+    {
+        "xra", "sql", "begin", "commit", "rollback", "ping", "tables",
+        "stats", "close",
+    }
 )
 
 

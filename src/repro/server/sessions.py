@@ -29,6 +29,7 @@ from repro.errors import (
     TransactionConflictError,
 )
 from repro.language.context import ExecutionContext
+from repro.obs.telemetry import ResourceAccount
 from repro.language.statements import (
     Assign,
     Delete,
@@ -120,6 +121,19 @@ class ServerSession:
         #: Request/statement counters surfaced as per-connection metrics.
         self.requests = 0
         self.statements = 0
+        #: Lifetime resource tallies — every request's
+        #: :class:`~repro.obs.telemetry.ResourceAccount` is merged in.
+        self.resources = ResourceAccount()
+
+    def describe(self) -> Dict[str, object]:
+        """This connection's row in the ``stats`` payload."""
+        return {
+            "client": self.client_id,
+            "requests": self.requests,
+            "statements": self.statements,
+            "in_transaction": self.in_transaction,
+            "resources": self.resources.to_dict(),
+        }
 
     # -- parsing / classification ----------------------------------------
 

@@ -71,6 +71,48 @@ def iter_rows(
         yield name, old, new, new / old
 
 
+#: The E9 pair that measures telemetry overhead: (baseline, telemetry-on).
+TELEMETRY_PAIR = (
+    "bench_e9_xra_parallel.py::test_xra_script_end_to_end",
+    "bench_e9_xra_parallel.py::test_xra_script_telemetry_on",
+)
+
+
+def _find(index: BenchIndex, suffix: str) -> dict | None:
+    for key, (_, record) in index.items():
+        if key.endswith(suffix):
+            return record
+    return None
+
+
+def telemetry_overhead(index: BenchIndex, metric: str, budget: float) -> None:
+    """Warn (never fail) when telemetry-on E9 exceeds its overhead budget.
+
+    Compares the two fresh results against each other — same machine,
+    same run — so the check is immune to cross-machine noise that makes
+    baseline comparisons advisory.
+    """
+    base = _find(index, TELEMETRY_PAIR[0])
+    instrumented = _find(index, TELEMETRY_PAIR[1])
+    if base is None or instrumented is None:
+        return
+    old = base.get(metric)
+    new = instrumented.get(metric)
+    if not old or new is None:
+        return
+    overhead = (new / old - 1.0) * 100.0
+    if overhead > budget:
+        print(
+            f"warning: telemetry-on E9 overhead {overhead:+.2f}% exceeds "
+            f"the {budget:g}% budget ({metric}: {old:.6f}s -> {new:.6f}s)"
+        )
+    else:
+        print(
+            f"telemetry-on E9 overhead {overhead:+.2f}% "
+            f"(budget {budget:g}%)"
+        )
+
+
 def short(name: str) -> str:
     """'benchmarks/bench_e5_x.py::test_y' -> 'e5_x::test_y'."""
     module, _, test = name.partition("::")
@@ -113,6 +155,14 @@ def main(argv: List[str] | None = None) -> int:
         choices=("min_seconds", "seconds"),
         default="min_seconds",
         help="which timing to compare (default: min_seconds)",
+    )
+    parser.add_argument(
+        "--telemetry-budget",
+        type=float,
+        default=3.0,
+        metavar="PERCENT",
+        help="warn when the telemetry-on E9 bench runs this much slower "
+        "than its telemetry-off twin (default: 3)",
     )
     parser.add_argument(
         "--update",
@@ -165,6 +215,7 @@ def main(argv: List[str] | None = None) -> int:
                 f"{short(name):<{width}}  {old:>11.6f}s  {new:>11.6f}s  "
                 f"{ratio:>5.2f}x{flag}"
             )
+    telemetry_overhead(fresh, options.metric, options.telemetry_budget)
     print(
         f"compared {len(rows)} benchmark(s) on {options.metric}, "
         f"threshold +{options.threshold:g}%: "

@@ -14,10 +14,10 @@ Usage::
     python tools/check_docstrings.py --min-length 20
     python tools/check_docstrings.py --require repro.lint
 
-``--require PACKAGE`` (repeatable) additionally asserts that the named
-package actually contributes modules to the sweep — a rename or an
-accidental underscore-prefix would otherwise silently remove a package
-from coverage while the gate kept passing.
+``--require NAME`` (repeatable) additionally asserts that the named
+package *or module* actually contributes to the sweep — a rename or an
+accidental underscore-prefix would otherwise silently remove it from
+coverage while the gate kept passing.
 
 Exit status 0 when every module passes, 1 otherwise (the offending
 modules are listed).
@@ -79,10 +79,11 @@ def main(argv: List[str] | None = None) -> int:
         "--require",
         action="append",
         default=[],
-        metavar="PACKAGE",
+        metavar="NAME",
         help=(
-            "dotted package under repro that must contribute at least "
-            "one module to the sweep (repeatable), e.g. repro.lint"
+            "dotted package or module under repro that must appear in "
+            "the sweep (repeatable), e.g. repro.lint or "
+            "repro.obs.telemetry"
         ),
     )
     options = parser.parse_args(argv)
@@ -98,6 +99,10 @@ def main(argv: List[str] | None = None) -> int:
         for part in relative.parts[:-1]:
             prefix = f"{prefix}.{part}"
             seen_packages.add(prefix)
+        if relative.parts[-1] != "__init__.py":
+            # Full dotted module name, so --require can pin a single
+            # module (not just a package) into the sweep.
+            seen_packages.add(f"{prefix}.{relative.parts[-1][:-3]}")
         ok, reason = check_module(path, options.min_length)
         if not ok:
             failures.append((path, reason))
